@@ -1,0 +1,12 @@
+package main
+
+import (
+	"perftrack/internal/apps"
+)
+
+// studyT aliases the catalog study type so main.go stays readable.
+type studyT = apps.Study
+
+func studyByName(name string) (studyT, error) { return apps.ByName(name) }
+
+func studyNames() []string { return apps.Names() }

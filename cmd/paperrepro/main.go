@@ -1,0 +1,391 @@
+// Command paperrepro regenerates every table and figure of the paper's
+// evaluation from the synthetic catalog studies, writing SVG/text
+// artefacts to an output directory and printing the tables to stdout.
+//
+// Usage:
+//
+//	paperrepro [-out DIR] [-only ID] [-ascii]
+//
+// IDs: tab1 tab2 tab3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+// fig11 fig12 (default: everything).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"perftrack/internal/metrics"
+	"perftrack/internal/plot"
+	"perftrack/internal/report"
+)
+
+func main() {
+	outDir := flag.String("out", "out", "directory for SVG and text artefacts")
+	only := flag.String("only", "", "regenerate a single artefact (e.g. fig7, tab2)")
+	ascii := flag.Bool("ascii", false, "also print ASCII renderings of the plots")
+	experiments := flag.String("experiments", "", "write the paper-vs-measured Markdown record to this file")
+	flag.Parse()
+
+	if *experiments != "" {
+		if err := writeExperiments(*experiments); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*outDir, *only, *ascii); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+}
+
+// writeExperiments runs the whole catalog and generates the markdown
+// reproduction record.
+func writeExperiments(path string) error {
+	results, err := report.RunAll()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteExperiments(f, results); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+type generator struct {
+	outDir string
+	ascii  bool
+	// cache of study results so shared studies run once
+	cache map[string]*report.StudyResult
+}
+
+func (g *generator) study(name string) (*report.StudyResult, error) {
+	if sr, ok := g.cache[name]; ok {
+		return sr, nil
+	}
+	st, err := catalog(name)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "running study %s...\n", name)
+	sr, err := report.RunStudy(st)
+	if err != nil {
+		return nil, err
+	}
+	g.cache[name] = sr
+	return sr, nil
+}
+
+func run(outDir, only string, ascii bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	g := &generator{outDir: outDir, ascii: ascii, cache: map[string]*report.StudyResult{}}
+
+	artefacts := []struct {
+		id string
+		fn func(*generator) error
+	}{
+		{"fig1", genFig1}, {"fig3", genFig3}, {"fig4", genFig4},
+		{"tab1", genTab1}, {"fig5", genFig5}, {"fig6", genFig6},
+		{"fig7", genFig7}, {"tab2", genTab2}, {"fig8", genFig8},
+		{"tab3", genTab3}, {"fig9", genFig9}, {"fig10", genFig10},
+		{"fig11", genFig11}, {"fig12", genFig12},
+	}
+	matched := false
+	for _, a := range artefacts {
+		if only != "" && a.id != only {
+			continue
+		}
+		matched = true
+		if err := a.fn(g); err != nil {
+			return fmt.Errorf("%s: %w", a.id, err)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown artefact %q", only)
+	}
+	return nil
+}
+
+func catalog(name string) (st studyT, err error) {
+	return studyByName(name)
+}
+
+func (g *generator) writeFile(name, content string) error {
+	path := filepath.Join(g.outDir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func banner(id, desc string) {
+	fmt.Printf("\n===== %s: %s =====\n", strings.ToUpper(id), desc)
+}
+
+func genFig1(g *generator) error {
+	sr, err := g.study("WRF")
+	if err != nil {
+		return err
+	}
+	banner("fig1", "WRF cluster structure, 128 vs 256 tasks")
+	for fi := range sr.Result.Frames {
+		sc := report.FrameScatter(sr, fi, false)
+		if err := g.writeFile(fmt.Sprintf("fig1_wrf_frame%d.svg", fi), sc.SVG()); err != nil {
+			return err
+		}
+		if g.ascii {
+			fmt.Println(sc.ASCII(0, 0))
+		}
+	}
+	norm := report.NormalizedScatter(sr, 1, false)
+	if err := g.writeFile("fig1_wrf_frame1_normalised.svg", norm.SVG()); err != nil {
+		return err
+	}
+	fmt.Println(sr.Summary())
+	return nil
+}
+
+func genFig3(g *generator) error {
+	sr, err := g.study("WRF")
+	if err != nil {
+		return err
+	}
+	banner("fig3", "WRF displacement correlation matrix")
+	text := report.DisplacementText(sr, 0)
+	fmt.Println(text)
+	return g.writeFile("fig3_wrf_displacement.txt", text)
+}
+
+func genFig4(g *generator) error {
+	sr, err := g.study("WRF")
+	if err != nil {
+		return err
+	}
+	banner("fig4", "WRF SPMD timelines (start of one iteration)")
+	for fi := range sr.Result.Frames {
+		tl := report.TimelineOf(sr, fi, true, 2_000_000_000)
+		if err := g.writeFile(fmt.Sprintf("fig4_wrf_timeline%d.svg", fi), tl.SVG()); err != nil {
+			return err
+		}
+		if g.ascii {
+			fmt.Println(tl.ASCII(0, 0))
+		}
+	}
+	return nil
+}
+
+func genTab1(g *generator) error {
+	sr, err := g.study("WRF")
+	if err != nil {
+		return err
+	}
+	banner("tab1", "WRF call-stack correlations")
+	t := report.Table1(sr, 0)
+	fmt.Println(t)
+	return g.writeFile("tab1_wrf_callstacks.txt", t.String())
+}
+
+func genFig5(g *generator) error {
+	sr, err := g.study("WRF")
+	if err != nil {
+		return err
+	}
+	banner("fig5", "WRF execution-sequence correlations")
+	text := report.SequenceText(sr, 0)
+	fmt.Println(text)
+	return g.writeFile("fig5_wrf_sequence.txt", text)
+}
+
+func genFig6(g *generator) error {
+	sr, err := g.study("WRF")
+	if err != nil {
+		return err
+	}
+	banner("fig6", "WRF output frames, tracked regions renamed")
+	strip := &plot.Filmstrip{Title: "WRF tracked performance space"}
+	for fi := range sr.Result.Frames {
+		sc := report.FrameScatter(sr, fi, true)
+		strip.Frames = append(strip.Frames, sc)
+		if err := g.writeFile(fmt.Sprintf("fig6_wrf_tracked%d.svg", fi), sc.SVG()); err != nil {
+			return err
+		}
+		if g.ascii {
+			fmt.Println(sc.ASCII(0, 0))
+		}
+	}
+	// The paper displays the sequence "in a simple animation".
+	if err := g.writeFile("fig6_wrf_animation.svg", strip.AnimatedSVG()); err != nil {
+		return err
+	}
+	return g.writeFile("fig6_wrf_filmstrip.svg", strip.GridSVG())
+}
+
+func genFig7(g *generator) error {
+	sr, err := g.study("WRF")
+	if err != nil {
+		return err
+	}
+	banner("fig7", "WRF performance trends")
+	ipc := report.TrendChart(sr, metrics.IPC, 0.03, false)
+	if err := g.writeFile("fig7a_wrf_ipc.svg", ipc.SVG()); err != nil {
+		return err
+	}
+	ins := report.TrendChart(sr, metrics.Instructions, 0, true)
+	if err := g.writeFile("fig7b_wrf_instructions.svg", ins.SVG()); err != nil {
+		return err
+	}
+	t := report.TrendTable(sr, metrics.IPC)
+	fmt.Println(t)
+	if g.ascii {
+		fmt.Println(ipc.ASCII(0, 0))
+	}
+	return g.writeFile("fig7_wrf_ipc_table.txt", t.String())
+}
+
+func genTab2(g *generator) error {
+	banner("tab2", "summary of all ten case studies")
+	var results []*report.StudyResult
+	for _, name := range studyNames() {
+		sr, err := g.study(name)
+		if err != nil {
+			return err
+		}
+		results = append(results, sr)
+	}
+	t := report.Table2(results)
+	fmt.Println(t)
+	return g.writeFile("tab2_summary.txt", t.String())
+}
+
+func genFig8(g *generator) error {
+	sr, err := g.study("CGPOP")
+	if err != nil {
+		return err
+	}
+	banner("fig8", "CGPOP input frames (2 platforms x 2 compilers)")
+	for fi := range sr.Result.Frames {
+		sc := report.FrameScatter(sr, fi, false)
+		if err := g.writeFile(fmt.Sprintf("fig8_cgpop_frame%d.svg", fi), sc.SVG()); err != nil {
+			return err
+		}
+		if g.ascii {
+			fmt.Println(sc.ASCII(0, 0))
+		}
+	}
+	return nil
+}
+
+func genTab3(g *generator) error {
+	sr, err := g.study("CGPOP")
+	if err != nil {
+		return err
+	}
+	banner("tab3", "CGPOP performance results")
+	t := report.Table3(sr)
+	fmt.Println(t)
+	return g.writeFile("tab3_cgpop.txt", t.String())
+}
+
+func genFig9(g *generator) error {
+	sr, err := g.study("NAS BT")
+	if err != nil {
+		return err
+	}
+	banner("fig9", "NAS BT output frames (classes W, A, B, C)")
+	for fi := range sr.Result.Frames {
+		sc := report.FrameScatter(sr, fi, true)
+		if err := g.writeFile(fmt.Sprintf("fig9_nasbt_tracked%d.svg", fi), sc.SVG()); err != nil {
+			return err
+		}
+		if g.ascii {
+			fmt.Println(sc.ASCII(0, 0))
+		}
+	}
+	return nil
+}
+
+func genFig10(g *generator) error {
+	sr, err := g.study("NAS BT")
+	if err != nil {
+		return err
+	}
+	banner("fig10", "NAS BT trends: IPC and L2 misses")
+	ipc := report.TrendChart(sr, metrics.IPC, 0, false)
+	if err := g.writeFile("fig10a_nasbt_ipc.svg", ipc.SVG()); err != nil {
+		return err
+	}
+	l2 := report.TrendChart(sr, metrics.L2MissesPerKInstr, 0, false)
+	if err := g.writeFile("fig10b_nasbt_l2.svg", l2.SVG()); err != nil {
+		return err
+	}
+	fmt.Println(report.TrendTable(sr, metrics.IPC))
+	fmt.Println(report.TrendTable(sr, metrics.L2MissesPerKInstr))
+	if g.ascii {
+		fmt.Println(ipc.ASCII(0, 0))
+	}
+	return nil
+}
+
+func genFig11(g *generator) error {
+	sr, err := g.study("MR-Genesis")
+	if err != nil {
+		return err
+	}
+	banner("fig11", "MR-Genesis: node-sharing impact")
+	ipc := report.TrendChart(sr, metrics.IPC, 0, false)
+	if err := g.writeFile("fig11a_mrgenesis_ipc.svg", ipc.SVG()); err != nil {
+		return err
+	}
+	corr := report.MetricCorrelationChart(sr, 1, []metrics.Metric{
+		metrics.IPC, metrics.L2DMisses, metrics.TLBMisses,
+	})
+	if err := g.writeFile("fig11b_mrgenesis_correlation.svg", corr.SVG()); err != nil {
+		return err
+	}
+	fmt.Println(report.TrendTable(sr, metrics.IPC))
+	if g.ascii {
+		fmt.Println(ipc.ASCII(0, 0))
+	}
+	return nil
+}
+
+func genFig12(g *generator) error {
+	sr, err := g.study("HydroC")
+	if err != nil {
+		return err
+	}
+	banner("fig12", "HydroC: block-size impact")
+	ins := report.TrendChart(sr, metrics.Instructions, 0, false)
+	if err := g.writeFile("fig12a_hydroc_instructions.svg", ins.SVG()); err != nil {
+		return err
+	}
+	ipc := report.TrendChart(sr, metrics.IPC, 0, false)
+	if err := g.writeFile("fig12b_hydroc_ipc.svg", ipc.SVG()); err != nil {
+		return err
+	}
+	l1 := report.TrendChart(sr, metrics.L1DMisses, 0, false)
+	if err := g.writeFile("fig12c_hydroc_l1.svg", l1.SVG()); err != nil {
+		return err
+	}
+	fmt.Println(report.TrendTable(sr, metrics.IPC))
+	fmt.Println(report.TrendTable(sr, metrics.L1DMisses))
+	if g.ascii {
+		fmt.Println(ipc.ASCII(0, 0))
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"perftrack/internal/apps"
+	"perftrack/internal/mpisim"
+	"perftrack/internal/trace"
+)
+
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig(0.05, 4, "IPC,Instructions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Metrics) != 2 || cfg.Cluster.Eps != 0.05 || cfg.Cluster.MinPts != 4 {
+		t.Errorf("config = %+v", cfg)
+	}
+	if _, err := buildConfig(0.05, 4, "IPC,Bogus"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	// Stray commas and spaces are tolerated.
+	cfg, err = buildConfig(0.05, 4, " IPC , Instructions ,")
+	if err != nil || len(cfg.Metrics) != 2 {
+		t.Errorf("lenient parse failed: %v %v", cfg.Metrics, err)
+	}
+}
+
+func TestGridName(t *testing.T) {
+	if got := gridName("anim.svg"); got != "anim_grid.svg" {
+		t.Errorf("gridName = %q", got)
+	}
+	if got := gridName("anim"); got != "anim_grid.svg" {
+		t.Errorf("gridName no-ext = %q", got)
+	}
+}
+
+func TestLoadTraces(t *testing.T) {
+	if _, err := loadTraces(nil); err == nil {
+		t.Error("empty path list accepted")
+	}
+	if _, err := loadTraces([]string{"/nonexistent/x"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Write one real trace and load it back.
+	st, err := apps.ByName("NAS FT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Runs[0].Scenario.Iterations = 2
+	tr, err := mpisim.Simulate(st.Runs[0].App, st.Runs[0].Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.prv.txt")
+	if err := trace.WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadTraces([]string{path})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("loadTraces: %v, %d", err, len(got))
+	}
+}

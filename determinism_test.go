@@ -1,0 +1,36 @@
+package perftrack
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestStudyDeterminism asserts the whole pipeline is bit-reproducible:
+// simulating and tracking a catalog study twice yields byte-identical
+// JSON exports. Reviewers can diff artefacts across machines and runs.
+func TestStudyDeterminism(t *testing.T) {
+	run := func() []byte {
+		st, err := CatalogStudy("CGPOP")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shrink for speed; determinism is scale-independent.
+		for i := range st.Runs {
+			st.Runs[i].Scenario.Ranks = 16
+			st.Runs[i].Scenario.Iterations = 3
+		}
+		res, err := RunStudy(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteResultJSON(&buf, res, DefaultMetrics()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Error("two identical runs produced different exports")
+	}
+}

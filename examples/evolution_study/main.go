@@ -1,0 +1,60 @@
+// Evolution study: analyse the behaviour of a single long run over time —
+// the paper's "evolution along time intervals within the same experiment"
+// mode, used by the 20-image Gromacs row of Table 2. The run's trace is
+// split into 20 consecutive windows, each clustered into its own frame,
+// and tracking follows the regions through the windows to expose the
+// slowly building load imbalance.
+//
+// Run with:
+//
+//	go run ./examples/evolution_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perftrack"
+)
+
+func main() {
+	study, err := perftrack.CatalogStudy("Gromacs-evolution")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// SimulateStudy returns the window traces; Track correlates them.
+	traces, err := perftrack.SimulateStudy(study)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one run of %s split into %d time windows\n", traces[0].Meta.App, len(traces))
+
+	res, err := perftrack.Track(traces, study.Track)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tracked %d regions (optimal %d, coverage %.0f%%)\n\n",
+		res.SpanningCount, res.OptimalK, 100*res.Coverage)
+
+	// Report the regions whose behaviour drifts along the run.
+	drifting := res.TopTrends(perftrack.IPC, 0.02)
+	if len(drifting) == 0 {
+		fmt.Println("no region drifts more than 2% — behaviour is stationary")
+		return
+	}
+	for _, rt := range drifting {
+		m := rt.Means()
+		fmt.Printf("region %d drifts: IPC %.3f (w1) -> %.3f (w%d), %+.1f%%\n",
+			rt.RegionID, m[0], m[len(m)-1], len(m), 100*rt.RelDeltaMean())
+	}
+	fmt.Println("\nstationary regions:")
+	for _, tr := range res.Regions {
+		if !tr.Spanning {
+			continue
+		}
+		rt, _ := res.Trend(tr.ID, perftrack.IPC)
+		if rt.MaxVariation() < 0.02 {
+			fmt.Printf("  region %d (max variation %.1f%%)\n", tr.ID, 100*rt.MaxVariation())
+		}
+	}
+}

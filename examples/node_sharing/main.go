@@ -1,0 +1,104 @@
+// Node-sharing study: reproduce the paper's MR-Genesis analysis (Section
+// 4.3, Figure 11). Twelve experiments pack the same 12 processes onto 1
+// to 12 cores per node; tracking shows IPC degrading slowly until ~8
+// tasks per node, then falling off as the node's memory bandwidth
+// saturates, with cache misses growing inversely.
+//
+// Run with:
+//
+//	go run ./examples/node_sharing
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"perftrack"
+)
+
+func main() {
+	study, err := perftrack.CatalogStudy("MR-Genesis")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := perftrack.RunStudy(study)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("MR-Genesis: 12 processes on 1..12 cores per node, %d tracked regions\n\n",
+		res.SpanningCount)
+
+	for _, tr := range res.Regions {
+		if !tr.Spanning {
+			continue
+		}
+		ipc, _ := res.Trend(tr.ID, perftrack.IPC)
+		means := ipc.Means()
+		fmt.Printf("Region %d IPC by tasks/node:\n  ", tr.ID)
+		for i, v := range means {
+			fmt.Printf("%d:%.3f ", i+1, v)
+		}
+		total := (means[0] - means[len(means)-1]) / means[0]
+		fmt.Printf("\n  total degradation %.1f%%\n", 100*total)
+
+		// Per-step deltas expose the contention knee.
+		fmt.Print("  step drops: ")
+		for i := 1; i < len(means); i++ {
+			d := 100 * (means[i-1] - means[i]) / means[i-1]
+			marker := ""
+			if d > 3 {
+				marker = "*"
+			}
+			fmt.Printf("%.1f%%%s ", d, marker)
+		}
+		fmt.Println("  (* = past the bandwidth knee)")
+
+		// A terse ASCII sparkline of the IPC curve.
+		fmt.Printf("  %s\n\n", spark(means))
+	}
+	fmt.Println("Correlated metrics for region 1 (value as % of its maximum):")
+	show := []perftrack.Metric{perftrack.IPC, perftrack.L2DMisses, perftrack.TLBMisses}
+	for _, m := range show {
+		rt, err := res.Trend(1, m)
+		if err != nil {
+			continue
+		}
+		means := rt.Means()
+		maxV := 0.0
+		for _, v := range means {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		fmt.Printf("  %-10s", m.Name)
+		for _, v := range means {
+			fmt.Printf(" %3.0f", 100*v/maxV)
+		}
+		fmt.Println()
+	}
+}
+
+// spark renders a series with block glyphs.
+func spark(xs []float64) string {
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	var sb strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if hi > lo {
+			idx = int((x - lo) / (hi - lo) * float64(len(glyphs)-1))
+		}
+		sb.WriteRune(glyphs[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,88 @@
+// Quickstart: define a tiny synthetic SPMD application, run it under two
+// execution scenarios, and track how its computing regions move through
+// the performance space.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perftrack"
+	"perftrack/internal/machine"
+	"perftrack/internal/mpisim"
+	"perftrack/internal/trace"
+)
+
+func main() {
+	// An application with two computing phases: a solver that dominates
+	// the time and a cheaper halo pack/unpack region.
+	arch := machine.MinoTauro()
+	app := perftrack.AppSpec{
+		Name: "demo",
+		Phases: []mpisim.PhaseSpec{
+			{
+				Name:      "solver",
+				Stack:     trace.CallstackRef{Function: "solve", File: "solver.c", Line: 42},
+				Instr:     func(s mpisim.Scenario) float64 { return 2e9 / float64(s.Ranks) },
+				IPCFactor: 1.4 / arch.BaseIPC,
+				MemFrac:   0.02,
+			},
+			{
+				Name:      "halo",
+				Stack:     trace.CallstackRef{Function: "halo", File: "comm.c", Line: 7},
+				Instr:     func(s mpisim.Scenario) float64 { return 4e8 / float64(s.Ranks) },
+				IPCFactor: 0.8 / arch.BaseIPC,
+				MemFrac:   0.02,
+			},
+		},
+	}
+
+	// Two execution scenarios: the same problem on 32 and 64 ranks.
+	var traces []*perftrack.Trace
+	for _, ranks := range []int{32, 64} {
+		t, err := perftrack.Simulate(app, perftrack.Scenario{
+			Label:      fmt.Sprintf("%d-ranks", ranks),
+			Ranks:      ranks,
+			Arch:       arch,
+			Compiler:   machine.GFortran(),
+			Iterations: 10,
+			Seed:       1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces = append(traces, t)
+		fmt.Println(t.Summary())
+	}
+
+	// Cluster each trace into a frame and track the regions across them.
+	res, err := perftrack.Track(traces, perftrack.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntracked %d regions across %d frames (coverage %.0f%%)\n",
+		res.SpanningCount, len(res.Frames), 100*res.Coverage)
+	for _, tr := range res.Regions {
+		ipc, _ := res.Trend(tr.ID, perftrack.IPC)
+		ins, _ := res.Trend(tr.ID, perftrack.Instructions)
+		fmt.Printf("region %d: IPC per frame %v, instructions/rank per frame %v\n",
+			tr.ID, fmt2(ipc.Means()), fmt2(ins.Means()))
+	}
+}
+
+// fmt2 rounds a series for terse printing.
+func fmt2(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		if x >= 1e6 {
+			out[i] = fmt.Sprintf("%.1fM", x/1e6)
+		} else {
+			out[i] = fmt.Sprintf("%.3f", x)
+		}
+	}
+	return out
+}

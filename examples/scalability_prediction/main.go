@@ -1,0 +1,69 @@
+// Scalability prediction: the extension the paper's conclusions propose —
+// "build predictive models able to foresee the performance of experiments
+// beyond the sample space". The WRF model is tracked across 32..256 tasks,
+// per-region trends are fitted, and the 512-task experiment is predicted
+// before being checked against an actual (simulated) run.
+//
+// Run with:
+//
+//	go run ./examples/scalability_prediction
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"perftrack"
+	"perftrack/internal/apps"
+)
+
+func main() {
+	study := apps.WRFScalability()
+
+	// Hold out the largest run.
+	traces, err := perftrack.SimulateStudy(study)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := len(traces)
+	fitRes, err := perftrack.Track(traces[:n-1], study.Track)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullRes, err := perftrack.Track(traces, study.Track)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fitted on %d experiments (%v tasks), predicting %v tasks\n\n",
+		n-1, study.ParamValues[:n-1], study.ParamValues[n-1])
+
+	fmt.Printf("%-8s %14s %14s %8s\n", "region", "predicted", "measured", "error")
+	count := 0
+	for _, tr := range fitRes.Regions {
+		if !tr.Spanning || count >= 6 {
+			continue
+		}
+		count++
+		// Instructions per rank follow a power law of the rank count.
+		pred, err := fitRes.Predict(tr.ID, perftrack.Instructions,
+			study.ParamValues[:n-1], study.ParamValues[n-1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Find the corresponding region in the full run by its phase.
+		phase := fitRes.RegionMajorityPhase(tr.ID)
+		fullReg := fullRes.RegionByPhase(phase)
+		if fullReg == nil {
+			continue
+		}
+		rt, _ := fullRes.Trend(fullReg.ID, perftrack.Instructions)
+		actual := rt.Means()[n-1]
+		errPct := 100 * math.Abs(pred.Power-actual) / actual
+		fmt.Printf("%-8d %13.4gM %13.4gM %7.1f%%\n",
+			tr.ID, pred.Power/1e6, actual/1e6, errPct)
+	}
+	fmt.Println("\n(power-law fit of instructions per rank; the model also exposes")
+	fmt.Println(" linear fits, R² and per-metric trends — see Result.Predict)")
+}

@@ -1,0 +1,63 @@
+// Scaling study: reproduce the paper's WRF walkthrough (Sections 2-3).
+// The application runs with 128 and 256 tasks; tracking identifies the
+// twelve main computing regions, re-groups the clusters that split at 256
+// tasks, and reports which regions gain or lose IPC when scaling out —
+// the paper's Figure 7.
+//
+// Run with:
+//
+//	go run ./examples/scaling_study
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"perftrack"
+)
+
+func main() {
+	study, err := perftrack.CatalogStudy("WRF")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := perftrack.RunStudy(study)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("WRF strong scaling: %d frames, %d tracked regions, coverage %.0f%%\n\n",
+		len(res.Frames), res.SpanningCount, 100*res.Coverage)
+	for fi, f := range res.Frames {
+		fmt.Printf("frame %d (%s): %d bursts in %d clusters\n", fi, f.Label, len(f.Labels), f.NumClusters)
+	}
+
+	// The paper's Figure 7a: IPC trends of regions varying more than 3%.
+	fmt.Println("\nIPC trends (regions varying > 3%):")
+	for _, rt := range res.TopTrends(perftrack.IPC, 0.03) {
+		m := rt.Means()
+		fmt.Printf("  region %-3d %.3f -> %.3f  (%+.1f%%)\n",
+			rt.RegionID, m[0], m[len(m)-1], 100*rt.RelDeltaMean())
+	}
+
+	// The paper's Figure 7b: total instructions per region. Under perfect
+	// strong scaling the total stays constant; growth means replicated
+	// work.
+	fmt.Println("\nTotal instructions (x ranks), top regions:")
+	count := 0
+	for _, tr := range res.Regions {
+		if !tr.Spanning || count >= 5 {
+			continue
+		}
+		count++
+		rt, _ := res.Trend(tr.ID, perftrack.Instructions)
+		first := rt.Points[0].Mean * float64(res.Frames[0].Ranks)
+		last := rt.Points[len(rt.Points)-1].Mean * float64(res.Frames[len(res.Frames)-1].Ranks)
+		note := "constant (perfect scaling)"
+		if d := (last - first) / first; math.Abs(d) > 0.02 {
+			note = fmt.Sprintf("%+.1f%% (replicated work)", 100*d)
+		}
+		fmt.Printf("  region %-3d total %.3g -> %.3g  %s\n", tr.ID, first, last, note)
+	}
+}

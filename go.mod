@@ -1,0 +1,3 @@
+module perftrack
+
+go 1.22

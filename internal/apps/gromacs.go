@@ -1,0 +1,177 @@
+package apps
+
+import (
+	"math/rand/v2"
+
+	"perftrack/internal/machine"
+	"perftrack/internal/mpisim"
+)
+
+// gromacsCommon builds the shared structure of the two Gromacs studies:
+// nonbonded force kernels dominate, with PME, bonded forces and neighbour
+// search behind.
+//
+// When bimodal is true the two nonbonded kernel variants live in one phase
+// split across ranks (same source reference): the SPMD evaluator groups
+// the resulting pair of clusters into a single wide relation, which is
+// what caps the evolution study at 80% coverage. When false they are two
+// separate phases with distinct references, fully trackable.
+func gromacsCommon(arch machine.Arch, bimodal bool) []mpisim.PhaseSpec {
+	const file = "nonbonded_kernels.c"
+	var nonbonded []mpisim.PhaseSpec
+	if bimodal {
+		nonbonded = []mpisim.PhaseSpec{{
+			Name:      "nb_kernel_elec_vdw",
+			Stack:     stackRef("nb_kernel_elec_vdw", file, 310),
+			Instr:     strongScaled(38_000 * M),
+			IPCFactor: 1.45 / arch.BaseIPC,
+			MemFrac:   0.02,
+			Vary:      rankBimodal(1, 2, 1.10, 0.91),
+		}}
+	} else {
+		nonbonded = []mpisim.PhaseSpec{
+			{
+				Name:      "nb_kernel_water",
+				Stack:     stackRef("nb_kernel_water", file, 310),
+				Instr:     strongScaled(22_000 * M),
+				IPCFactor: 1.58 / arch.BaseIPC,
+				MemFrac:   0.02,
+			},
+			{
+				Name:      "nb_kernel_generic",
+				Stack:     stackRef("nb_kernel_generic", file, 742),
+				Instr:     strongScaled(16_000 * M),
+				IPCFactor: 1.28 / arch.BaseIPC,
+				MemFrac:   0.02,
+			},
+		}
+	}
+	rest := []mpisim.PhaseSpec{
+		{
+			Name:      "pme_spread_gather",
+			Stack:     stackRef("pme_spread_gather", "pme.c", 1210),
+			Instr:     strongScaled(9_500 * M),
+			IPCFactor: 0.95 / arch.BaseIPC,
+			MemFrac:   0.02,
+		},
+		{
+			Name:      "bonded_forces",
+			Stack:     stackRef("bonded_forces", "bondfree.c", 2240),
+			Instr:     strongScaled(5_200 * M),
+			IPCFactor: 1.20 / arch.BaseIPC,
+			MemFrac:   0.02,
+		},
+		{
+			Name:      "ns_grid_search",
+			Stack:     stackRef("ns_grid_search", "ns.c", 880),
+			Instr:     strongScaled(2_600 * M),
+			IPCFactor: 0.72 / arch.BaseIPC,
+			MemFrac:   0.02,
+		},
+	}
+	return append(nonbonded, rest...)
+}
+
+// GromacsVersions models the first Gromacs row of Table 2: three
+// experiments comparing program versions (a software-change study), five
+// objects per frame, all correlated univocally (100% coverage).
+func GromacsVersions() Study {
+	arch := machine.MinoTauro()
+	phases := gromacsCommon(arch, false)
+	// Version-dependent effects: v4.5 speeds up PME by 12%; v4.6 keeps
+	// that, vectorises the nonbonded kernels (+18% IPC) and adds 6% more
+	// instructions to bonded forces.
+	version := func(phase int) func(mpisim.Scenario, int, int, *rand.Rand) mpisim.Variation {
+		return func(s mpisim.Scenario, _, _ int, _ *rand.Rand) mpisim.Variation {
+			v := mpisim.Variation{}
+			switch s.Label {
+			case "v4.5":
+				if phase == 2 {
+					v.IPCMul = 1.12
+				}
+			case "v4.6":
+				switch phase {
+				case 2:
+					v.IPCMul = 1.12
+				case 0, 1:
+					v.IPCMul = 1.18
+				case 3:
+					v.InstrMul = 1.06
+				}
+			}
+			return v
+		}
+	}
+	for i := range phases {
+		phases[i].Vary = combineVary(phases[i].Vary, version(i))
+	}
+	app := mpisim.AppSpec{Name: "Gromacs", Phases: phases}
+	mkRun := func(label string) mpisim.Run {
+		return mpisim.Run{
+			App: app,
+			Scenario: mpisim.Scenario{
+				Label:      label,
+				Ranks:      64,
+				Arch:       arch,
+				Compiler:   machine.GFortran(),
+				Iterations: 10,
+				Seed:       29,
+			},
+		}
+	}
+	return Study{
+		Name:             "Gromacs",
+		Description:      "three program versions at 64 processes (paper Table 2, 3-image study)",
+		Runs:             []mpisim.Run{mkRun("v4.0"), mkRun("v4.5"), mkRun("v4.6")},
+		Track:            defaultTrack(),
+		ParamName:        "version",
+		ParamValues:      []float64{1, 2, 3},
+		ExpectedImages:   3,
+		ExpectedRegions:  5,
+		ExpectedCoverage: 1.0,
+	}
+}
+
+// GromacsEvolution models the last Table 2 row: the evolution of a single
+// long Gromacs run analysed as 20 consecutive time windows. Load imbalance
+// builds up as particles migrate, so the nonbonded kernels slowly lose IPC
+// along the run. The bimodal nonbonded pair stays grouped (wide relation),
+// giving 4 tracked regions out of 5 objects — the paper's 80% coverage.
+func GromacsEvolution() Study {
+	arch := machine.MinoTauro()
+	phases := gromacsCommon(arch, true)
+	// IPC of the nonbonded kernels decays ~12% over the full run.
+	drift := func(s mpisim.Scenario, _, iter int, _ *rand.Rand) mpisim.Variation {
+		frac := float64(iter) / float64(s.Iterations)
+		return mpisim.Variation{IPCMul: 1 - 0.12*frac}
+	}
+	phases[0].Vary = combineVary(phases[0].Vary, drift)
+	app := mpisim.AppSpec{Name: "Gromacs", Phases: phases}
+	run := mpisim.Run{
+		App: app,
+		Scenario: mpisim.Scenario{
+			Label:      "long-run",
+			Ranks:      64,
+			Arch:       arch,
+			Compiler:   machine.GFortran(),
+			Iterations: 100,
+			Seed:       31,
+		},
+	}
+	params := make([]float64, 20)
+	for i := range params {
+		params[i] = float64(i + 1)
+	}
+	return Study{
+		Name:             "Gromacs-evolution",
+		Description:      "one long run split into 20 time windows (paper Table 2, 20-image study)",
+		Runs:             []mpisim.Run{run},
+		Windows:          20,
+		Track:            defaultTrack(),
+		ParamName:        "window",
+		ParamValues:      params,
+		ExpectedImages:   20,
+		ExpectedRegions:  4,
+		ExpectedCoverage: 0.8,
+	}
+}

@@ -1,0 +1,165 @@
+package apps
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"perftrack/internal/machine"
+	"perftrack/internal/mpisim"
+)
+
+// NASBT models the problem-size study of Section 4.2 (Figs. 9-10): the NAS
+// BT solver run on MareNostrum with 16 processes for classes W, A, B and
+// C. Published behaviours encoded:
+//
+//   - Six main computing regions, identifiable in all classes.
+//   - Instructions grow two orders of magnitude from W to C (NAS class
+//     sizes: 24^3, 64^3, 102^3, 162^3 grid points).
+//   - Two IPC trend groups (Fig. 10a): regions 1, 2, 4 and 5 lose 40-65%
+//     of IPC as soon as the working set overflows the 1 MB L2 between W
+//     and A, then stabilise; regions 3 and 6 have smaller footprints and
+//     keep degrading until class B.
+//   - The IPC loss correlates with rising L2 data cache misses
+//     (Fig. 10b).
+//   - Class W shows large IPC variability that mostly vanishes for
+//     bigger classes, except for region 2.
+func NASBT() Study {
+	const file = "bt.f"
+	arch := machine.MareNostrum()
+	// Per-rank millions of instructions and working sets at class W
+	// (ProblemScale 1); both scale with the class size. The first group
+	// crosses L2 (1 MB) between W and A; the second between A and B.
+	type region struct {
+		name   string
+		line   int
+		instrM float64
+		ipc    float64
+		wsW    float64 // class-W working set, bytes
+	}
+	regions := []region{
+		{"x_solve", 2583, 40, 1.15, 0.42 * MB},
+		{"y_solve", 2834, 28, 0.95, 0.40 * MB},
+		{"compute_rhs", 1892, 20, 1.30, 78 * KB},
+		{"z_solve", 3085, 14, 1.05, 0.44 * MB},
+		{"matmul_sub", 3346, 9, 0.85, 0.38 * MB},
+		{"add", 1671, 6, 1.25, 70 * KB},
+	}
+	phases := make([]mpisim.PhaseSpec, len(regions))
+	for i, r := range regions {
+		i, r := i, r
+		phases[i] = mpisim.PhaseSpec{
+			Name:       r.name,
+			Stack:      stackRef(r.name, file, r.line),
+			Instr:      problemScaled(r.instrM * M),
+			WorkingSet: problemWS(r.wsW),
+			IPCFactor:  r.ipc / arch.BaseIPC,
+			MemFrac:    0.012,
+			Vary: func(s mpisim.Scenario, rank, iter int, rng *rand.Rand) mpisim.Variation {
+				// Class W presents large IPC variability which greatly
+				// reduces afterwards, except for region 2.
+				if s.ProblemScale <= 1 || i == 1 {
+					return ipcNoise(0.05)(s, rank, iter, rng)
+				}
+				return mpisim.Variation{}
+			},
+		}
+	}
+	app := mpisim.AppSpec{Name: "NAS-BT", Phases: phases}
+	classes := []struct {
+		label string
+		scale float64
+	}{
+		// Scales follow the grid-point ratios of the NAS classes
+		// relative to W (24^3): A=64^3, B=102^3, C=162^3.
+		{"Class W", 1},
+		{"Class A", math.Pow(64.0/24.0, 3)},
+		{"Class B", math.Pow(102.0/24.0, 3)},
+		{"Class C", math.Pow(162.0/24.0, 3)},
+	}
+	runs := make([]mpisim.Run, len(classes))
+	params := make([]float64, len(classes))
+	for i, c := range classes {
+		runs[i] = mpisim.Run{
+			App: app,
+			Scenario: mpisim.Scenario{
+				Label:        c.label,
+				Ranks:        16,
+				Arch:         arch,
+				Compiler:     machine.GFortran(),
+				Iterations:   10,
+				ProblemScale: c.scale,
+				Seed:         11,
+			},
+		}
+		params[i] = c.scale
+	}
+	return Study{
+		Name:             "NAS BT",
+		Description:      "problem classes W, A, B, C with 16 processes (paper Figs. 9-10)",
+		Runs:             runs,
+		Track:            defaultTrack(),
+		ParamName:        "problemScale",
+		ParamValues:      params,
+		ExpectedImages:   4,
+		ExpectedRegions:  6,
+		ExpectedCoverage: 1.0,
+	}
+}
+
+// NASFT models the Table 2 NAS FT row: a long sequence of 15 experiments
+// with steadily growing problem sizes and two dominant computing regions
+// (the FFT butterfly and the evolve step). Tracking must follow both
+// regions through 15 frames univocally.
+func NASFT() Study {
+	const file = "ft.f"
+	arch := machine.MareNostrum()
+	phases := []mpisim.PhaseSpec{
+		{
+			Name:       "fftXYZ",
+			Stack:      stackRef("fftXYZ", file, 1204),
+			Instr:      problemScaled(60 * M),
+			WorkingSet: problemWS(0.5 * MB),
+			IPCFactor:  1.05 / arch.BaseIPC,
+			MemFrac:    0.010,
+		},
+		{
+			Name:       "evolve",
+			Stack:      stackRef("evolve", file, 788),
+			Instr:      problemScaled(18 * M),
+			WorkingSet: problemWS(0.3 * MB),
+			IPCFactor:  0.80 / arch.BaseIPC,
+			MemFrac:    0.008,
+		},
+	}
+	app := mpisim.AppSpec{Name: "NAS-FT", Phases: phases}
+	const n = 15
+	runs := make([]mpisim.Run, n)
+	params := make([]float64, n)
+	for i := 0; i < n; i++ {
+		scale := math.Pow(1.35, float64(i))
+		runs[i] = mpisim.Run{
+			App: app,
+			Scenario: mpisim.Scenario{
+				Label:        "size-" + strconvItoa(i+1),
+				Ranks:        16,
+				Arch:         arch,
+				Compiler:     machine.GFortran(),
+				Iterations:   8,
+				ProblemScale: scale,
+				Seed:         13,
+			},
+		}
+		params[i] = scale
+	}
+	return Study{
+		Name:             "NAS FT",
+		Description:      "15 experiments with growing problem size (paper Table 2)",
+		Runs:             runs,
+		Track:            defaultTrack(),
+		ParamName:        "problemScale",
+		ParamValues:      params,
+		ExpectedImages:   15,
+		ExpectedRegions:  2,
+		ExpectedCoverage: 1.0,
+	}
+}

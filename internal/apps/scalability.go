@@ -1,0 +1,45 @@
+package apps
+
+import (
+	"perftrack/internal/machine"
+	"perftrack/internal/mpisim"
+)
+
+// WRFScalability is an extension study beyond the paper's two-point WRF
+// comparison: the same model followed across five rank counts (32 to 512),
+// the "program scalability" analysis the paper's conclusions mention. It
+// is not part of the Table 2 catalog (All's ten rows stay faithful to the
+// paper); it backs the scalability-prediction example and tests.
+func WRFScalability() Study {
+	base := WRF()
+	app := base.Runs[0].App
+	arch := machine.MareNostrum()
+	rankCounts := []int{32, 64, 128, 256, 512}
+	runs := make([]mpisim.Run, len(rankCounts))
+	params := make([]float64, len(rankCounts))
+	for i, ranks := range rankCounts {
+		runs[i] = mpisim.Run{
+			App: app,
+			Scenario: mpisim.Scenario{
+				Label:      labelTasks(ranks),
+				Ranks:      ranks,
+				Arch:       arch,
+				Compiler:   machine.GFortran(),
+				Iterations: 8,
+				Seed:       47,
+			},
+		}
+		params[i] = float64(ranks)
+	}
+	return Study{
+		Name:             "WRF-scalability",
+		Description:      "WRF followed across 32..512 tasks (extension: scalability + prediction)",
+		Runs:             runs,
+		Track:            defaultTrack(),
+		ParamName:        "ranks",
+		ParamValues:      params,
+		ExpectedImages:   len(rankCounts),
+		ExpectedRegions:  12,
+		ExpectedCoverage: 1,
+	}
+}

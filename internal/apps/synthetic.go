@@ -1,0 +1,123 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"perftrack/internal/machine"
+	"perftrack/internal/mpisim"
+)
+
+// SyntheticParams parametrises a fully configurable SPMD study for
+// robustness experiments: how many behaviours, how far apart they sit,
+// how noisy each instance is, and how much the behaviours drift between
+// consecutive experiments.
+type SyntheticParams struct {
+	// Phases is the number of distinct computing regions (default 6).
+	Phases int
+	// Ranks and Iterations size each experiment (defaults 16 and 6).
+	Ranks, Iterations int
+	// FrameCount is the number of experiments in the series (default 4).
+	FrameCount int
+	// NoiseIPC is the per-burst relative IPC jitter (default 0.01).
+	NoiseIPC float64
+	// DriftPerFrame shifts every phase's IPC by this relative amount per
+	// frame, alternating direction per phase (default 0.02): the smooth
+	// motion the displacement evaluator follows.
+	DriftPerFrame float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (p SyntheticParams) withDefaults() SyntheticParams {
+	if p.Phases <= 0 {
+		p.Phases = 6
+	}
+	if p.Ranks <= 0 {
+		p.Ranks = 16
+	}
+	if p.Iterations <= 0 {
+		p.Iterations = 6
+	}
+	if p.FrameCount <= 0 {
+		p.FrameCount = 4
+	}
+	if p.NoiseIPC == 0 {
+		p.NoiseIPC = 0.01
+	}
+	if p.DriftPerFrame == 0 {
+		p.DriftPerFrame = 0.02
+	}
+	return p
+}
+
+// Synthetic builds a study whose ground truth is exactly known: Phases
+// well-separated behaviours drifting smoothly across FrameCount
+// experiments under the given noise. It is the workload behind the noise
+// and epsilon robustness benchmarks.
+func Synthetic(p SyntheticParams) Study {
+	p = p.withDefaults()
+	arch := machine.MinoTauro()
+	phases := make([]mpisim.PhaseSpec, p.Phases)
+	for i := range phases {
+		i := i
+		// Spread instruction counts geometrically and alternate IPC so
+		// adjacent phases separate on both axes.
+		instr := 4e6 * pow(1.5, i)
+		ipc := 0.6 + 0.13*float64(i%5)
+		dir := 1.0
+		if i%2 == 1 {
+			dir = -1
+		}
+		phases[i] = mpisim.PhaseSpec{
+			Name:      fmt.Sprintf("phase%d", i+1),
+			Stack:     stackRef(fmt.Sprintf("phase%d", i+1), "synthetic.c", 100+i),
+			Instr:     constInstr(instr),
+			IPCFactor: ipc / arch.BaseIPC,
+			MemFrac:   0.02,
+			NoiseIPC:  p.NoiseIPC,
+			Vary: func(s mpisim.Scenario, _, _ int, _ *rand.Rand) mpisim.Variation {
+				// ProblemScale carries the frame index; each phase drifts
+				// by DriftPerFrame per frame in its own direction.
+				return mpisim.Variation{IPCMul: 1 + dir*p.DriftPerFrame*(s.ProblemScale-1)}
+			},
+		}
+	}
+	app := mpisim.AppSpec{Name: "synthetic", Phases: phases}
+	runs := make([]mpisim.Run, p.FrameCount)
+	params := make([]float64, p.FrameCount)
+	for f := 0; f < p.FrameCount; f++ {
+		runs[f] = mpisim.Run{
+			App: app,
+			Scenario: mpisim.Scenario{
+				Label:        fmt.Sprintf("frame-%d", f+1),
+				Ranks:        p.Ranks,
+				Arch:         arch,
+				Compiler:     machine.GFortran(),
+				Iterations:   p.Iterations,
+				ProblemScale: float64(f + 1),
+				Seed:         p.Seed + uint64(f),
+			},
+		}
+		params[f] = float64(f + 1)
+	}
+	return Study{
+		Name:             "Synthetic",
+		Description:      fmt.Sprintf("synthetic robustness study (%d phases, noise %.0f%%)", p.Phases, 100*p.NoiseIPC),
+		Runs:             runs,
+		Track:            defaultTrack(),
+		ParamName:        "frame",
+		ParamValues:      params,
+		ExpectedImages:   p.FrameCount,
+		ExpectedRegions:  p.Phases,
+		ExpectedCoverage: 1,
+	}
+}
+
+func pow(base float64, exp int) float64 {
+	out := 1.0
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}

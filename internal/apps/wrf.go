@@ -1,0 +1,163 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strconv"
+
+	"perftrack/internal/machine"
+	"perftrack/internal/mpisim"
+)
+
+// WRF models the Weather Research & Forecasting study of the paper's
+// Figures 1, 3-7 and Table 1: twelve main computing regions, run with 128
+// and then 256 tasks on MareNostrum. The published behaviours encoded
+// here:
+//
+//   - Per-rank instructions halve when the rank count doubles (strong
+//     scaling); after rank-weighting the normalised structure is stable.
+//   - Region 1 replicates ~5% of its work when doubling ranks (Fig. 7b).
+//   - Regions 11 and 12 lose ~20% IPC at 256 tasks; regions 4, 6 and 7
+//     gain ~5% (Fig. 7a).
+//   - Region 2 is instruction-imbalanced (vertical stretch in Fig. 1a);
+//     regions 7 and 11 have IPC variability (horizontal stretch).
+//   - At 256 tasks, regions 2 and 9 develop a rank-distributed bimodal
+//     split — the extra clusters of Fig. 1b that the SPMD evaluator must
+//     re-group ("some processes execute different computations
+//     simultaneously; these are the same regions of code").
+//   - Regions 2 and 5 share a source reference, as do 11 and 12 (the
+//     non-univocal call-stack relations of Table 1).
+func WRF() Study {
+	const file = "module_comm_dm.f90"
+	// Per-rank instruction counts at the 128-task reference, in millions,
+	// and target IPCs on MareNostrum. Ordered so that total duration
+	// decreases with the region number, matching the paper's numbering
+	// convention (clusters are ranked by the time they represent).
+	type region struct {
+		instrM float64 // per-rank instructions at 128 tasks, millions
+		ipc    float64 // target IPC on MareNostrum (gfortran)
+		line   int
+	}
+	regions := []region{
+		{900, 0.95, 4939}, // 1: most instructions, replicated work
+		{640, 0.72, 6474}, // 2: imbalanced, shares stack with 5, splits at 256
+		{520, 1.00, 6060}, // 3
+		{420, 0.85, 2472}, // 4: +5% IPC at 256
+		{330, 0.78, 6474}, // 5: same code as 2, second behaviour
+		{260, 1.12, 3105}, // 6: +5% IPC at 256
+		{195, 0.90, 5734}, // 7: IPC variability, +5% at 256
+		{150, 0.80, 1812}, // 8
+		{118, 1.10, 2956}, // 9: splits bimodally at 256
+		{92, 0.70, 3517},  // 10
+		{72, 0.50, 6275},  // 11: IPC variability, -20% at 256, shares stack with 12
+		{56, 0.92, 6275},  // 12: -20% at 256
+	}
+	arch := machine.MareNostrum()
+
+	phases := make([]mpisim.PhaseSpec, len(regions))
+	for i, r := range regions {
+		i, r := i, r
+		// The function name derives from the source line so that phases
+		// sharing a line (2 and 5, 11 and 12) share the full reference,
+		// exactly as one code region with two behaviours would.
+		ph := mpisim.PhaseSpec{
+			Name:      wrfPhaseName(i + 1),
+			Stack:     stackRef(fmt.Sprintf("halo_sub_%d", r.line), file, r.line),
+			IPCFactor: r.ipc / arch.BaseIPC,
+			MemFrac:   0.05,
+			Instr:     strongScaled(r.instrM * M * 128),
+		}
+		var hooks []func(mpisim.Scenario, int, int, *rand.Rand) mpisim.Variation
+		switch i + 1 {
+		case 1:
+			// ~5% code replication per rank doubling: the total
+			// instruction count grows instead of staying constant.
+			ph.Instr = func(s mpisim.Scenario) float64 {
+				total := r.instrM * M * 128
+				repl := 1 + 0.05*(math.Log2(float64(s.Ranks))-7)
+				return total * repl / float64(s.Ranks)
+			}
+		case 2:
+			hooks = append(hooks, rankLinearImbalance(0.15))
+			hooks = append(hooks, at256(rankBimodal(1, 2, 1.09, 0.92)))
+		case 4, 6, 7:
+			hooks = append(hooks, at256(constIPC(1.05)))
+		case 9:
+			hooks = append(hooks, at256(rankBimodal(1, 2, 1.09, 0.92)))
+		case 11:
+			hooks = append(hooks, at256(constIPC(0.80)))
+		case 12:
+			hooks = append(hooks, at256(constIPC(0.80)))
+		}
+		switch i + 1 {
+		case 7:
+			ph.NoiseIPC = 0.04 // horizontal stretch of Fig. 1a
+		case 11:
+			ph.NoiseIPC = 0.03
+		}
+		if len(hooks) > 0 {
+			ph.Vary = combineVary(hooks...)
+		}
+		phases[i] = ph
+	}
+
+	app := mpisim.AppSpec{Name: "WRF", Phases: phases}
+	mkRun := func(ranks int) mpisim.Run {
+		return mpisim.Run{
+			App: app,
+			Scenario: mpisim.Scenario{
+				Label:      labelTasks(ranks),
+				Ranks:      ranks,
+				Arch:       arch,
+				Compiler:   machine.GFortran(),
+				Iterations: 8,
+				Seed:       42,
+			},
+		}
+	}
+	return Study{
+		Name:             "WRF",
+		Description:      "strong scaling 128 -> 256 tasks (paper Figs. 1, 3-7, Table 1)",
+		Runs:             []mpisim.Run{mkRun(128), mkRun(256)},
+		Track:            defaultTrack(),
+		ParamName:        "ranks",
+		ParamValues:      []float64{128, 256},
+		ExpectedImages:   2,
+		ExpectedRegions:  12,
+		ExpectedCoverage: 1.0,
+	}
+}
+
+func wrfPhaseName(i int) string {
+	names := []string{
+		"", "advance_uv", "advance_mu_t", "advance_w", "advect_scalar",
+		"halo_exchange", "small_step_prep", "rk_step_prep", "phys_bc",
+		"set_physical_bc2d", "spec_bdy", "relax_bdy", "calc_coef_w",
+	}
+	if i < len(names) {
+		return names[i]
+	}
+	return "phase"
+}
+
+// at256 gates a Vary hook to scenarios with 256 or more ranks.
+func at256(h func(mpisim.Scenario, int, int, *rand.Rand) mpisim.Variation) func(mpisim.Scenario, int, int, *rand.Rand) mpisim.Variation {
+	return func(s mpisim.Scenario, rank, iter int, rng *rand.Rand) mpisim.Variation {
+		if s.Ranks < 256 {
+			return mpisim.Variation{}
+		}
+		return h(s, rank, iter, rng)
+	}
+}
+
+// constIPC returns a Vary hook applying a constant IPC multiplier.
+func constIPC(mul float64) func(mpisim.Scenario, int, int, *rand.Rand) mpisim.Variation {
+	return func(mpisim.Scenario, int, int, *rand.Rand) mpisim.Variation {
+		return mpisim.Variation{IPCMul: mul}
+	}
+}
+
+func labelTasks(ranks int) string {
+	return strconv.Itoa(ranks) + "-tasks"
+}

@@ -1,0 +1,432 @@
+// Package cluster implements density-based clustering of CPU bursts in an
+// arbitrary-dimensional performance-metric space, following the approach of
+// González et al. (IPDPS'09) that the paper builds on: DBSCAN over
+// per-dimension min–max-normalised metric values, with the resulting
+// clusters ranked by how much execution time they explain.
+//
+// Clusters are the paper's trackable objects: "all CPU bursts that are
+// similar with respect to these metrics get grouped into the same object".
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Noise is the label assigned to points that belong to no cluster. Cluster
+// identifiers are 1-based, matching the paper's numbering.
+const Noise = 0
+
+// Algorithm names for Config.Algorithm.
+const (
+	// AlgoDBSCAN is the default density-based algorithm of the paper's
+	// reference tool chain.
+	AlgoDBSCAN = "dbscan"
+	// AlgoKMeans selects the partitional baseline (k-means++ with
+	// silhouette model selection) for comparison studies.
+	AlgoKMeans = "kmeans"
+)
+
+// Config parametrises a clustering run.
+type Config struct {
+	// Algorithm selects the clusterer: AlgoDBSCAN (default) or
+	// AlgoKMeans.
+	Algorithm string
+	// Eps is the DBSCAN neighbourhood radius in normalised space. 0 asks
+	// for the k-dist heuristic (EstimateEps).
+	Eps float64
+	// MinPts is the DBSCAN density threshold. 0 selects a default scaled
+	// to the data size (0.5% of points, at least 4).
+	MinPts int
+	// MinClusterWeight drops clusters whose total weight (burst time)
+	// falls below this fraction of the clustered weight; their points
+	// become noise. Default 0 keeps everything.
+	MinClusterWeight float64
+	// MaxClusters keeps only the heaviest N clusters (0 = unlimited); the
+	// paper's tool reduces the objects to "the ones considered more
+	// relevant, those that represent a high percentage of the application
+	// time".
+	MaxClusters int
+}
+
+func (c Config) minPts(n int) int {
+	if c.MinPts > 0 {
+		return c.MinPts
+	}
+	mp := n / 200
+	if mp < 4 {
+		mp = 4
+	}
+	return mp
+}
+
+// Result holds the outcome of clustering one point set.
+type Result struct {
+	// Labels assigns every input point a cluster id (1-based) or Noise.
+	Labels []int
+	// NumClusters is the number of clusters after filtering/renumbering.
+	NumClusters int
+	// Eps and MinPts record the effective parameters used.
+	Eps    float64
+	MinPts int
+}
+
+// ClusterSizes returns the point count per cluster id (index 0 = noise).
+func (r *Result) ClusterSizes() []int {
+	sizes := make([]int, r.NumClusters+1)
+	for _, l := range r.Labels {
+		if l >= 0 && l < len(sizes) {
+			sizes[l]++
+		}
+	}
+	return sizes
+}
+
+// Normalize min–max-normalises every dimension into [0,1] and returns the
+// normalised copy plus the per-dimension ranges. Degenerate dimensions map
+// to the constant 0.5.
+func Normalize(points [][]float64) (normed [][]float64, mins, maxs []float64) {
+	if len(points) == 0 {
+		return nil, nil, nil
+	}
+	dims := len(points[0])
+	mins = make([]float64, dims)
+	maxs = make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		mins[d] = math.Inf(1)
+		maxs[d] = math.Inf(-1)
+	}
+	for _, p := range points {
+		for d, v := range p {
+			if v < mins[d] {
+				mins[d] = v
+			}
+			if v > maxs[d] {
+				maxs[d] = v
+			}
+		}
+	}
+	normed = make([][]float64, len(points))
+	for i, p := range points {
+		q := make([]float64, dims)
+		for d, v := range p {
+			w := maxs[d] - mins[d]
+			if w <= 0 {
+				q[d] = 0.5
+			} else {
+				q[d] = (v - mins[d]) / w
+			}
+		}
+		normed[i] = q
+	}
+	return normed, mins, maxs
+}
+
+// sqDist returns the squared Euclidean distance between a and b.
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// gridIndex buckets points of the unit hypercube into cells of side eps so
+// that an eps-neighbourhood query only inspects the 3^d adjacent cells.
+type gridIndex struct {
+	eps    float64
+	dims   int
+	cells  map[string][]int
+	points [][]float64
+}
+
+func newGridIndex(points [][]float64, eps float64) *gridIndex {
+	g := &gridIndex{eps: eps, cells: map[string][]int{}, points: points}
+	if len(points) > 0 {
+		g.dims = len(points[0])
+	}
+	for i, p := range points {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
+}
+
+func (g *gridIndex) coord(p []float64) []int {
+	c := make([]int, g.dims)
+	for d := 0; d < g.dims; d++ {
+		c[d] = int(math.Floor(p[d] / g.eps))
+	}
+	return c
+}
+
+func (g *gridIndex) keyOf(c []int) string {
+	// Small fixed-size encoding; cells are few (1/eps per dim).
+	b := make([]byte, 0, g.dims*5)
+	for _, v := range c {
+		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v), ':')
+	}
+	return string(b)
+}
+
+func (g *gridIndex) key(p []float64) string { return g.keyOf(g.coord(p)) }
+
+// neighbors returns the indices of all points within eps of q (including q
+// itself when q is an indexed point).
+func (g *gridIndex) neighbors(q []float64) []int {
+	base := g.coord(q)
+	eps2 := g.eps * g.eps
+	var out []int
+	// Enumerate the 3^dims adjacent cells.
+	offsets := make([]int, g.dims)
+	for i := range offsets {
+		offsets[i] = -1
+	}
+	cell := make([]int, g.dims)
+	for {
+		for d := 0; d < g.dims; d++ {
+			cell[d] = base[d] + offsets[d]
+		}
+		for _, idx := range g.cells[g.keyOf(cell)] {
+			if sqDist(g.points[idx], q) <= eps2 {
+				out = append(out, idx)
+			}
+		}
+		// Advance the offset odometer.
+		d := 0
+		for ; d < g.dims; d++ {
+			offsets[d]++
+			if offsets[d] <= 1 {
+				break
+			}
+			offsets[d] = -1
+		}
+		if d == g.dims {
+			break
+		}
+	}
+	return out
+}
+
+// DBSCAN labels points (already normalised to comparable scales) with the
+// classic density-based algorithm. It returns 1-based cluster ids with
+// Noise (0) for outliers. Deterministic: clusters are discovered in point
+// order, so identical input yields identical labels.
+func DBSCAN(points [][]float64, eps float64, minPts int) []int {
+	n := len(points)
+	labels := make([]int, n)
+	if n == 0 {
+		return labels
+	}
+	const (
+		unvisited = 0
+		noiseMark = -1
+	)
+	state := make([]int, n) // 0 unvisited, -1 noise, >0 cluster id
+	g := newGridIndex(points, eps)
+	next := 0
+	var queue []int
+	for i := 0; i < n; i++ {
+		if state[i] != unvisited {
+			continue
+		}
+		neigh := g.neighbors(points[i])
+		if len(neigh) < minPts {
+			state[i] = noiseMark
+			continue
+		}
+		next++
+		state[i] = next
+		queue = append(queue[:0], neigh...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if state[j] == noiseMark {
+				state[j] = next // border point adopted by the cluster
+				continue
+			}
+			if state[j] != unvisited {
+				continue
+			}
+			state[j] = next
+			jn := g.neighbors(points[j])
+			if len(jn) >= minPts {
+				queue = append(queue, jn...)
+			}
+		}
+	}
+	for i, s := range state {
+		if s == noiseMark {
+			labels[i] = Noise
+		} else {
+			labels[i] = s
+		}
+	}
+	return labels
+}
+
+// EstimateEps implements the k-dist heuristic: it computes the distance to
+// the k-th nearest neighbour for a sample of points and returns a high
+// percentile of that distribution, which approximates the knee of the
+// sorted k-dist curve.
+func EstimateEps(points [][]float64, k int) float64 {
+	n := len(points)
+	if n == 0 {
+		return 0.05
+	}
+	if k < 1 {
+		k = 4
+	}
+	if k >= n {
+		k = n - 1
+	}
+	if k < 1 {
+		return 0.05
+	}
+	// Sample at most 512 points for the estimate; the heuristic is
+	// insensitive to sampling and exact k-NN over everything is O(n^2).
+	step := 1
+	if n > 512 {
+		step = n / 512
+	}
+	var kd []float64
+	dists := make([]float64, 0, n)
+	for i := 0; i < n; i += step {
+		dists = dists[:0]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			dists = append(dists, sqDist(points[i], points[j]))
+		}
+		sort.Float64s(dists)
+		kd = append(kd, math.Sqrt(dists[k-1]))
+	}
+	sort.Float64s(kd)
+	idx := int(0.90 * float64(len(kd)-1))
+	eps := kd[idx] * 1.05
+	if eps <= 0 {
+		eps = 0.01
+	}
+	return eps
+}
+
+// Run normalises the points, clusters them and post-processes the labels:
+// clusters are renumbered 1..K by decreasing total weight, clusters below
+// the weight cut (or beyond MaxClusters) are folded into noise. weights
+// may be nil (unit weights).
+func Run(points [][]float64, weights []float64, cfg Config) (*Result, error) {
+	if len(points) == 0 {
+		return &Result{}, nil
+	}
+	dims := len(points[0])
+	for i, p := range points {
+		if len(p) != dims {
+			return nil, fmt.Errorf("cluster: point %d has %d dims, want %d", i, len(p), dims)
+		}
+	}
+	switch cfg.Algorithm {
+	case "", AlgoDBSCAN:
+		// Fall through to the density-based path below.
+	case AlgoKMeans:
+		return RunKMeans(points, weights, cfg, 1)
+	default:
+		return nil, fmt.Errorf("cluster: unknown algorithm %q", cfg.Algorithm)
+	}
+	normed, _, _ := Normalize(points)
+	eps := cfg.Eps
+	if eps <= 0 {
+		eps = EstimateEps(normed, cfg.minPts(len(points)))
+	}
+	minPts := cfg.minPts(len(points))
+	labels := DBSCAN(normed, eps, minPts)
+
+	res := &Result{Labels: labels, Eps: eps, MinPts: minPts}
+	relabelByWeight(res, weights, cfg)
+	return res, nil
+}
+
+// relabelByWeight renumbers clusters 1..K by decreasing total weight and
+// applies the MinClusterWeight / MaxClusters cuts.
+func relabelByWeight(res *Result, weights []float64, cfg Config) {
+	weightOf := func(i int) float64 {
+		if weights == nil || i >= len(weights) {
+			return 1
+		}
+		return weights[i]
+	}
+	totals := map[int]float64{}
+	var clusteredWeight float64
+	for i, l := range res.Labels {
+		if l == Noise {
+			continue
+		}
+		w := weightOf(i)
+		totals[l] += w
+		clusteredWeight += w
+	}
+	ids := make([]int, 0, len(totals))
+	for id := range totals {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if totals[ids[i]] != totals[ids[j]] {
+			return totals[ids[i]] > totals[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	remap := map[int]int{}
+	kept := 0
+	for _, id := range ids {
+		if cfg.MaxClusters > 0 && kept >= cfg.MaxClusters {
+			remap[id] = Noise
+			continue
+		}
+		if cfg.MinClusterWeight > 0 && clusteredWeight > 0 &&
+			totals[id]/clusteredWeight < cfg.MinClusterWeight {
+			remap[id] = Noise
+			continue
+		}
+		kept++
+		remap[id] = kept
+	}
+	for i, l := range res.Labels {
+		if l == Noise {
+			continue
+		}
+		res.Labels[i] = remap[l]
+	}
+	res.NumClusters = kept
+}
+
+// Centroids returns the unweighted centroid of every cluster (index 0 is
+// unused) over the given coordinate set.
+func Centroids(points [][]float64, labels []int, numClusters int) [][]float64 {
+	if numClusters <= 0 || len(points) == 0 {
+		return nil
+	}
+	dims := len(points[0])
+	cents := make([][]float64, numClusters+1)
+	counts := make([]int, numClusters+1)
+	for c := 1; c <= numClusters; c++ {
+		cents[c] = make([]float64, dims)
+	}
+	for i, l := range labels {
+		if l <= 0 || l > numClusters {
+			continue
+		}
+		for d, v := range points[i] {
+			cents[l][d] += v
+		}
+		counts[l]++
+	}
+	for c := 1; c <= numClusters; c++ {
+		if counts[c] > 0 {
+			for d := range cents[c] {
+				cents[c][d] /= float64(counts[c])
+			}
+		}
+	}
+	return cents
+}

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// This file provides the alternative clusterer the BSC line of work
+// evaluated DBSCAN against (González et al., IPDPS'09 discuss why
+// density-based clustering suits CPU-burst data better than partitional
+// algorithms): k-means with k-means++ seeding, plus silhouette-based model
+// selection. perftrack uses it as a comparison baseline — the ablation
+// benchmarks quantify how tracking quality degrades when frames are
+// clustered partitionally.
+
+// KMeans runs Lloyd's algorithm with k-means++ seeding on points
+// (normalised coordinates), returning 1-based labels (every point gets a
+// cluster; k-means has no noise concept) and the final centroids.
+// Deterministic for a given seed.
+func KMeans(points [][]float64, k int, seed uint64) (labels []int, centroids [][]float64) {
+	n := len(points)
+	labels = make([]int, n)
+	if n == 0 || k <= 0 {
+		return labels, nil
+	}
+	if k > n {
+		k = n
+	}
+	dims := len(points[0])
+	rng := rand.New(rand.NewPCG(seed, 0x9E3779B97F4A7C15))
+
+	// k-means++ seeding.
+	centroids = make([][]float64, 0, k)
+	first := rng.IntN(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	dist2 := make([]float64, n)
+	for len(centroids) < k {
+		var sum float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			dist2[i] = best
+			sum += best
+		}
+		if sum == 0 {
+			// All remaining points coincide with a centroid; duplicate one.
+			centroids = append(centroids, append([]float64(nil), points[rng.IntN(n)]...))
+			continue
+		}
+		target := rng.Float64() * sum
+		idx := 0
+		for i, d := range dist2 {
+			target -= d
+			if target <= 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+
+	// Lloyd iterations.
+	counts := make([]int, k)
+	sums := make([][]float64, k)
+	for i := range sums {
+		sums[i] = make([]float64, dims)
+	}
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				if d := sqDist(p, c); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if labels[i] != best+1 {
+				labels[i] = best + 1
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		for ci := range centroids {
+			counts[ci] = 0
+			for d := range sums[ci] {
+				sums[ci][d] = 0
+			}
+		}
+		for i, p := range points {
+			ci := labels[i] - 1
+			counts[ci]++
+			for d, v := range p {
+				sums[ci][d] += v
+			}
+		}
+		for ci := range centroids {
+			if counts[ci] == 0 {
+				continue // keep the stale centroid; it may recapture points
+			}
+			for d := range centroids[ci] {
+				centroids[ci][d] = sums[ci][d] / float64(counts[ci])
+			}
+		}
+	}
+	return labels, centroids
+}
+
+// Silhouette computes the mean silhouette coefficient of a labelling
+// (1-based labels; label 0 / noise points are ignored). For large inputs
+// it samples at most 512 points. Returns 0 for degenerate clusterings
+// (fewer than 2 clusters).
+func Silhouette(points [][]float64, labels []int) float64 {
+	// Group member indices per cluster.
+	groups := map[int][]int{}
+	for i, l := range labels {
+		if l > 0 {
+			groups[l] = append(groups[l], i)
+		}
+	}
+	if len(groups) < 2 {
+		return 0
+	}
+	ids := make([]int, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var considered []int
+	for i, l := range labels {
+		if l > 0 {
+			considered = append(considered, i)
+		}
+	}
+	step := 1
+	if len(considered) > 512 {
+		step = len(considered) / 512
+	}
+	var total float64
+	var count int
+	meanDist := func(i int, members []int) float64 {
+		var s float64
+		n := 0
+		for _, j := range members {
+			if j == i {
+				continue
+			}
+			s += math.Sqrt(sqDist(points[i], points[j]))
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return s / float64(n)
+	}
+	for idx := 0; idx < len(considered); idx += step {
+		i := considered[idx]
+		own := labels[i]
+		if len(groups[own]) < 2 {
+			continue // silhouette of singletons is defined as 0
+		}
+		a := meanDist(i, groups[own])
+		b := math.Inf(1)
+		for _, id := range ids {
+			if id == own {
+				continue
+			}
+			if d := meanDist(i, groups[id]); d < b {
+				b = d
+			}
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// KMeansAuto selects k in [2, maxK] by the silhouette criterion and
+// returns the best labelling. It is the partitional counterpart of Run.
+func KMeansAuto(points [][]float64, maxK int, seed uint64) (labels []int, k int) {
+	if maxK < 2 {
+		maxK = 2
+	}
+	bestScore := math.Inf(-1)
+	for kk := 2; kk <= maxK; kk++ {
+		l, _ := KMeans(points, kk, seed)
+		s := Silhouette(points, l)
+		if s > bestScore {
+			bestScore, labels, k = s, l, kk
+		}
+	}
+	return labels, k
+}
+
+// RunKMeans mirrors Run but clusters partitionally: it normalises the
+// points, selects k by silhouette (capped at cfg.MaxClusters, or 16) and
+// relabels the clusters by weight like Run does.
+func RunKMeans(points [][]float64, weights []float64, cfg Config, seed uint64) (*Result, error) {
+	if len(points) == 0 {
+		return &Result{}, nil
+	}
+	normed, _, _ := Normalize(points)
+	maxK := cfg.MaxClusters
+	if maxK <= 0 {
+		maxK = 16
+	}
+	labels, _ := KMeansAuto(normed, maxK, seed)
+	res := &Result{Labels: labels}
+	relabelByWeight(res, weights, cfg)
+	return res, nil
+}

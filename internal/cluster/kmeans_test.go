@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+func threeBlobs(seed uint64) [][]float64 {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	pts := blob(rng, 100, 0.15, 0.15, 0.02)
+	pts = append(pts, blob(rng, 100, 0.5, 0.8, 0.02)...)
+	pts = append(pts, blob(rng, 100, 0.85, 0.2, 0.02)...)
+	return pts
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	pts := threeBlobs(1)
+	labels, cents := KMeans(pts, 3, 7)
+	if len(cents) != 3 {
+		t.Fatalf("centroids = %d", len(cents))
+	}
+	// Each blob must be pure: all 100 points share one label.
+	for b := 0; b < 3; b++ {
+		want := labels[b*100]
+		for i := b*100 + 1; i < (b+1)*100; i++ {
+			if labels[i] != want {
+				t.Fatalf("blob %d split: point %d has label %d, want %d", b, i, labels[i], want)
+			}
+		}
+	}
+	// And the three labels are distinct.
+	if labels[0] == labels[100] || labels[100] == labels[200] || labels[0] == labels[200] {
+		t.Error("blobs merged")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts := threeBlobs(2)
+	a, _ := KMeans(pts, 3, 42)
+	b, _ := KMeans(pts, 3, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different clusterings")
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	labels, cents := KMeans(nil, 3, 1)
+	if len(labels) != 0 || cents != nil {
+		t.Error("empty input mishandled")
+	}
+	// k > n clamps to n.
+	pts := [][]float64{{0, 0}, {1, 1}}
+	labels, cents = KMeans(pts, 5, 1)
+	if len(cents) != 2 {
+		t.Errorf("clamped centroids = %d", len(cents))
+	}
+	for _, l := range labels {
+		if l < 1 || l > 2 {
+			t.Errorf("label out of range: %d", l)
+		}
+	}
+	// Identical points: no crash, one effective cluster.
+	same := [][]float64{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}
+	labels, _ = KMeans(same, 2, 1)
+	if len(labels) != 3 {
+		t.Error("identical points mishandled")
+	}
+}
+
+func TestSilhouetteQuality(t *testing.T) {
+	pts := threeBlobs(3)
+	good, _ := KMeans(pts, 3, 7)
+	sGood := Silhouette(pts, good)
+	if sGood < 0.7 {
+		t.Errorf("well-separated silhouette = %v, want high", sGood)
+	}
+	// A deliberately wrong k scores worse.
+	bad, _ := KMeans(pts, 2, 7)
+	sBad := Silhouette(pts, bad)
+	if sBad >= sGood {
+		t.Errorf("k=2 silhouette %v >= k=3 silhouette %v", sBad, sGood)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}}
+	if got := Silhouette(pts, []int{1, 1}); got != 0 {
+		t.Errorf("single-cluster silhouette = %v", got)
+	}
+	if got := Silhouette(pts, []int{0, 0}); got != 0 {
+		t.Errorf("all-noise silhouette = %v", got)
+	}
+}
+
+func TestKMeansAutoFindsK(t *testing.T) {
+	pts := threeBlobs(4)
+	labels, k := KMeansAuto(pts, 6, 7)
+	if k != 3 {
+		t.Errorf("selected k = %d, want 3", k)
+	}
+	distinct := map[int]bool{}
+	for _, l := range labels {
+		distinct[l] = true
+	}
+	if len(distinct) != 3 {
+		t.Errorf("labelling uses %d clusters", len(distinct))
+	}
+}
+
+func TestRunKMeansRelabelsByWeight(t *testing.T) {
+	pts := threeBlobs(5)
+	weights := make([]float64, len(pts))
+	for i := range weights {
+		switch {
+		case i < 100:
+			weights[i] = 1
+		case i < 200:
+			weights[i] = 100 // the heavy blob
+		default:
+			weights[i] = 10
+		}
+	}
+	res, err := RunKMeans(pts, weights, Config{MaxClusters: 6}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 3 {
+		t.Fatalf("clusters = %d", res.NumClusters)
+	}
+	if res.Labels[150] != 1 {
+		t.Errorf("heavy blob labelled %d, want 1", res.Labels[150])
+	}
+	if res.Labels[250] != 2 || res.Labels[50] != 3 {
+		t.Errorf("weight ordering wrong: %d %d", res.Labels[250], res.Labels[50])
+	}
+}
+
+func TestKMeansVsDBSCANOnNoise(t *testing.T) {
+	// The structural difference the paper's choice rests on: with
+	// outliers present, DBSCAN isolates them as noise while k-means must
+	// absorb them into a cluster, dragging centroids.
+	rng := rand.New(rand.NewPCG(6, 1))
+	pts := blob(rng, 200, 0.3, 0.3, 0.01)
+	pts = append(pts, blob(rng, 200, 0.7, 0.7, 0.01)...)
+	outlier := []float64{0.05, 0.95}
+	pts = append(pts, outlier)
+
+	db := DBSCAN(pts, 0.05, 5)
+	if db[len(db)-1] != Noise {
+		t.Error("DBSCAN failed to isolate the outlier")
+	}
+	km, _ := KMeans(pts, 2, 7)
+	if km[len(km)-1] == 0 {
+		t.Error("k-means has no noise concept; the outlier must get a label")
+	}
+}
+
+func TestSilhouetteRange(t *testing.T) {
+	pts := threeBlobs(8)
+	labels, _ := KMeans(pts, 4, 9)
+	s := Silhouette(pts, labels)
+	if math.IsNaN(s) || s < -1 || s > 1 {
+		t.Errorf("silhouette out of range: %v", s)
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	pts := threeBlobs(10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		KMeans(pts, 3, 7)
+	}
+}

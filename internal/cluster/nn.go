@@ -1,0 +1,128 @@
+package cluster
+
+import "math"
+
+// NN is a grid-accelerated exact nearest-neighbour index over a point set.
+// The tracking displacement evaluator cross-classifies every burst of one
+// frame to its nearest clustered burst of the next, which would be O(n²)
+// with linear scans; the ring-expanding grid search keeps it near O(n) for
+// the dense, normalised frames we operate on.
+type NN struct {
+	grid   *gridIndex
+	points [][]float64
+}
+
+// NewNN builds an index over points (expected to be normalised to roughly
+// the unit hypercube). cell is the grid cell side; values around the
+// typical nearest-neighbour distance work well. Non-positive cells default
+// to 0.05.
+func NewNN(points [][]float64, cell float64) *NN {
+	if cell <= 0 {
+		cell = 0.05
+	}
+	return &NN{grid: newGridIndex(points, cell), points: points}
+}
+
+// Len returns the number of indexed points.
+func (nn *NN) Len() int { return len(nn.points) }
+
+// Nearest returns the index of the point closest to q and its Euclidean
+// distance. It returns (-1, +Inf) for an empty index. Ties resolve to the
+// lowest index, making results deterministic.
+func (nn *NN) Nearest(q []float64) (int, float64) {
+	if len(nn.points) == 0 {
+		return -1, math.Inf(1)
+	}
+	g := nn.grid
+	base := g.coord(q)
+	best := -1
+	bestSq := math.Inf(1)
+	// Expand Chebyshev rings of cells around q's cell. Once the best
+	// distance found is no greater than the minimum possible distance to
+	// the next unexplored ring, the search is complete.
+	for r := 0; ; r++ {
+		minPossible := float64(r-1) * g.eps // points in ring r are at least this far
+		if r > 0 && best >= 0 && bestSq <= minPossible*minPossible {
+			break
+		}
+		visited := nn.visitRing(base, r, q, &best, &bestSq)
+		if !visited && best >= 0 {
+			// Ring had no populated cells; keep expanding until the bound
+			// proves we are done (handled above on the next iteration).
+		}
+		// Safety: after the rings exceed the grid span, fall back to done.
+		if float64(r)*g.eps > 4 && best >= 0 {
+			break
+		}
+		if float64(r)*g.eps > 64 {
+			break
+		}
+	}
+	if best < 0 {
+		// Degenerate fallback: linear scan (can happen with extreme
+		// outliers far outside the indexed range).
+		for i, p := range nn.points {
+			if d := sqDist(p, q); d < bestSq {
+				best, bestSq = i, d
+			}
+		}
+	}
+	return best, math.Sqrt(bestSq)
+}
+
+// visitRing scans all cells at Chebyshev distance exactly r from base,
+// updating the best candidate. It reports whether any populated cell was
+// seen.
+func (nn *NN) visitRing(base []int, r int, q []float64, best *int, bestSq *float64) bool {
+	g := nn.grid
+	dims := g.dims
+	found := false
+	// Enumerate offsets in [-r, r]^dims with Chebyshev norm exactly r.
+	offsets := make([]int, dims)
+	for i := range offsets {
+		offsets[i] = -r
+	}
+	cell := make([]int, dims)
+	for {
+		cheb := 0
+		for _, o := range offsets {
+			if a := abs(o); a > cheb {
+				cheb = a
+			}
+		}
+		if cheb == r {
+			for d := 0; d < dims; d++ {
+				cell[d] = base[d] + offsets[d]
+			}
+			if idxs := g.cells[g.keyOf(cell)]; len(idxs) > 0 {
+				found = true
+				for _, idx := range idxs {
+					d := sqDist(nn.points[idx], q)
+					if d < *bestSq || (d == *bestSq && idx < *best) {
+						*best, *bestSq = idx, d
+					}
+				}
+			}
+		}
+		// Odometer advance.
+		d := 0
+		for ; d < dims; d++ {
+			offsets[d]++
+			if offsets[d] <= r {
+				break
+			}
+			offsets[d] = -r
+		}
+		if d == dims {
+			break
+		}
+	}
+	return found
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"perftrack/internal/metrics"
+)
+
+// This file provides a stable JSON export of tracking results so
+// downstream tooling (dashboards, notebooks) can consume them without
+// linking the library.
+
+// ExportFrame is the serialised form of one frame.
+type ExportFrame struct {
+	Index    int             `json:"index"`
+	Label    string          `json:"label"`
+	Ranks    int             `json:"ranks"`
+	Bursts   int             `json:"bursts"`
+	Clusters []ExportCluster `json:"clusters"`
+}
+
+// ExportCluster is the serialised form of one object.
+type ExportCluster struct {
+	ID         int       `json:"id"`
+	Size       int       `json:"size"`
+	DurationNS float64   `json:"durationNs"`
+	Centroid   []float64 `json:"centroid"`
+	Region     int       `json:"region"`
+}
+
+// ExportRegion is the serialised form of one tracked region.
+type ExportRegion struct {
+	ID         int                  `json:"id"`
+	Spanning   bool                 `json:"spanning"`
+	DurationNS float64              `json:"durationNs"`
+	Members    [][]int              `json:"members"`
+	Trends     map[string][]float64 `json:"trends"`
+}
+
+// ExportRelation is the serialised form of one pairwise relation.
+type ExportRelation struct {
+	From int   `json:"from"`
+	To   int   `json:"to"`
+	A    []int `json:"a"`
+	B    []int `json:"b"`
+}
+
+// Export is the top-level JSON document.
+type Export struct {
+	Frames    []ExportFrame    `json:"frames"`
+	Regions   []ExportRegion   `json:"regions"`
+	Relations []ExportRelation `json:"relations"`
+	OptimalK  int              `json:"optimalK"`
+	Spanning  int              `json:"trackedRegions"`
+	Coverage  float64          `json:"coverage"`
+}
+
+// Export converts the result into its serialisable form, including the
+// mean trend of every given metric for every region. NaNs (absent frames)
+// are encoded as nulls by using pointer-free sentinel -1 replaced by
+// omitted values; to keep the schema simple absent frames carry 0 and the
+// members list tells presence.
+func (r *Result) Export(ms []metrics.Metric) *Export {
+	out := &Export{
+		OptimalK: r.OptimalK,
+		Spanning: r.SpanningCount,
+		Coverage: r.Coverage,
+	}
+	for fi, f := range r.Frames {
+		ef := ExportFrame{Index: f.Index, Label: f.Label, Ranks: f.Ranks, Bursts: len(f.Labels)}
+		for _, ci := range f.Clusters[1:] {
+			if ci == nil {
+				continue
+			}
+			ef.Clusters = append(ef.Clusters, ExportCluster{
+				ID:         ci.ID,
+				Size:       ci.Size,
+				DurationNS: ci.TotalDurationNS,
+				Centroid:   ci.RawCentroid,
+				Region:     r.RegionOf(fi, ci.ID),
+			})
+		}
+		out.Frames = append(out.Frames, ef)
+	}
+	for _, tr := range r.Regions {
+		er := ExportRegion{
+			ID:         tr.ID,
+			Spanning:   tr.Spanning,
+			DurationNS: tr.TotalDurationNS,
+			Members:    tr.Members,
+			Trends:     map[string][]float64{},
+		}
+		for _, m := range ms {
+			rt, err := r.Trend(tr.ID, m)
+			if err != nil {
+				continue
+			}
+			vals := make([]float64, len(rt.Points))
+			for i, p := range rt.Points {
+				if p.Present {
+					vals[i] = p.Mean
+				}
+			}
+			er.Trends[m.Name] = vals
+		}
+		out.Regions = append(out.Regions, er)
+	}
+	for _, pr := range r.Pairs {
+		for _, rel := range pr.Relations {
+			out.Relations = append(out.Relations, ExportRelation{
+				From: pr.From, To: pr.To, A: rel.A, B: rel.B,
+			})
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the export document, indented, to w.
+func (r *Result) WriteJSON(w io.Writer, ms []metrics.Metric) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Export(ms)); err != nil {
+		return fmt.Errorf("core: encoding result: %w", err)
+	}
+	return nil
+}

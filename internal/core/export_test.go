@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"perftrack/internal/metrics"
+)
+
+func TestExportStructure(t *testing.T) {
+	res, err := buildAndTrack(testConfig(),
+		mkTrace("x", 4, 4, simplePhases()),
+		mkTrace("y", 4, 4, simplePhases()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := res.Export([]metrics.Metric{metrics.IPC})
+	if len(exp.Frames) != 2 || exp.Spanning != 2 || exp.Coverage != 1 {
+		t.Fatalf("export header = %+v", exp)
+	}
+	for _, f := range exp.Frames {
+		if len(f.Clusters) != 2 {
+			t.Errorf("frame %d exported %d clusters", f.Index, len(f.Clusters))
+		}
+		for _, c := range f.Clusters {
+			if c.Region == 0 {
+				t.Errorf("cluster %d has no region id", c.ID)
+			}
+			if len(c.Centroid) != 2 {
+				t.Errorf("cluster centroid dims = %d", len(c.Centroid))
+			}
+		}
+	}
+	for _, r := range exp.Regions {
+		if _, ok := r.Trends["IPC"]; !ok {
+			t.Errorf("region %d missing IPC trend", r.ID)
+		}
+		if len(r.Trends["IPC"]) != 2 {
+			t.Errorf("region %d trend length = %d", r.ID, len(r.Trends["IPC"]))
+		}
+	}
+	if len(exp.Relations) == 0 {
+		t.Error("no relations exported")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	res, err := buildAndTrack(testConfig(),
+		mkTrace("x", 4, 4, simplePhases()),
+		mkTrace("y", 4, 4, simplePhases()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf, metrics.DefaultSpace()); err != nil {
+		t.Fatal(err)
+	}
+	var back Export
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if back.Spanning != res.SpanningCount || back.Coverage != res.Coverage {
+		t.Errorf("round-trip header mismatch: %+v", back)
+	}
+	if len(back.Frames) != len(res.Frames) {
+		t.Errorf("round-trip frames = %d", len(back.Frames))
+	}
+}

@@ -1,0 +1,373 @@
+// Package core implements the paper's primary contribution: the object
+// tracking algorithm that correlates equivalent computing regions across a
+// sequence of performance "images" (frames), despite the performance
+// variations that move, reshape, split or merge them.
+//
+// The pipeline is the one Section 2 and 3 of the paper describe:
+//
+//  1. Every experiment's trace is rendered as a frame: each CPU burst is a
+//     point in a metric space (IPC × Instructions by default) and
+//     density-based clustering groups similar bursts into objects.
+//  2. Metric scales are normalised across the sequence so frames from
+//     different configurations become comparable.
+//  3. Four heuristic evaluators (displacements, SPMD simultaneity, call
+//     stack references, execution sequence) produce correlation evidence
+//     between objects of consecutive frames.
+//  4. A combiner merges the evidence into relations, prunes and refines
+//     them, and chains relations across the sequence into tracked regions
+//     whose per-metric trends are then reported.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"perftrack/internal/cluster"
+	"perftrack/internal/metrics"
+	"perftrack/internal/trace"
+)
+
+// Config parametrises the whole tracking pipeline.
+type Config struct {
+	// Metrics spans the performance space. Default: IPC × Instructions.
+	Metrics []metrics.Metric
+	// Cluster configures the per-frame DBSCAN run.
+	Cluster cluster.Config
+	// MinBurstDurationNS drops bursts shorter than this before clustering;
+	// fine-grain bursts carry little signal and inflate the frames.
+	MinBurstDurationNS int64
+	// TopDurationFrac keeps only the longest bursts covering this fraction
+	// of total time (0 or >=1 keeps all).
+	TopDurationFrac float64
+	// MinCorrelation is the outlier cut for evaluator matrices; cells
+	// below it are neglected ("occurrences with a very small probability,
+	// 5% by default, are neglected as outliers").
+	MinCorrelation float64
+	// SPMDThreshold is the minimum reciprocal co-occurrence probability
+	// for the SPMD evaluator to declare two same-frame clusters
+	// simultaneous.
+	SPMDThreshold float64
+	// SPMDTaskSample caps how many task sequences enter the multiple
+	// alignment (0 = 32). Sampling keeps the star alignment cheap on
+	// wide runs without biasing column structure.
+	SPMDTaskSample int
+	// SequenceThreshold is the minimum agreement for the execution
+	// sequence evaluator to bind two clusters when splitting a wide
+	// relation.
+	SequenceThreshold float64
+	// DisableSPMD, DisableCallstack and DisableSequence switch individual
+	// evaluators off (ablation studies).
+	DisableSPMD      bool
+	DisableCallstack bool
+	DisableSequence  bool
+}
+
+// Validate reports a descriptive error for unusable configurations; zero
+// values are fine (they select defaults), only actively contradictory
+// settings are rejected.
+func (c Config) Validate() error {
+	for i, m := range c.Metrics {
+		if !m.Valid() {
+			return fmt.Errorf("core: metric %d is invalid (missing name or Eval)", i)
+		}
+	}
+	if c.MinCorrelation < 0 || c.MinCorrelation > 1 {
+		return fmt.Errorf("core: MinCorrelation %v outside [0,1]", c.MinCorrelation)
+	}
+	if c.SPMDThreshold < 0 || c.SPMDThreshold > 1 {
+		return fmt.Errorf("core: SPMDThreshold %v outside [0,1]", c.SPMDThreshold)
+	}
+	if c.SequenceThreshold < 0 || c.SequenceThreshold > 1 {
+		return fmt.Errorf("core: SequenceThreshold %v outside [0,1]", c.SequenceThreshold)
+	}
+	if c.TopDurationFrac < 0 || c.TopDurationFrac > 1 {
+		return fmt.Errorf("core: TopDurationFrac %v outside [0,1]", c.TopDurationFrac)
+	}
+	if c.MinBurstDurationNS < 0 {
+		return fmt.Errorf("core: negative MinBurstDurationNS")
+	}
+	return nil
+}
+
+// withDefaults returns a copy with zero values replaced by defaults.
+func (c Config) withDefaults() Config {
+	if len(c.Metrics) == 0 {
+		c.Metrics = metrics.DefaultSpace()
+	}
+	if c.MinCorrelation <= 0 {
+		c.MinCorrelation = 0.05
+	}
+	if c.SPMDThreshold <= 0 {
+		c.SPMDThreshold = 0.30
+	}
+	if c.SPMDTaskSample <= 0 {
+		c.SPMDTaskSample = 32
+	}
+	if c.SequenceThreshold <= 0 {
+		c.SequenceThreshold = 0.5
+	}
+	return c
+}
+
+// ClusterInfo summarises one object of a frame.
+type ClusterInfo struct {
+	// ID is the 1-based cluster identifier within its frame.
+	ID int
+	// Size is the number of bursts in the cluster.
+	Size int
+	// TotalDurationNS is the summed duration of the cluster's bursts.
+	TotalDurationNS float64
+	// Centroid is the cluster mean in the cross-series normalised space.
+	Centroid []float64
+	// RawCentroid is the cluster mean in raw metric units.
+	RawCentroid []float64
+	// Stacks counts the call-stack references of the cluster's bursts.
+	Stacks map[trace.CallstackRef]int
+}
+
+// Frame is one image of the sequence: the clustered performance space of
+// one experiment (or one time window of an experiment).
+type Frame struct {
+	// Index is the frame position in the sequence.
+	Index int
+	// Label names the experiment the frame renders.
+	Label string
+	// Ranks is the process count of the experiment (used by scale
+	// normalisation).
+	Ranks int
+	// Trace holds the filtered bursts the frame was built from; element i
+	// corresponds to Points[i], Norm[i] and Labels[i].
+	Trace *trace.Trace
+	// Points holds the raw metric coordinates of each burst.
+	Points [][]float64
+	// Norm holds the cross-series normalised coordinates (filled by
+	// normalizeSeries; nil until then).
+	Norm [][]float64
+	// Labels assigns each burst its cluster (1-based; 0 is noise).
+	Labels []int
+	// NumClusters is the number of objects detected.
+	NumClusters int
+	// Clusters holds per-object summaries, indexed 1..NumClusters
+	// (index 0 is nil).
+	Clusters []*ClusterInfo
+}
+
+// Cluster returns the info of cluster id, or nil when out of range.
+func (f *Frame) Cluster(id int) *ClusterInfo {
+	if id <= 0 || id >= len(f.Clusters) {
+		return nil
+	}
+	return f.Clusters[id]
+}
+
+// ClusteredDurationNS returns the summed duration of all clustered (non
+// noise) bursts.
+func (f *Frame) ClusteredDurationNS() float64 {
+	var sum float64
+	for _, ci := range f.Clusters[1:] {
+		sum += ci.TotalDurationNS
+	}
+	return sum
+}
+
+// BuildFrames converts one trace per experiment into the frame sequence:
+// it filters bursts, evaluates the metric space, clusters every frame
+// independently (the paper stresses this is "an independent, non
+// supervised process" whose numbering differs frame to frame) and finally
+// normalises scales across the series.
+func BuildFrames(traces []*trace.Trace, cfg Config) ([]*Frame, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("core: no traces to build frames from")
+	}
+	// Frames are independent until the cross-series normalisation, so
+	// they are clustered concurrently. Results are deterministic: each
+	// frame's outcome depends only on its own trace.
+	frames := make([]*Frame, len(traces))
+	errs := make([]error, len(traces))
+	var wg sync.WaitGroup
+	for i, t := range traces {
+		i, t := i, t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := buildFrame(i, t, cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: frame %d (%s): %w", i, t.Meta.Label, err)
+				return
+			}
+			frames[i] = f
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	normalizeSeries(frames, cfg.Metrics)
+	for _, f := range frames {
+		f.fillClusterInfo(cfg)
+	}
+	return frames, nil
+}
+
+func buildFrame(index int, t *trace.Trace, cfg Config) (*Frame, error) {
+	ft := t
+	if cfg.MinBurstDurationNS > 0 {
+		ft = ft.FilterMinDuration(cfg.MinBurstDurationNS)
+	}
+	if cfg.TopDurationFrac > 0 && cfg.TopDurationFrac < 1 {
+		ft = ft.FilterTopDuration(cfg.TopDurationFrac)
+	}
+	if len(ft.Bursts) == 0 {
+		return nil, fmt.Errorf("no bursts after filtering")
+	}
+	points := make([][]float64, len(ft.Bursts))
+	coords := make([][]float64, len(ft.Bursts))
+	weights := make([]float64, len(ft.Bursts))
+	for i, b := range ft.Bursts {
+		points[i] = metrics.Space(cfg.Metrics, b.Sample())
+		coords[i] = transformSpace(cfg.Metrics, points[i], 1)
+		weights[i] = float64(b.DurationNS)
+	}
+	res, err := cluster.Run(coords, weights, cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{
+		Index:       index,
+		Label:       t.Meta.Label,
+		Ranks:       t.Meta.Ranks,
+		Trace:       ft,
+		Points:      points,
+		Labels:      res.Labels,
+		NumClusters: res.NumClusters,
+	}, nil
+}
+
+// transformSpace maps raw metric values into the space distances are
+// measured in: LogScale metrics (instructions, misses) are log10
+// transformed because they span orders of magnitude across experiments,
+// and rank-scaling metrics are multiplied by ranks first.
+func transformSpace(ms []metrics.Metric, p []float64, ranks float64) []float64 {
+	if ranks <= 0 {
+		ranks = 1
+	}
+	q := make([]float64, len(p))
+	for d, v := range p {
+		if ms[d].ScalesWithRanks {
+			v *= ranks
+		}
+		if ms[d].LogScale {
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			v = math.Log10(v)
+		}
+		q[d] = v
+	}
+	return q
+}
+
+// normalizeSeries implements the paper's scale transformation (Section 2):
+// "metrics that are correlated with the number of processes (e.g.
+// Instructions) are weighted by the number of cores, while the scale for
+// the rest (e.g. IPC) is adjusted to the minimum and maximum values seen
+// along all experiments". The result lives in Frame.Norm, each dimension
+// in [0,1] across the whole sequence.
+func normalizeSeries(frames []*Frame, ms []metrics.Metric) {
+	dims := len(ms)
+	ranges := make([]metrics.Range, dims)
+	for d := range ranges {
+		ranges[d] = metrics.EmptyRange()
+	}
+	// First pass: rank-weighted, log-transformed values + global ranges.
+	for _, f := range frames {
+		f.Norm = make([][]float64, len(f.Points))
+		for i, p := range f.Points {
+			q := transformSpace(ms, p, float64(f.Ranks))
+			for d, v := range q {
+				ranges[d].Extend(v)
+			}
+			f.Norm[i] = q
+		}
+	}
+	// Second pass: min-max over the series.
+	for _, f := range frames {
+		for _, q := range f.Norm {
+			for d := range q {
+				q[d] = ranges[d].Normalize(q[d])
+			}
+		}
+	}
+}
+
+// fillClusterInfo computes per-cluster summaries after normalisation.
+func (f *Frame) fillClusterInfo(cfg Config) {
+	dims := len(cfg.Metrics)
+	f.Clusters = make([]*ClusterInfo, f.NumClusters+1)
+	for c := 1; c <= f.NumClusters; c++ {
+		f.Clusters[c] = &ClusterInfo{
+			ID:          c,
+			Centroid:    make([]float64, dims),
+			RawCentroid: make([]float64, dims),
+			Stacks:      map[trace.CallstackRef]int{},
+		}
+	}
+	for i, l := range f.Labels {
+		if l <= 0 || l > f.NumClusters {
+			continue
+		}
+		ci := f.Clusters[l]
+		ci.Size++
+		ci.TotalDurationNS += float64(f.Trace.Bursts[i].DurationNS)
+		for d := 0; d < dims; d++ {
+			ci.Centroid[d] += f.Norm[i][d]
+			ci.RawCentroid[d] += f.Points[i][d]
+		}
+		if st := f.Trace.Bursts[i].Stack; !st.IsZero() {
+			ci.Stacks[st]++
+		}
+	}
+	for c := 1; c <= f.NumClusters; c++ {
+		ci := f.Clusters[c]
+		if ci.Size == 0 {
+			continue
+		}
+		for d := 0; d < dims; d++ {
+			ci.Centroid[d] /= float64(ci.Size)
+			ci.RawCentroid[d] /= float64(ci.Size)
+		}
+	}
+}
+
+// MetricOver computes an aggregate of metric m over the bursts of cluster
+// id: the duration-weighted mean and the plain total. Aggregating every
+// individual instance (rather than trusting static profiles) is the point
+// the paper makes about multi-modal variability.
+func (f *Frame) MetricOver(id int, m metrics.Metric) (weightedMean, total float64) {
+	var sw, swx float64
+	for i, l := range f.Labels {
+		if l != id {
+			continue
+		}
+		b := f.Trace.Bursts[i]
+		v := m.Eval(b.Sample())
+		w := float64(b.DurationNS)
+		if w <= 0 {
+			w = 1
+		}
+		sw += w
+		swx += v * w
+		total += v
+	}
+	if sw == 0 {
+		return math.NaN(), total
+	}
+	return swx / sw, total
+}

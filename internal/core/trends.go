@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"perftrack/internal/metrics"
+	"perftrack/internal/stats"
+)
+
+// TrendPoint is the aggregate of one metric over one tracked region in one
+// frame.
+type TrendPoint struct {
+	// Mean is the duration-weighted mean over every member burst —
+	// "considering every independent instance rather than simple
+	// averages" happens earlier, at clustering; here the instances of one
+	// behaviour are summarised.
+	Mean float64
+	// Total is the plain sum over member bursts.
+	Total float64
+	// Count is the number of member bursts.
+	Count int
+	// Present reports whether the region exists in the frame at all.
+	Present bool
+}
+
+// RegionTrend is the evolution of one metric for one tracked region along
+// the frame sequence — the series behind the paper's Figures 7, 10, 11
+// and 12.
+type RegionTrend struct {
+	RegionID int
+	Metric   string
+	Points   []TrendPoint
+}
+
+// Means returns the per-frame means (NaN where absent).
+func (rt RegionTrend) Means() []float64 {
+	out := make([]float64, len(rt.Points))
+	for i, p := range rt.Points {
+		if p.Present {
+			out[i] = p.Mean
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// Totals returns the per-frame totals (NaN where absent).
+func (rt RegionTrend) Totals() []float64 {
+	out := make([]float64, len(rt.Points))
+	for i, p := range rt.Points {
+		if p.Present {
+			out[i] = p.Total
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// RelDeltaMean returns the relative change of the mean between the first
+// and last frames where the region is present.
+func (rt RegionTrend) RelDeltaMean() float64 {
+	first, last := math.NaN(), math.NaN()
+	for _, p := range rt.Points {
+		if p.Present {
+			if math.IsNaN(first) {
+				first = p.Mean
+			}
+			last = p.Mean
+		}
+	}
+	if math.IsNaN(first) || first == 0 {
+		return 0
+	}
+	return (last - first) / first
+}
+
+// MaxVariation returns the maximum relative deviation of the mean from its
+// first present value (the paper plots "only the regions with higher IPC
+// variations, above 3%").
+func (rt RegionTrend) MaxVariation() float64 {
+	first := math.NaN()
+	maxDev := 0.0
+	for _, p := range rt.Points {
+		if !p.Present {
+			continue
+		}
+		if math.IsNaN(first) {
+			first = p.Mean
+			continue
+		}
+		if first != 0 {
+			if dev := math.Abs(p.Mean-first) / math.Abs(first); dev > maxDev {
+				maxDev = dev
+			}
+		}
+	}
+	return maxDev
+}
+
+// Trend computes the evolution of metric m for the tracked region with the
+// given id.
+func (r *Result) Trend(regionID int, m metrics.Metric) (RegionTrend, error) {
+	tr := r.Region(regionID)
+	if tr == nil {
+		return RegionTrend{}, fmt.Errorf("core: no tracked region %d", regionID)
+	}
+	rt := RegionTrend{RegionID: regionID, Metric: m.Name, Points: make([]TrendPoint, len(r.Frames))}
+	for fi, f := range r.Frames {
+		members := tr.Members[fi]
+		if len(members) == 0 {
+			continue
+		}
+		in := make(map[int]bool, len(members))
+		for _, c := range members {
+			in[c] = true
+		}
+		var sw, swx, total float64
+		count := 0
+		for i, l := range f.Labels {
+			if !in[l] {
+				continue
+			}
+			b := f.Trace.Bursts[i]
+			v := m.Eval(b.Sample())
+			w := float64(b.DurationNS)
+			if w <= 0 {
+				w = 1
+			}
+			sw += w
+			swx += v * w
+			total += v
+			count++
+		}
+		p := TrendPoint{Total: total, Count: count, Present: count > 0}
+		if sw > 0 {
+			p.Mean = swx / sw
+		}
+		rt.Points[fi] = p
+	}
+	return rt, nil
+}
+
+// Trends computes the metric evolution for every tracked region, spanning
+// regions first (the tool's default report).
+func (r *Result) Trends(m metrics.Metric) []RegionTrend {
+	out := make([]RegionTrend, 0, len(r.Regions))
+	for _, tr := range r.Regions {
+		rt, err := r.Trend(tr.ID, m)
+		if err == nil {
+			out = append(out, rt)
+		}
+	}
+	return out
+}
+
+// TopTrends returns the spanning-region trends whose maximum variation
+// exceeds minVariation, ordered by decreasing variation — mirroring the
+// paper's "for better readability, only the regions with higher IPC
+// variations (above 3%) are depicted".
+func (r *Result) TopTrends(m metrics.Metric, minVariation float64) []RegionTrend {
+	var out []RegionTrend
+	for _, tr := range r.Regions {
+		if !tr.Spanning {
+			continue
+		}
+		rt, err := r.Trend(tr.ID, m)
+		if err != nil {
+			continue
+		}
+		if rt.MaxVariation() >= minVariation {
+			out = append(out, rt)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MaxVariation() > out[j].MaxVariation() })
+	return out
+}
+
+// RegionMajorityPhase returns the most frequent ground-truth phase
+// annotation among all bursts of the region across every frame, or 0 when
+// no annotations are present. The analysis pipeline never consumes phase
+// annotations; this accessor exists for validation and for reports that
+// need to connect tracked regions back to simulator phases.
+func (r *Result) RegionMajorityPhase(regionID int) int {
+	tr := r.Region(regionID)
+	if tr == nil {
+		return 0
+	}
+	counts := map[int]int{}
+	for fi, f := range r.Frames {
+		members := tr.Members[fi]
+		if len(members) == 0 {
+			continue
+		}
+		in := make(map[int]bool, len(members))
+		for _, c := range members {
+			in[c] = true
+		}
+		for i, l := range f.Labels {
+			if in[l] && f.Trace.Bursts[i].Phase > 0 {
+				counts[f.Trace.Bursts[i].Phase]++
+			}
+		}
+	}
+	best, bestN := 0, 0
+	keys := make([]int, 0, len(counts))
+	for p := range counts {
+		keys = append(keys, p)
+	}
+	sort.Ints(keys)
+	for _, p := range keys {
+		if counts[p] > bestN {
+			best, bestN = p, counts[p]
+		}
+	}
+	return best
+}
+
+// RegionByPhase returns the tracked region whose majority phase annotation
+// equals phase, or nil. Useful for tests that must identify regions
+// independently of the duration-based numbering.
+func (r *Result) RegionByPhase(phase int) *TrackedRegion {
+	for _, tr := range r.Regions {
+		if r.RegionMajorityPhase(tr.ID) == phase {
+			return tr
+		}
+	}
+	return nil
+}
+
+// Prediction extrapolates a region's metric trend to an unseen scenario —
+// the paper's future-work extension ("build predictive models able to
+// foresee the performance of experiments beyond the sample space").
+type Prediction struct {
+	RegionID int
+	Metric   string
+	// Model is the linear fit over (x, mean) pairs.
+	Model stats.LinearFit
+	// PowerModel is the log-linear alternative (valid for positive data).
+	PowerModel stats.LogLinearFit
+	// X is the extrapolation input, Linear/Power the two estimates.
+	X      float64
+	Linear float64
+	Power  float64
+}
+
+// Predict fits the trend of metric m for region id against the per-frame
+// explanatory variable xs (e.g. rank counts, problem sizes, block sizes)
+// and extrapolates both a linear and a power-law model to x.
+func (r *Result) Predict(regionID int, m metrics.Metric, xs []float64, x float64) (Prediction, error) {
+	if len(xs) != len(r.Frames) {
+		return Prediction{}, fmt.Errorf("core: got %d xs for %d frames", len(xs), len(r.Frames))
+	}
+	rt, err := r.Trend(regionID, m)
+	if err != nil {
+		return Prediction{}, err
+	}
+	var fx, fy []float64
+	for i, p := range rt.Points {
+		if p.Present {
+			fx = append(fx, xs[i])
+			fy = append(fy, p.Mean)
+		}
+	}
+	lin, err := stats.FitLinear(fx, fy)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("core: region %d metric %s: %w", regionID, m.Name, err)
+	}
+	pred := Prediction{
+		RegionID: regionID,
+		Metric:   m.Name,
+		Model:    lin,
+		X:        x,
+		Linear:   lin.Predict(x),
+	}
+	if pow, err := stats.FitLogLinear(fx, fy); err == nil {
+		pred.PowerModel = pow
+		pred.Power = pow.Predict(x)
+	} else {
+		pred.Power = math.NaN()
+	}
+	return pred, nil
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"perftrack/internal/metrics"
+	"perftrack/internal/trace"
+)
+
+// trendFixture tracks two experiments where phase 1 loses 20% IPC and
+// phase 2 stays put.
+func trendFixture(t *testing.T) *Result {
+	t.Helper()
+	a := []phaseDef{
+		{IPC: 1.0, Instr: 1e7, Stack: stackR("a", 1)},
+		{IPC: 0.5, Instr: 4e6, Stack: stackR("b", 2)},
+	}
+	b := []phaseDef{
+		{IPC: 0.8, Instr: 1e7, Stack: stackR("a", 1)},
+		{IPC: 0.5, Instr: 4e6, Stack: stackR("b", 2)},
+	}
+	res, err := buildAndTrack(testConfig(),
+		mkTrace("x", 4, 4, a),
+		mkTrace("y", 4, 4, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpanningCount != 2 {
+		t.Fatalf("fixture spanning = %d", res.SpanningCount)
+	}
+	return res
+}
+
+func TestTrendValues(t *testing.T) {
+	res := trendFixture(t)
+	reg := res.RegionByPhase(1)
+	rt, err := res.Trend(reg.ID, metrics.IPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := rt.Means()
+	if math.Abs(means[0]-1.0) > 1e-9 || math.Abs(means[1]-0.8) > 1e-9 {
+		t.Errorf("IPC means = %v", means)
+	}
+	if math.Abs(rt.RelDeltaMean()-(-0.2)) > 1e-9 {
+		t.Errorf("RelDeltaMean = %v, want -0.2", rt.RelDeltaMean())
+	}
+	if math.Abs(rt.MaxVariation()-0.2) > 1e-9 {
+		t.Errorf("MaxVariation = %v, want 0.2", rt.MaxVariation())
+	}
+	// Totals: 16 bursts x IPC 1.0 per frame 0.
+	totals := rt.Totals()
+	if math.Abs(totals[0]-16) > 1e-9 {
+		t.Errorf("totals = %v", totals)
+	}
+	if rt.Points[0].Count != 16 {
+		t.Errorf("count = %d", rt.Points[0].Count)
+	}
+}
+
+func TestTrendUnknownRegion(t *testing.T) {
+	res := trendFixture(t)
+	if _, err := res.Trend(99, metrics.IPC); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestTrendsAndTopTrends(t *testing.T) {
+	res := trendFixture(t)
+	all := res.Trends(metrics.IPC)
+	if len(all) != len(res.Regions) {
+		t.Errorf("Trends returned %d series for %d regions", len(all), len(res.Regions))
+	}
+	top := res.TopTrends(metrics.IPC, 0.03)
+	if len(top) != 1 {
+		t.Fatalf("TopTrends = %d series, want only the drifting one", len(top))
+	}
+	if got := res.RegionMajorityPhase(top[0].RegionID); got != 1 {
+		t.Errorf("drifting region holds phase %d, want 1", got)
+	}
+	// Raising the bar excludes everything.
+	if got := res.TopTrends(metrics.IPC, 0.5); len(got) != 0 {
+		t.Errorf("high bar returned %d series", len(got))
+	}
+}
+
+func TestTrendAbsentFrames(t *testing.T) {
+	a := []phaseDef{
+		{IPC: 1.0, Instr: 1e7, Stack: stackR("a", 1)},
+		{IPC: 0.5, Instr: 4e6, Stack: stackR("gone", 9)},
+	}
+	b := []phaseDef{
+		{IPC: 1.0, Instr: 1e7, Stack: stackR("a", 1)},
+	}
+	res, err := buildAndTrack(testConfig(),
+		mkTrace("x", 4, 4, a),
+		mkTrace("y", 4, 4, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := res.RegionByPhase(2)
+	if reg == nil {
+		t.Fatal("vanished region untracked")
+	}
+	rt, err := res.Trend(reg.ID, metrics.IPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Points[1].Present {
+		t.Error("absent frame reported present")
+	}
+	if !math.IsNaN(rt.Means()[1]) {
+		t.Error("absent frame mean should be NaN")
+	}
+	// RelDelta uses only present frames.
+	if rt.RelDeltaMean() != 0 {
+		t.Errorf("single-frame RelDelta = %v", rt.RelDeltaMean())
+	}
+}
+
+func TestRegionMajorityPhase(t *testing.T) {
+	res := trendFixture(t)
+	for p := 1; p <= 2; p++ {
+		reg := res.RegionByPhase(p)
+		if reg == nil {
+			t.Fatalf("phase %d missing", p)
+		}
+		if got := res.RegionMajorityPhase(reg.ID); got != p {
+			t.Errorf("majority phase = %d, want %d", got, p)
+		}
+	}
+	if res.RegionMajorityPhase(99) != 0 {
+		t.Error("unknown region majority should be 0")
+	}
+	if res.RegionByPhase(42) != nil {
+		t.Error("unknown phase should have no region")
+	}
+}
+
+func TestPredictLinear(t *testing.T) {
+	// Three frames with a linear IPC decline: prediction extrapolates it.
+	mk := func(ipc float64) []phaseDef {
+		return []phaseDef{
+			{IPC: ipc, Instr: 1e7, Stack: stackR("a", 1)},
+			{IPC: 0.5, Instr: 4e6, Stack: stackR("b", 2)},
+		}
+	}
+	res, err := buildAndTrack(testConfig(),
+		mkTrace("x", 4, 4, mk(1.0)),
+		mkTrace("y", 4, 4, mk(0.9)),
+		mkTrace("z", 4, 4, mk(0.8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := res.RegionByPhase(1)
+	pred, err := res.Predict(reg.ID, metrics.IPC, []float64{1, 2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred.Linear-0.7) > 1e-6 {
+		t.Errorf("predicted IPC at x=4: %v, want 0.7", pred.Linear)
+	}
+	if pred.Model.R2 < 0.999 {
+		t.Errorf("R2 = %v", pred.Model.R2)
+	}
+	// Mismatched xs length errors.
+	if _, err := res.Predict(reg.ID, metrics.IPC, []float64{1}, 4); err == nil {
+		t.Error("short xs accepted")
+	}
+	if _, err := res.Predict(99, metrics.IPC, []float64{1, 2, 3}, 4); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestPredictPowerLaw(t *testing.T) {
+	// Instructions per rank halve as ranks double: the power model nails
+	// the exponent -1.
+	mk := func(ranks int) []phaseDef {
+		return []phaseDef{
+			{IPC: 1.0, Instr: 1e8 / float64(ranks), Stack: stackR("a", 1)},
+			{IPC: 0.5, Instr: 4e7 / float64(ranks), Stack: stackR("b", 2)},
+		}
+	}
+	res, err := buildAndTrack(testConfig(),
+		mkTraceWithRanks("a", 4, mk(4)),
+		mkTraceWithRanks("b", 8, mk(8)),
+		mkTraceWithRanks("c", 16, mk(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := res.RegionByPhase(1)
+	pred, err := res.Predict(reg.ID, metrics.Instructions, []float64{4, 8, 16}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred.PowerModel.B+1) > 0.01 {
+		t.Errorf("power exponent = %v, want -1", pred.PowerModel.B)
+	}
+	want := 1e8 / 32
+	if math.Abs(pred.Power-want)/want > 0.02 {
+		t.Errorf("power prediction = %v, want %v", pred.Power, want)
+	}
+}
+
+func mkTraceWithRanks(label string, ranks int, phases []phaseDef) *trace.Trace {
+	return mkTrace(label, ranks, 4, phases)
+}

@@ -1,0 +1,51 @@
+package core
+
+// unionFind is a standard disjoint-set structure with path compression and
+// union by size, used by the combiner to merge correlation evidence into
+// relations.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, returning true when they were
+// previously distinct.
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	return true
+}
+
+// groups returns the members of every set with more than zero elements,
+// keyed by representative, with members in ascending order.
+func (uf *unionFind) groups() map[int][]int {
+	out := map[int][]int{}
+	for i := range uf.parent {
+		out[uf.find(i)] = append(out[uf.find(i)], i)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidatePerfectTracking(t *testing.T) {
+	res, err := buildAndTrack(testConfig(),
+		mkTrace("x", 4, 4, simplePhases()),
+		mkTrace("y", 4, 4, simplePhases()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := res.Validate()
+	if score.Annotated != 64 { // 2 frames x 4 ranks x 4 iters x 2 phases
+		t.Errorf("annotated = %d", score.Annotated)
+	}
+	if score.Purity != 1 {
+		t.Errorf("purity = %v, want 1", score.Purity)
+	}
+	if math.Abs(score.ARI-1) > 1e-9 {
+		t.Errorf("ARI = %v, want 1", score.ARI)
+	}
+}
+
+func TestValidateBimodalGrouping(t *testing.T) {
+	// A rank-bimodal phase grouped into one region is still a correct
+	// recovery of the ground truth: one region per phase.
+	base := simplePhases()
+	split := []phaseDef{
+		base[0],
+		{IPC: 0.6, Instr: 4e6, Stack: stackR("b", 2), PerRank: func(r int) (float64, float64) {
+			if r%2 == 0 {
+				return 0.75, 4e6
+			}
+			return 0.45, 4e6
+		}},
+	}
+	res, err := buildAndTrack(testConfig(),
+		mkTrace("x", 8, 4, base),
+		mkTrace("y", 8, 4, split))
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := res.Validate()
+	if score.Purity < 0.99 || score.ARI < 0.99 {
+		t.Errorf("bimodal grouping score = %+v, want ~perfect", score)
+	}
+}
+
+func TestValidateDetectsConfusion(t *testing.T) {
+	// Force a wrong result by disabling every disambiguating evaluator on
+	// the swap scenario: the validation score must expose the confusion.
+	a := []phaseDef{
+		{IPC: 1.2, Instr: 1e7, Stack: stackR("a", 1)},
+		{IPC: 0.6, Instr: 4e6, Stack: stackR("b", 2)},
+	}
+	b := []phaseDef{
+		{IPC: 0.6, Instr: 4e6, Stack: stackR("a", 1)},
+		{IPC: 1.2, Instr: 1e7, Stack: stackR("b", 2)},
+	}
+	cfg := testConfig()
+	cfg.DisableCallstack = true
+	cfg.DisableSequence = true
+	cfg.DisableSPMD = true
+	res, err := buildAndTrack(cfg,
+		mkTrace("x", 4, 4, a),
+		mkTrace("y", 4, 4, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := buildAndTrack(testConfig(),
+		mkTrace("x", 4, 4, a),
+		mkTrace("y", 4, 4, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Validate().ARI >= good.Validate().ARI {
+		t.Errorf("displacement-only ARI %v not worse than full %v on the swap scenario",
+			res.Validate().ARI, good.Validate().ARI)
+	}
+}
+
+func TestValidateNoAnnotations(t *testing.T) {
+	tr := mkTrace("x", 4, 4, simplePhases())
+	for i := range tr.Bursts {
+		tr.Bursts[i].Phase = 0
+	}
+	res, err := buildAndTrack(testConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := res.Validate()
+	if score.Annotated != 0 || score.Purity != 0 || score.ARI != 0 {
+		t.Errorf("unannotated score = %+v, want zeros", score)
+	}
+}

@@ -1,0 +1,340 @@
+// Package machine provides the parametric hardware and toolchain model that
+// substitutes for the supercomputers of the paper's evaluation
+// (MareNostrum's IBM PowerPC 970MP nodes and MinoTauro's Intel Xeon E5649
+// nodes) and for the gfortran/xlf/ifort compilers.
+//
+// The tracking technique itself only consumes per-burst metric vectors, so
+// a mechanistic model that converts a workload description (instructions,
+// memory intensity, working set) into counters and elapsed cycles is enough
+// to reproduce the performance *shapes* the paper reports: IPC loss driven
+// by cache misses as the problem grows (NAS BT, Fig. 10), a bandwidth
+// contention knee as nodes fill up (MR-Genesis, Fig. 11), a cache-capacity
+// cliff when the working set overflows L1 (HydroC, Fig. 12), and the
+// instructions-versus-IPC trade of specialised compilers (CGPOP, Tab. 3).
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arch describes one compute platform. Sizes are per core unless noted.
+type Arch struct {
+	// Name identifies the platform in trace metadata and reports.
+	Name string
+	// FreqGHz is the core clock frequency.
+	FreqGHz float64
+	// SocketsPerNode and CoresPerSocket define node geometry.
+	SocketsPerNode int
+	CoresPerSocket int
+	// L1KB is the private L1 data cache size in KiB.
+	L1KB float64
+	// L2KB is the last-level cache size in KiB, shared by a socket when
+	// SharedL2 is true, private otherwise.
+	L2KB     float64
+	SharedL2 bool
+	// LineBytes is the cache line size.
+	LineBytes float64
+	// TLBEntries and PageKB define data-TLB reach (entries x page size).
+	TLBEntries float64
+	PageKB     float64
+	// BaseIPC is the IPC the core sustains when every access hits L1.
+	BaseIPC float64
+	// L1PenaltyCycles is the stall contribution of one L1 miss that hits L2.
+	L1PenaltyCycles float64
+	// MemPenaltyCycles is the unloaded stall contribution of one L2 miss.
+	MemPenaltyCycles float64
+	// TLBPenaltyCycles is the stall contribution of one TLB miss.
+	TLBPenaltyCycles float64
+	// NodeMemBWGBs is the aggregate node memory bandwidth in GB/s. Together
+	// with PerProcBWGBs it drives the node-sharing contention knee.
+	NodeMemBWGBs float64
+	// MaxUtilisation caps the modelled bandwidth utilisation so the
+	// queueing term stays finite (an M/M/1-style 1/(1-u) slowdown).
+	MaxUtilisation float64
+}
+
+// CoresPerNode returns the total cores of one node.
+func (a Arch) CoresPerNode() int { return a.SocketsPerNode * a.CoresPerSocket }
+
+// Validate reports a descriptive error for nonsensical specifications.
+func (a Arch) Validate() error {
+	switch {
+	case a.Name == "":
+		return fmt.Errorf("machine: arch without name")
+	case a.FreqGHz <= 0:
+		return fmt.Errorf("machine: %s: frequency must be positive", a.Name)
+	case a.SocketsPerNode <= 0 || a.CoresPerSocket <= 0:
+		return fmt.Errorf("machine: %s: node geometry must be positive", a.Name)
+	case a.L1KB <= 0 || a.L2KB <= 0 || a.LineBytes <= 0:
+		return fmt.Errorf("machine: %s: cache geometry must be positive", a.Name)
+	case a.BaseIPC <= 0:
+		return fmt.Errorf("machine: %s: base IPC must be positive", a.Name)
+	case a.MaxUtilisation <= 0 || a.MaxUtilisation >= 1:
+		return fmt.Errorf("machine: %s: max utilisation must lie in (0,1)", a.Name)
+	}
+	return nil
+}
+
+// MareNostrum models the JS21 blades of the paper: 2 dual-core PowerPC
+// 970MP at 2.3 GHz, 32 KB L1D and 1 MB private L2 per core. The base IPC is
+// low, matching the ~0.25 IPC CGPOP achieves there (Table 3).
+func MareNostrum() Arch {
+	return Arch{
+		Name:             "MareNostrum",
+		FreqGHz:          2.3,
+		SocketsPerNode:   2,
+		CoresPerSocket:   2,
+		L1KB:             32,
+		L2KB:             1024,
+		SharedL2:         false,
+		LineBytes:        128,
+		TLBEntries:       1024,
+		PageKB:           4,
+		BaseIPC:          1.6,
+		L1PenaltyCycles:  14,
+		MemPenaltyCycles: 280,
+		TLBPenaltyCycles: 60,
+		NodeMemBWGBs:     10.6,
+		MaxUtilisation:   0.95,
+	}
+}
+
+// MinoTauro models the paper's second platform: 2 Intel Xeon E5649 6-core
+// sockets at 2.53 GHz, 32 KB L1D per core and a 12 MB L3 shared per socket
+// (modelled as the SharedL2 last level here).
+func MinoTauro() Arch {
+	return Arch{
+		Name:             "MinoTauro",
+		FreqGHz:          2.53,
+		SocketsPerNode:   2,
+		CoresPerSocket:   6,
+		L1KB:             32,
+		L2KB:             12288,
+		SharedL2:         true,
+		LineBytes:        64,
+		TLBEntries:       512,
+		PageKB:           4,
+		BaseIPC:          2.2,
+		L1PenaltyCycles:  10,
+		MemPenaltyCycles: 180,
+		TLBPenaltyCycles: 30,
+		NodeMemBWGBs:     32,
+		MaxUtilisation:   0.95,
+	}
+}
+
+// Compiler models a toolchain as the pair of effects the paper actually
+// observes in the CGPOP study (Section 4.1): specialised compilers reduce
+// the instruction count but may lose IPC in the same proportion, leaving
+// the execution time flat.
+type Compiler struct {
+	// Name identifies the toolchain (e.g. "xlf-12.1 -O3").
+	Name string
+	// InstrFactor multiplies the instruction count relative to the
+	// reference (gfortran) build of the same code.
+	InstrFactor float64
+	// IPCFactor multiplies the achievable IPC relative to the reference.
+	IPCFactor float64
+}
+
+// Validate reports a descriptive error for nonsensical specifications.
+func (c Compiler) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("machine: compiler without name")
+	}
+	if c.InstrFactor <= 0 || c.IPCFactor <= 0 {
+		return fmt.Errorf("machine: compiler %s: factors must be positive", c.Name)
+	}
+	return nil
+}
+
+// GFortran is the baseline generic compiler: factors of exactly 1.
+func GFortran() Compiler {
+	return Compiler{Name: "gfortran", InstrFactor: 1, IPCFactor: 1}
+}
+
+// XLF models IBM XL Fortran on PowerPC: −36% instructions at −36% IPC
+// (paper Table 3: 6.8M→4.3M instructions, 0.25→0.16 IPC, flat duration).
+func XLF() Compiler {
+	return Compiler{Name: "xlf", InstrFactor: 0.64, IPCFactor: 0.64}
+}
+
+// IFort models Intel Fortran on Xeon: −30% instructions at −28% IPC
+// (paper Table 3: 5M→3.5M instructions, 0.42→0.30 IPC, near-flat duration).
+func IFort() Compiler {
+	return Compiler{Name: "ifort", InstrFactor: 0.70, IPCFactor: 0.717}
+}
+
+// ArchByName resolves the built-in platforms.
+func ArchByName(name string) (Arch, bool) {
+	switch name {
+	case "MareNostrum":
+		return MareNostrum(), true
+	case "MinoTauro":
+		return MinoTauro(), true
+	}
+	return Arch{}, false
+}
+
+// CompilerByName resolves the built-in toolchains.
+func CompilerByName(name string) (Compiler, bool) {
+	switch name {
+	case "gfortran":
+		return GFortran(), true
+	case "xlf":
+		return XLF(), true
+	case "ifort":
+		return IFort(), true
+	}
+	return Compiler{}, false
+}
+
+// missRate returns the fraction of accesses that miss a cache of capacity
+// cap bytes given a streaming working set of ws bytes. Below capacity only
+// a small compulsory-miss floor remains; above capacity the hit fraction
+// decays with the capacity ratio, producing the sharp knee the paper
+// observes when a working set overflows a level (HydroC, Fig. 12c).
+func missRate(wsBytes, capBytes, floor, ceil float64) float64 {
+	if capBytes <= 0 {
+		return ceil
+	}
+	if wsBytes <= capBytes {
+		return floor
+	}
+	// Fraction of the working set that cannot be retained.
+	excess := 1 - capBytes/wsBytes
+	r := floor + (ceil-floor)*excess
+	return math.Min(ceil, math.Max(floor, r))
+}
+
+// Workload describes one burst's computation demand, independent of the
+// platform executing it.
+type Workload struct {
+	// Instructions the burst retires on the reference compiler.
+	Instructions float64
+	// MemFrac is the fraction of instructions that access memory.
+	MemFrac float64
+	// WorkingSetBytes is the data footprint the burst streams over.
+	WorkingSetBytes float64
+	// IPCFactor scales the architectural base IPC for this code region
+	// (intrinsic code quality: dependency chains, branchiness, ...).
+	IPCFactor float64
+	// MLP is the miss-level parallelism: how many outstanding misses the
+	// code sustains on average (prefetching, independent streams). The
+	// effective per-miss stall is the raw penalty divided by MLP, while
+	// bandwidth demand still counts every miss. 0 means 1 (fully
+	// serialised misses).
+	MLP float64
+	// L1Floor/L1Ceil and L2Floor/L2Ceil override the default miss-rate
+	// bounds of the streaming model for codes with a different access
+	// profile (e.g. blocked kernels whose compulsory miss floor is
+	// 1/elements-per-line). 0 selects the defaults.
+	L1Floor, L1Ceil float64
+	L2Floor, L2Ceil float64
+}
+
+func defaultRate(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// Sharing describes how the process is packed onto the node.
+type Sharing struct {
+	// ProcsPerNode is the number of application processes on the node.
+	ProcsPerNode int
+}
+
+// Cost is the modelled outcome of executing a Workload on an Arch with a
+// Compiler under a Sharing configuration.
+type Cost struct {
+	Instructions float64
+	Cycles       float64
+	L1DMisses    float64
+	L2DMisses    float64
+	TLBMisses    float64
+	MemAccesses  float64
+	DurationNS   float64
+	IPC          float64
+}
+
+// Execute runs the analytic performance model. The cycle count is the sum
+// of a pipeline term (instructions over achievable IPC) plus stall terms
+// for each miss class, with the memory penalty inflated by an M/M/1-style
+// queueing factor 1/(1-u) once the node's aggregate bandwidth demand
+// approaches saturation — that nonlinearity produces the MR-Genesis
+// contention knee (Fig. 11).
+func Execute(w Workload, a Arch, c Compiler, sh Sharing) Cost {
+	if w.IPCFactor == 0 {
+		w.IPCFactor = 1
+	}
+	if w.MLP == 0 {
+		w.MLP = 1
+	}
+	procs := sh.ProcsPerNode
+	if procs <= 0 {
+		procs = 1
+	}
+	instr := w.Instructions * c.InstrFactor
+	mem := instr * w.MemFrac
+
+	l1Rate := missRate(w.WorkingSetBytes, a.L1KB*1024,
+		defaultRate(w.L1Floor, 0.002), defaultRate(w.L1Ceil, 0.35))
+	l1m := mem * l1Rate
+
+	effL2 := a.L2KB * 1024
+	if a.SharedL2 {
+		// Processes on the same socket compete for last-level capacity.
+		perSocket := (procs + a.SocketsPerNode - 1) / a.SocketsPerNode
+		if perSocket > a.CoresPerSocket {
+			perSocket = a.CoresPerSocket
+		}
+		if perSocket > 1 {
+			effL2 /= float64(perSocket)
+		}
+	}
+	l2Rate := missRate(w.WorkingSetBytes, effL2,
+		defaultRate(w.L2Floor, 0.02), defaultRate(w.L2Ceil, 0.85))
+	l2m := l1m * l2Rate
+
+	tlbReach := a.TLBEntries * a.PageKB * 1024
+	tlbRate := missRate(w.WorkingSetBytes, tlbReach, 0.0001, 0.02)
+	tlbm := mem * tlbRate
+
+	// Bandwidth demand of one process if it ran unstalled: bytes per
+	// second = l2 misses per cycle x line size x frequency. The aggregate
+	// demand of all co-located processes sets the utilisation.
+	ipcPeak := a.BaseIPC * c.IPCFactor * w.IPCFactor
+	basePipeline := instr / ipcPeak
+	memStall := l2m * a.MemPenaltyCycles / w.MLP
+	baseCycles := basePipeline + l1m*a.L1PenaltyCycles + memStall + tlbm*a.TLBPenaltyCycles
+	var perProcBW float64
+	if baseCycles > 0 {
+		perProcBW = l2m / baseCycles * a.LineBytes * a.FreqGHz // GB/s
+	}
+	util := perProcBW * float64(procs) / a.NodeMemBWGBs
+	if util > a.MaxUtilisation {
+		util = a.MaxUtilisation
+	}
+
+	cycles := basePipeline +
+		l1m*a.L1PenaltyCycles +
+		memStall/(1-util) +
+		tlbm*a.TLBPenaltyCycles
+	if cycles <= 0 {
+		cycles = 1
+	}
+
+	return Cost{
+		Instructions: instr,
+		Cycles:       cycles,
+		L1DMisses:    l1m,
+		L2DMisses:    l2m,
+		TLBMisses:    tlbm,
+		MemAccesses:  mem,
+		DurationNS:   cycles / a.FreqGHz, // cycles / (GHz) = ns
+		IPC:          instr / cycles,
+	}
+}

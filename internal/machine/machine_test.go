@@ -1,0 +1,311 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestArchValidate(t *testing.T) {
+	for _, a := range []Arch{MareNostrum(), MinoTauro()} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", a.Name, err)
+		}
+	}
+	bad := []func(*Arch){
+		func(a *Arch) { a.Name = "" },
+		func(a *Arch) { a.FreqGHz = 0 },
+		func(a *Arch) { a.SocketsPerNode = 0 },
+		func(a *Arch) { a.CoresPerSocket = -1 },
+		func(a *Arch) { a.L1KB = 0 },
+		func(a *Arch) { a.L2KB = 0 },
+		func(a *Arch) { a.LineBytes = 0 },
+		func(a *Arch) { a.BaseIPC = 0 },
+		func(a *Arch) { a.MaxUtilisation = 0 },
+		func(a *Arch) { a.MaxUtilisation = 1 },
+	}
+	for i, mutate := range bad {
+		a := MareNostrum()
+		mutate(&a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestCompilerValidate(t *testing.T) {
+	for _, c := range []Compiler{GFortran(), XLF(), IFort()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.Name, err)
+		}
+	}
+	if err := (Compiler{Name: "x", InstrFactor: 0, IPCFactor: 1}).Validate(); err == nil {
+		t.Error("zero InstrFactor accepted")
+	}
+	if err := (Compiler{InstrFactor: 1, IPCFactor: 1}).Validate(); err == nil {
+		t.Error("unnamed compiler accepted")
+	}
+}
+
+func TestCoresPerNode(t *testing.T) {
+	if got := MareNostrum().CoresPerNode(); got != 4 {
+		t.Errorf("MareNostrum cores/node = %d, want 4", got)
+	}
+	if got := MinoTauro().CoresPerNode(); got != 12 {
+		t.Errorf("MinoTauro cores/node = %d, want 12", got)
+	}
+}
+
+func TestByNameLookups(t *testing.T) {
+	if a, ok := ArchByName("MareNostrum"); !ok || a.Name != "MareNostrum" {
+		t.Error("ArchByName MareNostrum failed")
+	}
+	if _, ok := ArchByName("Cray"); ok {
+		t.Error("unknown arch accepted")
+	}
+	if c, ok := CompilerByName("xlf"); !ok || c.Name != "xlf" {
+		t.Error("CompilerByName xlf failed")
+	}
+	if _, ok := CompilerByName("pgcc"); ok {
+		t.Error("unknown compiler accepted")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	// Below capacity: the floor.
+	if got := missRate(1024, 32*1024, 0.01, 0.5); got != 0.01 {
+		t.Errorf("in-cache rate = %v", got)
+	}
+	// At exactly capacity: still the floor.
+	if got := missRate(32*1024, 32*1024, 0.01, 0.5); got != 0.01 {
+		t.Errorf("boundary rate = %v", got)
+	}
+	// Far above capacity: approaches the ceiling.
+	if got := missRate(32*1024*1024, 32*1024, 0.01, 0.5); got < 0.48 {
+		t.Errorf("streaming rate = %v", got)
+	}
+	// Degenerate cache.
+	if got := missRate(1024, 0, 0.01, 0.5); got != 0.5 {
+		t.Errorf("zero-capacity rate = %v", got)
+	}
+}
+
+func TestMissRateMonotonicProperty(t *testing.T) {
+	f := func(ws1, ws2 float64) bool {
+		ws1, ws2 = math.Abs(ws1), math.Abs(ws2)
+		if math.IsNaN(ws1) || math.IsNaN(ws2) || math.IsInf(ws1, 0) || math.IsInf(ws2, 0) {
+			return true
+		}
+		if ws1 > ws2 {
+			ws1, ws2 = ws2, ws1
+		}
+		const cap, floor, ceil = 32 * 1024, 0.01, 0.5
+		r1 := missRate(ws1, cap, floor, ceil)
+		r2 := missRate(ws2, cap, floor, ceil)
+		return r1 <= r2+1e-12 && r1 >= floor-1e-12 && r2 <= ceil+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func baseWorkload() Workload {
+	return Workload{
+		Instructions:    1e7,
+		MemFrac:         0.1,
+		WorkingSetBytes: 16 * 1024,
+		IPCFactor:       0.5,
+	}
+}
+
+func TestExecuteBasics(t *testing.T) {
+	a := MareNostrum()
+	c := GFortran()
+	cost := Execute(baseWorkload(), a, c, Sharing{ProcsPerNode: 1})
+	if cost.Instructions != 1e7 {
+		t.Errorf("instructions = %v", cost.Instructions)
+	}
+	if cost.Cycles <= 0 || cost.DurationNS <= 0 {
+		t.Errorf("non-positive cost: %+v", cost)
+	}
+	// IPC = instructions/cycles by construction.
+	if math.Abs(cost.IPC-cost.Instructions/cost.Cycles) > 1e-9 {
+		t.Errorf("IPC inconsistent: %+v", cost)
+	}
+	// duration = cycles / freq (GHz == cycles per ns).
+	if math.Abs(cost.DurationNS-cost.Cycles/a.FreqGHz) > 1e-6 {
+		t.Errorf("duration inconsistent: %+v", cost)
+	}
+	// L1-resident workload: IPC close to the achievable peak.
+	peak := a.BaseIPC * 0.5
+	if cost.IPC > peak || cost.IPC < peak*0.8 {
+		t.Errorf("IPC = %v, want near peak %v", cost.IPC, peak)
+	}
+}
+
+func TestExecuteDefaults(t *testing.T) {
+	w := baseWorkload()
+	w.IPCFactor = 0 // means 1
+	cost := Execute(w, MareNostrum(), GFortran(), Sharing{})
+	peak := MareNostrum().BaseIPC
+	if cost.IPC > peak || cost.IPC < peak*0.8 {
+		t.Errorf("default IPCFactor: IPC = %v, want near %v", cost.IPC, peak)
+	}
+}
+
+func TestExecuteCompilerTradeoff(t *testing.T) {
+	// Matched instruction and IPC factors leave the duration unchanged —
+	// the paper's CGPOP observation (Table 3).
+	a := MareNostrum()
+	w := baseWorkload()
+	ref := Execute(w, a, GFortran(), Sharing{ProcsPerNode: 1})
+	matched := Compiler{Name: "magic", InstrFactor: 0.64, IPCFactor: 0.64}
+	got := Execute(w, a, matched, Sharing{ProcsPerNode: 1})
+	if math.Abs(got.Instructions-0.64*ref.Instructions) > 1 {
+		t.Errorf("instructions not scaled: %v vs %v", got.Instructions, ref.Instructions)
+	}
+	relDur := math.Abs(got.DurationNS-ref.DurationNS) / ref.DurationNS
+	if relDur > 0.02 {
+		t.Errorf("duration moved %.2f%% with matched factors", 100*relDur)
+	}
+}
+
+func TestExecuteCacheOverflowDegradesIPC(t *testing.T) {
+	a := MareNostrum()
+	small := baseWorkload()
+	big := small
+	big.WorkingSetBytes = 64 * 1024 * 1024
+	ipcSmall := Execute(small, a, GFortran(), Sharing{ProcsPerNode: 1}).IPC
+	ipcBig := Execute(big, a, GFortran(), Sharing{ProcsPerNode: 1}).IPC
+	if ipcBig >= ipcSmall {
+		t.Errorf("cache overflow did not hurt: %v >= %v", ipcBig, ipcSmall)
+	}
+}
+
+func TestExecuteContentionMonotonic(t *testing.T) {
+	// More co-located processes can only slow a memory-bound workload.
+	a := MinoTauro()
+	w := Workload{
+		Instructions:    1e7,
+		MemFrac:         0.3,
+		WorkingSetBytes: 4 * 1024 * 1024,
+		IPCFactor:       0.6,
+		L2Floor:         0.3,
+		MLP:             10,
+	}
+	prev := math.Inf(1)
+	for procs := 1; procs <= a.CoresPerNode(); procs++ {
+		ipc := Execute(w, a, GFortran(), Sharing{ProcsPerNode: procs}).IPC
+		if ipc > prev+1e-9 {
+			t.Errorf("IPC rose when adding processes: %v at %d procs (prev %v)", ipc, procs, prev)
+		}
+		prev = ipc
+	}
+	// And a full node must be measurably slower than an empty one.
+	alone := Execute(w, a, GFortran(), Sharing{ProcsPerNode: 1}).IPC
+	full := Execute(w, a, GFortran(), Sharing{ProcsPerNode: 12}).IPC
+	if (alone-full)/alone < 0.02 {
+		t.Errorf("contention too weak: %v -> %v", alone, full)
+	}
+}
+
+func TestExecuteSharedL2Division(t *testing.T) {
+	// With a shared last-level cache, co-located processes shrink the
+	// effective capacity and raise the miss count.
+	a := MinoTauro()
+	w := Workload{
+		Instructions:    1e7,
+		MemFrac:         0.3,
+		WorkingSetBytes: 8 * 1024 * 1024, // fits 12 MB alone, not 12/6 MB
+		IPCFactor:       0.6,
+	}
+	alone := Execute(w, a, GFortran(), Sharing{ProcsPerNode: 1})
+	full := Execute(w, a, GFortran(), Sharing{ProcsPerNode: 12})
+	if full.L2DMisses <= alone.L2DMisses {
+		t.Errorf("shared L2 misses did not grow: %v -> %v", alone.L2DMisses, full.L2DMisses)
+	}
+}
+
+func TestExecutePrivateL2NoDivision(t *testing.T) {
+	a := MareNostrum() // private L2
+	w := Workload{
+		Instructions:    1e7,
+		MemFrac:         0.3,
+		WorkingSetBytes: 512 * 1024, // fits the 1 MB private L2
+		IPCFactor:       0.6,
+	}
+	alone := Execute(w, a, GFortran(), Sharing{ProcsPerNode: 1})
+	full := Execute(w, a, GFortran(), Sharing{ProcsPerNode: 4})
+	if full.L2DMisses != alone.L2DMisses {
+		t.Errorf("private L2 miss count changed with sharing: %v -> %v", alone.L2DMisses, full.L2DMisses)
+	}
+}
+
+func TestExecuteMLPReducesStalls(t *testing.T) {
+	a := MareNostrum()
+	w := Workload{
+		Instructions:    1e7,
+		MemFrac:         0.2,
+		WorkingSetBytes: 16 * 1024 * 1024,
+		IPCFactor:       0.8,
+	}
+	serial := Execute(w, a, GFortran(), Sharing{ProcsPerNode: 1})
+	w.MLP = 8
+	parallelMisses := Execute(w, a, GFortran(), Sharing{ProcsPerNode: 1})
+	if parallelMisses.Cycles >= serial.Cycles {
+		t.Errorf("MLP did not reduce cycles: %v vs %v", parallelMisses.Cycles, serial.Cycles)
+	}
+	// Raw miss counts are unchanged — MLP only overlaps the latency.
+	if parallelMisses.L2DMisses != serial.L2DMisses {
+		t.Error("MLP changed the miss count")
+	}
+}
+
+func TestExecuteFloorCeilOverrides(t *testing.T) {
+	a := MareNostrum()
+	w := Workload{
+		Instructions:    1e7,
+		MemFrac:         0.3,
+		WorkingSetBytes: 16 * 1024, // L1 resident
+		IPCFactor:       1,
+		L1Floor:         0.09,
+	}
+	cost := Execute(w, a, GFortran(), Sharing{ProcsPerNode: 1})
+	want := 1e7 * 0.3 * 0.09
+	if math.Abs(cost.L1DMisses-want) > 1 {
+		t.Errorf("L1 floor override: misses = %v, want %v", cost.L1DMisses, want)
+	}
+}
+
+func TestExecuteZeroMemWorkload(t *testing.T) {
+	a := MareNostrum()
+	w := Workload{Instructions: 1e6, MemFrac: 0, IPCFactor: 1}
+	cost := Execute(w, a, GFortran(), Sharing{ProcsPerNode: 1})
+	if cost.L1DMisses != 0 || cost.L2DMisses != 0 || cost.TLBMisses != 0 {
+		t.Errorf("zero-mem workload produced misses: %+v", cost)
+	}
+	if math.Abs(cost.IPC-a.BaseIPC) > 1e-9 {
+		t.Errorf("zero-mem IPC = %v, want %v", cost.IPC, a.BaseIPC)
+	}
+}
+
+func TestExecuteIPCNeverExceedsPeak(t *testing.T) {
+	f := func(instr, memFrac, ws, ipcf float64, procs uint8) bool {
+		instr = 1 + math.Abs(math.Mod(instr, 1e9))
+		memFrac = math.Abs(math.Mod(memFrac, 1))
+		ws = math.Abs(math.Mod(ws, 1e9))
+		ipcf = 0.1 + math.Abs(math.Mod(ipcf, 2))
+		p := 1 + int(procs%12)
+		if math.IsNaN(instr) || math.IsNaN(memFrac) || math.IsNaN(ws) || math.IsNaN(ipcf) {
+			return true
+		}
+		w := Workload{Instructions: instr, MemFrac: memFrac, WorkingSetBytes: ws, IPCFactor: ipcf}
+		a := MinoTauro()
+		cost := Execute(w, a, GFortran(), Sharing{ProcsPerNode: p})
+		peak := a.BaseIPC * ipcf
+		return cost.IPC <= peak*(1+1e-9) && cost.IPC > 0 && !math.IsNaN(cost.DurationNS)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Filmstrip renders a sequence of scatter frames — the paper's "simple
+// animation" of the tracked performance space — either as a static grid
+// (every frame side by side) or as a self-playing SVG animation that
+// cycles through the frames.
+type Filmstrip struct {
+	Title  string
+	Frames []*Scatter
+	// Columns of the static grid layout; 0 picks a near-square layout.
+	Columns int
+	// FrameSeconds is the per-frame display time of the animation; 0
+	// selects 1s.
+	FrameSeconds float64
+}
+
+// GridSVG renders all frames in a static grid.
+func (fs *Filmstrip) GridSVG() string {
+	if len(fs.Frames) == 0 {
+		return "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"10\" height=\"10\"/>\n"
+	}
+	cols := fs.Columns
+	if cols <= 0 {
+		cols = 1
+		for cols*cols < len(fs.Frames) {
+			cols++
+		}
+	}
+	rows := (len(fs.Frames) + cols - 1) / cols
+	fw, fh := fs.Frames[0].size()
+	const gap = 10
+	totalW := cols*(fw+gap) + gap
+	totalH := rows*(fh+gap) + gap + 24
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		totalW, totalH, totalW, totalH)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="#fafafa"/>`+"\n", totalW, totalH)
+	if fs.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="18" font-size="14" font-weight="bold" text-anchor="middle" fill="#222" font-family="Helvetica,Arial,sans-serif">%s</text>`+"\n",
+			totalW/2, escape(fs.Title))
+	}
+	for i, frame := range fs.Frames {
+		r, c := i/cols, i%cols
+		x := gap + c*(fw+gap)
+		y := 24 + gap + r*(fh+gap)
+		fmt.Fprintf(&sb, `<g transform="translate(%d %d)">`+"\n", x, y)
+		sb.WriteString(inner(frame.SVG()))
+		sb.WriteString("</g>\n")
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// AnimatedSVG renders a self-playing animation cycling through the frames
+// using SMIL visibility switching (supported by every major browser).
+func (fs *Filmstrip) AnimatedSVG() string {
+	if len(fs.Frames) == 0 {
+		return "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"10\" height=\"10\"/>\n"
+	}
+	sec := fs.FrameSeconds
+	if sec <= 0 {
+		sec = 1
+	}
+	w, h := fs.Frames[0].size()
+	total := sec * float64(len(fs.Frames))
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		w, h+20, w, h+20)
+	if fs.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12" text-anchor="middle" fill="#222" font-family="Helvetica,Arial,sans-serif">%s</text>`+"\n",
+			w/2, h+14, escape(fs.Title))
+	}
+	n := float64(len(fs.Frames))
+	for i, frame := range fs.Frames {
+		t0 := float64(i) / n
+		t1 := float64(i+1) / n
+		fmt.Fprintf(&sb, `<g display="none">`+"\n")
+		sb.WriteString(inner(frame.SVG()))
+		// Show this frame only during its slot of every cycle.
+		fmt.Fprintf(&sb, `<animate attributeName="display" values="none;inline;none" keyTimes="0;%.4f;%.4f" calcMode="discrete" dur="%.2fs" repeatCount="indefinite"/>`+"\n",
+			t0, t1, total)
+		sb.WriteString("</g>\n")
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// inner strips the outer <svg> element of a rendered frame so it can be
+// embedded in a group.
+func inner(svg string) string {
+	start := strings.Index(svg, ">")
+	end := strings.LastIndex(svg, "</svg>")
+	if start < 0 || end < 0 || end <= start {
+		return svg
+	}
+	return svg[start+1 : end]
+}

@@ -1,0 +1,81 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func strip3() *Filmstrip {
+	fs := &Filmstrip{Title: "anim"}
+	for i := 0; i < 3; i++ {
+		fs.Frames = append(fs.Frames, sampleScatter())
+	}
+	return fs
+}
+
+func checkXML(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("malformed SVG: %v", err)
+		}
+	}
+}
+
+func TestFilmstripGrid(t *testing.T) {
+	doc := strip3().GridSVG()
+	checkXML(t, doc)
+	// Three embedded frames, each translated into place.
+	if got := strings.Count(doc, "<g transform="); got != 3 {
+		t.Errorf("embedded frames = %d", got)
+	}
+	if !strings.Contains(doc, "anim") {
+		t.Error("title missing")
+	}
+	// No nested <svg> elements: frames are inlined.
+	if got := strings.Count(doc, "<svg"); got != 1 {
+		t.Errorf("svg elements = %d, want 1", got)
+	}
+}
+
+func TestFilmstripAnimated(t *testing.T) {
+	fs := strip3()
+	fs.FrameSeconds = 0.5
+	doc := fs.AnimatedSVG()
+	checkXML(t, doc)
+	if got := strings.Count(doc, "<animate"); got != 3 {
+		t.Errorf("animate elements = %d", got)
+	}
+	if !strings.Contains(doc, `dur="1.50s"`) {
+		t.Errorf("cycle duration missing:\n%.300s", doc)
+	}
+	// Frame slots cover [0, 1] in thirds.
+	if !strings.Contains(doc, `keyTimes="0;0.0000;0.3333"`) {
+		t.Error("first frame slot wrong")
+	}
+	if !strings.Contains(doc, `keyTimes="0;0.6667;1.0000"`) {
+		t.Error("last frame slot wrong")
+	}
+}
+
+func TestFilmstripEmpty(t *testing.T) {
+	fs := &Filmstrip{}
+	checkXML(t, fs.GridSVG())
+	checkXML(t, fs.AnimatedSVG())
+}
+
+func TestFilmstripColumns(t *testing.T) {
+	fs := strip3()
+	fs.Columns = 1
+	doc := fs.GridSVG()
+	checkXML(t, doc)
+	// Single column: all frames share x offset 10 (the gap).
+	if got := strings.Count(doc, `translate(10 `); got != 3 {
+		t.Errorf("single-column offsets = %d", got)
+	}
+}

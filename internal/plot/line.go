@@ -1,0 +1,215 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one line of a trend chart: the evolution of a metric for one
+// tracked region along the frame sequence.
+type Series struct {
+	Name string
+	// Y holds one value per x position; NaN marks a gap (region absent).
+	Y []float64
+	// Class selects the line colour (tracked region id).
+	Class int
+}
+
+// LineChart renders per-region performance trends — the paper's Figures 7,
+// 10, 11 and 12.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XTicks labels the x positions (experiment labels: "128-tasks",
+	// "Class A", "block-64", ...).
+	XTicks []string
+	Series []Series
+	YLog   bool
+	// Width and Height of the SVG canvas in pixels; zero selects 720x420.
+	Width, Height int
+}
+
+func (l *LineChart) size() (int, int) {
+	w, h := l.Width, l.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 420
+	}
+	return w, h
+}
+
+func (l *LineChart) xCount() int {
+	n := len(l.XTicks)
+	for _, s := range l.Series {
+		if len(s.Y) > n {
+			n = len(s.Y)
+		}
+	}
+	return n
+}
+
+func (l *LineChart) yValues() []float64 {
+	var ys []float64
+	for _, s := range l.Series {
+		for _, v := range s.Y {
+			if !math.IsNaN(v) {
+				if l.YLog {
+					v = logSafe(v)
+				}
+				ys = append(ys, v)
+			}
+		}
+	}
+	return ys
+}
+
+// SVG renders the chart.
+func (l *LineChart) SVG() string {
+	w, h := l.size()
+	n := l.xCount()
+	if n < 1 {
+		n = 1
+	}
+	yr := rangeOf(l.yValues(), 0.08)
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(h - marginTop - marginBottom)
+	px := func(i int) float64 {
+		if n == 1 {
+			return float64(marginLeft) + plotW/2
+		}
+		return float64(marginLeft) + float64(i)/float64(n-1)*plotW
+	}
+	py := func(y float64) float64 {
+		if l.YLog {
+			y = logSafe(y)
+		}
+		return float64(marginTop) + (1-(y-yr.lo)/yr.width())*plotH
+	}
+
+	var sb strings.Builder
+	svgHeader(&sb, w, h, l.Title)
+	// Y axis with ticks; X axis with categorical labels.
+	left, right := float64(marginLeft), float64(w-marginRight)
+	top, bottom := float64(marginTop), float64(h-marginBottom)
+	fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#888"/>`+"\n",
+		left, top, right-left, bottom-top)
+	for _, t := range niceTicks(yr, 6) {
+		y := float64(marginTop) + (1-(t-yr.lo)/yr.width())*plotH
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`+"\n", left, y, right, y)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end" fill="#444">%s</text>`+"\n",
+			left-7, y+3, escape(tickLabel(t, l.YLog)))
+	}
+	step := 1
+	if n > 12 {
+		step = (n + 11) / 12
+	}
+	for i := 0; i < n; i++ {
+		x := px(i)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#888"/>`+"\n", x, bottom, x, bottom+4)
+		if i%step == 0 && i < len(l.XTicks) {
+			fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" fill="#444">%s</text>`+"\n",
+				x, bottom+16, escape(l.XTicks[i]))
+		}
+	}
+	if l.XLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle" fill="#222">%s</text>`+"\n",
+			(left+right)/2, bottom+34, escape(l.XLabel))
+	}
+	if l.YLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle" fill="#222" transform="rotate(-90 %.1f %.1f)">%s</text>`+"\n",
+			left-46, (top+bottom)/2, left-46, (top+bottom)/2, escape(l.YLabel))
+	}
+
+	// Lines and markers.
+	for _, s := range l.Series {
+		color := ColorFor(s.Class)
+		var path strings.Builder
+		pen := false
+		for i, v := range s.Y {
+			if math.IsNaN(v) {
+				pen = false
+				continue
+			}
+			cmd := "L"
+			if !pen {
+				cmd = "M"
+				pen = true
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(i), py(v))
+		}
+		fmt.Fprintf(&sb, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n", strings.TrimSpace(path.String()), color)
+		for i, v := range s.Y {
+			if !math.IsNaN(v) {
+				fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(i), py(v), color)
+			}
+		}
+	}
+	// Legend.
+	x := w - marginRight + 14
+	y := marginTop + 6
+	for _, s := range l.Series {
+		fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", x, y, ColorFor(s.Class))
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="11" fill="#333">%s</text>`+"\n", x+14, y+9, escape(s.Name))
+		y += 16
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// ASCII renders the chart as a character grid (zero size selects 72x20).
+func (l *LineChart) ASCII(cols, rows int) string {
+	if cols <= 0 {
+		cols = 72
+	}
+	if rows <= 0 {
+		rows = 20
+	}
+	n := l.xCount()
+	yr := rangeOf(l.yValues(), 0.05)
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for _, s := range l.Series {
+		g := GlyphFor(s.Class)
+		for i, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			if l.YLog {
+				v = logSafe(v)
+			}
+			c := 0
+			if n > 1 {
+				c = i * (cols - 1) / (n - 1)
+			}
+			r := int((1 - (v-yr.lo)/yr.width()) * float64(rows-1))
+			if r >= 0 && r < rows && c >= 0 && c < cols {
+				grid[r][c] = g
+			}
+		}
+	}
+	var sb strings.Builder
+	if l.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", l.Title)
+	}
+	for r := 0; r < rows; r++ {
+		sb.WriteByte('|')
+		sb.Write(grid[r])
+		sb.WriteString("|\n")
+	}
+	fmt.Fprintf(&sb, "Y: %s [%s .. %s]  X: %s",
+		l.YLabel, formatTick(unlog(yr.lo, l.YLog)), formatTick(unlog(yr.hi, l.YLog)), l.XLabel)
+	if len(l.XTicks) > 0 {
+		fmt.Fprintf(&sb, " (%s .. %s)", l.XTicks[0], l.XTicks[len(l.XTicks)-1])
+	}
+	sb.WriteByte('\n')
+	for _, s := range l.Series {
+		fmt.Fprintf(&sb, "  %c = %s\n", GlyphFor(s.Class), s.Name)
+	}
+	return sb.String()
+}

@@ -1,0 +1,146 @@
+// Package plot renders the paper's visual artefacts without external
+// dependencies: scatter "frames" of the performance space (Figs. 1, 6, 8,
+// 9), trend line charts (Figs. 7, 10-12), cluster timelines (Fig. 4) and
+// multi-frame SVG filmstrips (the tool's "simple animation"). Every
+// renderer has an SVG backend for files and an ASCII backend for
+// terminals; both are deterministic so outputs can be diffed across runs.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// palette is a categorical colour cycle for cluster/region identifiers,
+// chosen for contrast on white. Index 0 (noise) renders grey.
+var palette = []string{
+	"#4363d8", "#e6194B", "#3cb44b", "#ffb000", "#911eb4",
+	"#42d4f4", "#f58231", "#607d3b", "#f032e6", "#9A6324",
+	"#469990", "#800000", "#808000", "#000075", "#e6beff",
+	"#aaffc3", "#ffd8b1", "#fffac8",
+}
+
+// ColorFor returns the colour of class id (0 = noise/untracked = grey).
+func ColorFor(id int) string {
+	if id <= 0 {
+		return "#bbbbbb"
+	}
+	return palette[(id-1)%len(palette)]
+}
+
+// glyphs is the ASCII counterpart of the palette.
+const glyphs = "123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// GlyphFor returns the terminal glyph of class id (0 = noise = '.').
+func GlyphFor(id int) byte {
+	if id <= 0 {
+		return '.'
+	}
+	return glyphs[(id-1)%len(glyphs)]
+}
+
+// Range is a plotting interval.
+type axisRange struct{ lo, hi float64 }
+
+func (r axisRange) width() float64 { return r.hi - r.lo }
+
+// rangeOf computes the padded data range of xs, falling back to [0,1] for
+// empty or degenerate data.
+func rangeOf(xs []float64, pad float64) axisRange {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if lo > hi {
+		return axisRange{0, 1}
+	}
+	if lo == hi {
+		d := math.Abs(lo) * 0.1
+		if d == 0 {
+			d = 1
+		}
+		return axisRange{lo - d, hi + d}
+	}
+	w := hi - lo
+	return axisRange{lo - pad*w, hi + pad*w}
+}
+
+// niceTicks returns ~n human-friendly tick positions covering r.
+func niceTicks(r axisRange, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	raw := r.width() / float64(n)
+	if raw <= 0 {
+		return []float64{r.lo}
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch norm := raw / mag; {
+	case norm < 1.5:
+		step = mag
+	case norm < 3:
+		step = 2 * mag
+	case norm < 7:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	first := math.Ceil(r.lo/step) * step
+	var ticks []float64
+	for v := first; v <= r.hi+step*1e-9; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// formatTick renders a tick label compactly, with SI-ish suffixes for
+// large magnitudes (instruction counts).
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return trimZero(fmt.Sprintf("%.1fG", v/1e9))
+	case av >= 1e6:
+		return trimZero(fmt.Sprintf("%.1fM", v/1e6))
+	case av >= 1e3:
+		return trimZero(fmt.Sprintf("%.1fk", v/1e3))
+	case av == 0:
+		return "0"
+	case av < 0.01:
+		return fmt.Sprintf("%.1e", v)
+	default:
+		return trimZero(fmt.Sprintf("%.2f", v))
+	}
+}
+
+// trimZero turns "4.0M" into "4M" and "0.50" into "0.5".
+func trimZero(s string) string {
+	num, suffix := s, ""
+	if n := len(s); n > 0 && (s[n-1] < '0' || s[n-1] > '9') {
+		num, suffix = s[:n-1], s[n-1:]
+	}
+	if !strings.Contains(num, ".") {
+		return s
+	}
+	num = strings.TrimRight(num, "0")
+	num = strings.TrimSuffix(num, ".")
+	return num + suffix
+}
+
+// logSafe maps v onto a log10 axis, clamping non-positive values.
+func logSafe(v float64) float64 {
+	if v < 1e-12 {
+		v = 1e-12
+	}
+	return math.Log10(v)
+}

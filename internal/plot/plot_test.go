@@ -1,0 +1,286 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestColorFor(t *testing.T) {
+	if ColorFor(0) != "#bbbbbb" || ColorFor(-1) != "#bbbbbb" {
+		t.Error("noise colour wrong")
+	}
+	if ColorFor(1) == ColorFor(2) {
+		t.Error("adjacent classes share a colour")
+	}
+	// Palette cycles without panicking.
+	if ColorFor(1) != ColorFor(1+len(palette)) {
+		t.Error("palette does not cycle")
+	}
+}
+
+func TestGlyphFor(t *testing.T) {
+	if GlyphFor(0) != '.' {
+		t.Error("noise glyph wrong")
+	}
+	if GlyphFor(1) != '1' || GlyphFor(10) != 'a' {
+		t.Errorf("glyphs: %c %c", GlyphFor(1), GlyphFor(10))
+	}
+	if GlyphFor(1) != GlyphFor(1+len(glyphs)) {
+		t.Error("glyphs do not cycle")
+	}
+}
+
+func TestRangeOf(t *testing.T) {
+	r := rangeOf([]float64{1, 5, 3}, 0)
+	if r.lo != 1 || r.hi != 5 {
+		t.Errorf("range = %+v", r)
+	}
+	// Padding widens symmetrically.
+	r = rangeOf([]float64{0, 10}, 0.1)
+	if r.lo != -1 || r.hi != 11 {
+		t.Errorf("padded range = %+v", r)
+	}
+	// Degenerate and empty inputs stay usable.
+	r = rangeOf([]float64{4, 4}, 0.1)
+	if r.width() <= 0 {
+		t.Errorf("degenerate range = %+v", r)
+	}
+	r = rangeOf(nil, 0.1)
+	if r.lo != 0 || r.hi != 1 {
+		t.Errorf("empty range = %+v", r)
+	}
+	// NaN and Inf are ignored.
+	r = rangeOf([]float64{math.NaN(), 2, math.Inf(1), 4}, 0)
+	if r.lo != 2 || r.hi != 4 {
+		t.Errorf("NaN-tolerant range = %+v", r)
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(axisRange{0, 10}, 5)
+	if len(ticks) < 3 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 10+1e-9 {
+		t.Errorf("ticks escape the range: %v", ticks)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		2.5e9:   "2.5G",
+		4e6:     "4M",
+		1500:    "1.5k",
+		0.5:     "0.5",
+		0.001:   "1.0e-03",
+		1.25:    "1.25",
+		1000000: "1M",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTrimZero(t *testing.T) {
+	cases := map[string]string{
+		"4.0M":  "4M",
+		"0.50":  "0.5",
+		"1.25":  "1.25",
+		"10":    "10",
+		"3.00k": "3k",
+	}
+	for in, want := range cases {
+		if got := trimZero(in); got != want {
+			t.Errorf("trimZero(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func sampleScatter() *Scatter {
+	s := &Scatter{Title: "t < test >", XLabel: "IPC", YLabel: "Instructions", YLog: true}
+	for i := 0; i < 50; i++ {
+		s.Points = append(s.Points, ScatterPoint{X: float64(i % 10), Y: 1e6 * float64(1+i), Class: i % 3})
+	}
+	return s
+}
+
+func TestScatterSVGWellFormed(t *testing.T) {
+	svg := sampleScatter().SVG()
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("not an SVG document")
+	}
+	// Must be well-formed XML (this catches unescaped titles/labels).
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Error("no points rendered")
+	}
+	if !strings.Contains(svg, "&lt; test &gt;") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "Region 1") || !strings.Contains(svg, "noise") {
+		t.Error("legend missing")
+	}
+}
+
+func TestScatterASCII(t *testing.T) {
+	out := sampleScatter().ASCII(40, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + 10 grid rows + axis line.
+	if len(lines) != 12 {
+		t.Fatalf("ascii lines = %d:\n%s", len(lines), out)
+	}
+	for _, l := range lines[1:11] {
+		if len(l) != 42 { // | + 40 + |
+			t.Fatalf("row width = %d", len(l))
+		}
+	}
+	if !strings.ContainsAny(out, "12") {
+		t.Error("no class glyphs rendered")
+	}
+}
+
+func TestScatterClassNames(t *testing.T) {
+	s := sampleScatter()
+	s.ClassNames = map[int]string{1: "solver"}
+	if !strings.Contains(s.SVG(), "solver") {
+		t.Error("custom class name missing from legend")
+	}
+}
+
+func sampleLine() *LineChart {
+	return &LineChart{
+		Title:  "trend",
+		XLabel: "ranks",
+		YLabel: "IPC",
+		XTicks: []string{"a", "b", "c"},
+		Series: []Series{
+			{Name: "Region 1", Y: []float64{1, 0.9, 0.8}, Class: 1},
+			{Name: "Region 2", Y: []float64{0.5, math.NaN(), 0.6}, Class: 2},
+		},
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	svg := sampleLine().SVG()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("line chart SVG malformed: %v", err)
+		}
+	}
+	if !strings.Contains(svg, "<path") {
+		t.Error("no line paths")
+	}
+	if !strings.Contains(svg, "Region 2") {
+		t.Error("legend entry missing")
+	}
+	// NaN gap: region 2's path contains two Move commands.
+	if got := strings.Count(svg, `d="M`); got < 2 {
+		t.Errorf("expected separate path segments, got %d paths", got)
+	}
+}
+
+func TestLineChartASCII(t *testing.T) {
+	out := sampleLine().ASCII(30, 8)
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Errorf("glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Region 1") {
+		t.Error("legend missing")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	lc := &LineChart{Title: "empty"}
+	if svg := lc.SVG(); !strings.HasPrefix(svg, "<svg") {
+		t.Error("empty chart should still render")
+	}
+}
+
+func sampleTimeline() *Timeline {
+	tl := &Timeline{Title: "seq", XLabel: "time"}
+	for task := 0; task < 4; task++ {
+		for i := 0; i < 5; i++ {
+			tl.Spans = append(tl.Spans, TimeSpan{
+				Task:  task,
+				Start: float64(i * 10),
+				End:   float64(i*10 + 8),
+				Class: i%2 + 1,
+			})
+		}
+	}
+	return tl
+}
+
+func TestTimelineSVG(t *testing.T) {
+	svg := sampleTimeline().SVG()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("timeline SVG malformed: %v", err)
+		}
+	}
+	if strings.Count(svg, "<rect") < 20 {
+		t.Error("span rectangles missing")
+	}
+	if !strings.Contains(svg, "task 0") {
+		t.Error("task labels missing")
+	}
+}
+
+func TestTimelineASCII(t *testing.T) {
+	out := sampleTimeline().ASCII(40, 8)
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Errorf("timeline glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "4 tasks") {
+		t.Errorf("footer missing:\n%s", out)
+	}
+	empty := &Timeline{}
+	if got := empty.ASCII(10, 4); !strings.Contains(got, "empty") {
+		t.Errorf("empty timeline = %q", got)
+	}
+}
+
+func TestTimelineSampling(t *testing.T) {
+	tl := &Timeline{}
+	for task := 0; task < 100; task++ {
+		tl.Spans = append(tl.Spans, TimeSpan{Task: task, Start: 0, End: 1, Class: 1})
+	}
+	out := tl.ASCII(20, 10)
+	rows := strings.Count(out, "|") / 2
+	if rows > 10 {
+		t.Errorf("timeline did not sample tasks: %d rows", rows)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape(`a<b>&"c"`); got != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Errorf("escape = %q", got)
+	}
+}

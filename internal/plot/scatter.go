@@ -1,0 +1,189 @@
+package plot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ScatterPoint is one burst in the performance space, classified by its
+// cluster or tracked-region id (0 = noise).
+type ScatterPoint struct {
+	X, Y  float64
+	Class int
+}
+
+// Scatter renders one frame of the performance space — the paper's Figures
+// 1, 6, 8 and 9.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Points []ScatterPoint
+	// XLog/YLog select logarithmic axes (the paper's instruction axes).
+	XLog, YLog bool
+	// Width and Height of the SVG canvas in pixels; zero selects 640x480.
+	Width, Height int
+	// ClassNames optionally labels legend entries (index = class id).
+	ClassNames map[int]string
+}
+
+const (
+	marginLeft   = 64
+	marginRight  = 150
+	marginTop    = 36
+	marginBottom = 46
+)
+
+func (s *Scatter) size() (int, int) {
+	w, h := s.Width, s.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 480
+	}
+	return w, h
+}
+
+// classes returns the sorted distinct class ids present.
+func (s *Scatter) classes() []int {
+	seen := map[int]bool{}
+	for _, p := range s.Points {
+		seen[p.Class] = true
+	}
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// transformed returns the axis values after the optional log transform.
+func (s *Scatter) transformed() (xs, ys []float64) {
+	xs = make([]float64, len(s.Points))
+	ys = make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		x, y := p.X, p.Y
+		if s.XLog {
+			x = logSafe(x)
+		}
+		if s.YLog {
+			y = logSafe(y)
+		}
+		xs[i], ys[i] = x, y
+	}
+	return xs, ys
+}
+
+// SVG renders the scatter plot.
+func (s *Scatter) SVG() string {
+	w, h := s.size()
+	xs, ys := s.transformed()
+	xr := rangeOf(xs, 0.05)
+	yr := rangeOf(ys, 0.05)
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(h - marginTop - marginBottom)
+	px := func(x float64) float64 { return float64(marginLeft) + (x-xr.lo)/xr.width()*plotW }
+	py := func(y float64) float64 { return float64(marginTop) + (1-(y-yr.lo)/yr.width())*plotH }
+
+	var sb strings.Builder
+	svgHeader(&sb, w, h, s.Title)
+	svgAxes(&sb, w, h, s.XLabel, s.YLabel, xr, yr, s.XLog, s.YLog, px, py)
+	for i, p := range s.Points {
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="%s" fill-opacity="0.75"/>`+"\n",
+			px(xs[i]), py(ys[i]), ColorFor(p.Class))
+	}
+	s.legend(&sb, w)
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func (s *Scatter) legend(sb *strings.Builder, w int) {
+	x := w - marginRight + 14
+	y := marginTop + 6
+	for _, c := range s.classes() {
+		name := s.ClassNames[c]
+		if name == "" {
+			if c == 0 {
+				name = "noise"
+			} else {
+				name = fmt.Sprintf("Region %d", c)
+			}
+		}
+		fmt.Fprintf(sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", x, y, ColorFor(c))
+		fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="11" fill="#333">%s</text>`+"\n", x+14, y+9, escape(name))
+		y += 16
+	}
+}
+
+// ASCII renders the scatter as a character grid of the given size (zero
+// selects 78x24). Each cell shows the glyph of the dominant class in it.
+func (s *Scatter) ASCII(cols, rows int) string {
+	if cols <= 0 {
+		cols = 78
+	}
+	if rows <= 0 {
+		rows = 24
+	}
+	xs, ys := s.transformed()
+	xr := rangeOf(xs, 0.02)
+	yr := rangeOf(ys, 0.02)
+	// counts[row][col][class]
+	type cellCount map[int]int
+	grid := make([]cellCount, rows*cols)
+	for i := range s.Points {
+		c := int((xs[i] - xr.lo) / xr.width() * float64(cols-1))
+		r := int((1 - (ys[i]-yr.lo)/yr.width()) * float64(rows-1))
+		if c < 0 || c >= cols || r < 0 || r >= rows {
+			continue
+		}
+		if grid[r*cols+c] == nil {
+			grid[r*cols+c] = cellCount{}
+		}
+		grid[r*cols+c][s.Points[i].Class]++
+	}
+	var sb strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", s.Title)
+	}
+	for r := 0; r < rows; r++ {
+		sb.WriteByte('|')
+		for c := 0; c < cols; c++ {
+			cell := grid[r*cols+c]
+			if len(cell) == 0 {
+				sb.WriteByte(' ')
+				continue
+			}
+			best, bestN := 0, -1
+			ids := make([]int, 0, len(cell))
+			for id := range cell {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				if cell[id] > bestN {
+					best, bestN = id, cell[id]
+				}
+			}
+			sb.WriteByte(GlyphFor(best))
+		}
+		sb.WriteString("|\n")
+	}
+	fmt.Fprintf(&sb, "X: %s [%s .. %s]   Y: %s [%s .. %s]\n",
+		s.XLabel, formatTick(unlog(xr.lo, s.XLog)), formatTick(unlog(xr.hi, s.XLog)),
+		s.YLabel, formatTick(unlog(yr.lo, s.YLog)), formatTick(unlog(yr.hi, s.YLog)))
+	return sb.String()
+}
+
+func unlog(v float64, isLog bool) float64 {
+	if isLog {
+		return pow10(v)
+	}
+	return v
+}
+
+func pow10(v float64) float64 {
+	return mathPow10(v)
+}

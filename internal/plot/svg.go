@@ -1,0 +1,68 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// svgHeader opens the document and draws the background and title.
+func svgHeader(sb *strings.Builder, w, h int, title string) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="Helvetica,Arial,sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	if title != "" {
+		fmt.Fprintf(sb, `<text x="%d" y="20" font-size="14" font-weight="bold" text-anchor="middle" fill="#222">%s</text>`+"\n", w/2, escape(title))
+	}
+}
+
+// svgAxes draws the plot box, ticks, grid lines and axis labels. px/py map
+// data coordinates (already log-transformed when applicable) to pixels.
+func svgAxes(sb *strings.Builder, w, h int, xlabel, ylabel string,
+	xr, yr axisRange, xlog, ylog bool, px, py func(float64) float64) {
+
+	left, right := float64(marginLeft), float64(w-marginRight)
+	top, bottom := float64(marginTop), float64(h-marginBottom)
+	fmt.Fprintf(sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#888"/>`+"\n",
+		left, top, right-left, bottom-top)
+
+	for _, t := range niceTicks(xr, 6) {
+		x := px(t)
+		fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`+"\n", x, top, x, bottom)
+		fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#888"/>`+"\n", x, bottom, x, bottom+4)
+		fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle" fill="#444">%s</text>`+"\n",
+			x, bottom+16, escape(tickLabel(t, xlog)))
+	}
+	for _, t := range niceTicks(yr, 6) {
+		y := py(t)
+		fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eee"/>`+"\n", left, y, right, y)
+		fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#888"/>`+"\n", left-4, y, left, y)
+		fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end" fill="#444">%s</text>`+"\n",
+			left-7, y+3, escape(tickLabel(t, ylog)))
+	}
+	if xlabel != "" {
+		fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle" fill="#222">%s</text>`+"\n",
+			(left+right)/2, bottom+34, escape(xlabel))
+	}
+	if ylabel != "" {
+		fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle" fill="#222" transform="rotate(-90 %.1f %.1f)">%s</text>`+"\n",
+			left-46, (top+bottom)/2, left-46, (top+bottom)/2, escape(ylabel))
+	}
+}
+
+// tickLabel formats a tick value, undoing the log transform for display.
+func tickLabel(t float64, isLog bool) string {
+	if isLog {
+		return formatTick(math.Pow(10, t))
+	}
+	return formatTick(t)
+}
+
+// mathPow10 exists so scatter.go can avoid importing math twice through
+// helper indirection.
+func mathPow10(v float64) float64 { return math.Pow(10, v) }
+
+// escape sanitises text content for SVG.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,165 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// TimeSpan is one coloured interval of a task timeline: a burst of a given
+// cluster/region executed by a task over [Start, End).
+type TimeSpan struct {
+	Task       int
+	Start, End float64
+	Class      int
+}
+
+// Timeline renders the temporal sequence of clusters per task — the
+// paper's Figure 4, a Paraver-style view where the Y axis is the task and
+// the X axis is time, coloured by cluster.
+type Timeline struct {
+	Title  string
+	XLabel string
+	Spans  []TimeSpan
+	// Width and Height of the SVG canvas; zero selects 760x360.
+	Width, Height int
+}
+
+func (t *Timeline) size() (int, int) {
+	w, h := t.Width, t.Height
+	if w <= 0 {
+		w = 760
+	}
+	if h <= 0 {
+		h = 360
+	}
+	return w, h
+}
+
+func (t *Timeline) extent() (tasks []int, lo, hi float64) {
+	seen := map[int]bool{}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range t.Spans {
+		seen[s.Task] = true
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+	}
+	for task := range seen {
+		tasks = append(tasks, task)
+	}
+	sort.Ints(tasks)
+	if lo > hi {
+		lo, hi = 0, 1
+	}
+	return tasks, lo, hi
+}
+
+// SVG renders the timeline.
+func (t *Timeline) SVG() string {
+	w, h := t.size()
+	tasks, lo, hi := t.extent()
+	if len(tasks) == 0 {
+		tasks = []int{0}
+	}
+	row := map[int]int{}
+	for i, task := range tasks {
+		row[task] = i
+	}
+	left, right := 70.0, float64(w-20)
+	top, bottom := float64(marginTop), float64(h-marginBottom)
+	rowH := (bottom - top) / float64(len(tasks))
+	px := func(x float64) float64 {
+		if hi == lo {
+			return left
+		}
+		return left + (x-lo)/(hi-lo)*(right-left)
+	}
+
+	var sb strings.Builder
+	svgHeader(&sb, w, h, t.Title)
+	fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#888"/>`+"\n",
+		left, top, right-left, bottom-top)
+	for _, s := range t.Spans {
+		r, ok := row[s.Task]
+		if !ok {
+			continue
+		}
+		x0, x1 := px(s.Start), px(s.End)
+		if x1-x0 < 0.5 {
+			x1 = x0 + 0.5
+		}
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x0, top+float64(r)*rowH, x1-x0, rowH*0.92, ColorFor(s.Class))
+	}
+	// Task labels: first, middle, last.
+	marks := []int{0, len(tasks) / 2, len(tasks) - 1}
+	for _, i := range marks {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end" fill="#444">task %d</text>`+"\n",
+			left-6, top+float64(i)*rowH+rowH*0.7, tasks[i])
+	}
+	if t.XLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle" fill="#222">%s</text>`+"\n",
+			(left+right)/2, bottom+24, escape(t.XLabel))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// ASCII renders the timeline as rows of glyphs (one row per task, sampled
+// to at most `rows` tasks).
+func (t *Timeline) ASCII(cols, rows int) string {
+	if cols <= 0 {
+		cols = 78
+	}
+	if rows <= 0 {
+		rows = 16
+	}
+	tasks, lo, hi := t.extent()
+	if len(tasks) == 0 || hi <= lo {
+		return "(empty timeline)\n"
+	}
+	step := 1
+	if len(tasks) > rows {
+		step = (len(tasks) + rows - 1) / rows
+	}
+	keep := map[int]int{} // task -> output row
+	outRows := 0
+	for i := 0; i < len(tasks); i += step {
+		keep[tasks[i]] = outRows
+		outRows++
+	}
+	grid := make([][]byte, outRows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for _, s := range t.Spans {
+		r, ok := keep[s.Task]
+		if !ok {
+			continue
+		}
+		c0 := int((s.Start - lo) / (hi - lo) * float64(cols-1))
+		c1 := int((s.End - lo) / (hi - lo) * float64(cols-1))
+		g := GlyphFor(s.Class)
+		for c := c0; c <= c1 && c < cols; c++ {
+			if c >= 0 {
+				grid[r][c] = g
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	for r := 0; r < outRows; r++ {
+		sb.WriteByte('|')
+		sb.Write(grid[r])
+		sb.WriteString("|\n")
+	}
+	fmt.Fprintf(&sb, "%d tasks (1 row per %d), time %s .. %s\n", len(tasks), step, formatTick(lo), formatTick(hi))
+	return sb.String()
+}

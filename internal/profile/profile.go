@@ -1,0 +1,231 @@
+// Package profile implements the baseline the paper positions itself
+// against: classic profile-based multi-experiment comparison, where
+// performance data is summarised as per-code-region averages (the
+// SCALASCA "performance algebra" / PerfExplorer / phase-profiling model of
+// Section 5).
+//
+// A profile aggregates every burst of one call-stack reference into a
+// single row: invocation count, total/mean duration, mean IPC. Comparing
+// two experiments subtracts such profiles. The paper's core criticism —
+// "one same section of code can exhibit different behaviors, thus making
+// averages will hide divergent performance trends" — is made measurable
+// here: each row also carries dispersion and bimodality statistics, so the
+// library can quantify exactly what the averages are hiding and the
+// comparison against the tracking approach can be run programmatically.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"perftrack/internal/metrics"
+	"perftrack/internal/stats"
+	"perftrack/internal/trace"
+)
+
+// Row is the aggregate of one code region (one call-stack reference) in
+// one experiment — what a traditional profiler reports.
+type Row struct {
+	Stack trace.CallstackRef
+	// Count is the number of invocations (bursts).
+	Count int
+	// TotalDurationNS and MeanDurationNS summarise the time.
+	TotalDurationNS float64
+	MeanDurationNS  float64
+	// MeanIPC and MeanInstructions are the per-invocation averages a
+	// profiler would report.
+	MeanIPC          float64
+	MeanInstructions float64
+	// StdIPC is the dispersion hidden behind MeanIPC.
+	StdIPC float64
+	// BimodalityIPC is Sarle's bimodality coefficient of the IPC sample:
+	// (skewness^2 + 1) / kurtosis. Values above ~0.555 (the uniform
+	// distribution's coefficient) indicate multi-modal behaviour that the
+	// mean misrepresents.
+	BimodalityIPC float64
+}
+
+// Profile is the per-region summary of one experiment.
+type Profile struct {
+	Label string
+	Rows  []Row
+}
+
+// BimodalityThreshold is Sarle's uniform-distribution reference value:
+// samples whose coefficient exceeds it are suspect of multi-modality.
+const BimodalityThreshold = 5.0 / 9.0
+
+// New aggregates a trace into a profile, one row per distinct call-stack
+// reference, ordered by decreasing total duration.
+func New(t *trace.Trace) *Profile {
+	type acc struct {
+		count    int
+		totalDur float64
+		ipcs     []float64
+		instrs   []float64
+	}
+	byStack := map[trace.CallstackRef]*acc{}
+	for _, b := range t.Bursts {
+		a := byStack[b.Stack]
+		if a == nil {
+			a = &acc{}
+			byStack[b.Stack] = a
+		}
+		a.count++
+		a.totalDur += float64(b.DurationNS)
+		a.ipcs = append(a.ipcs, metrics.IPC.Eval(b.Sample()))
+		a.instrs = append(a.instrs, metrics.Instructions.Eval(b.Sample()))
+	}
+	p := &Profile{Label: t.Meta.Label}
+	for st, a := range byStack {
+		row := Row{
+			Stack:            st,
+			Count:            a.count,
+			TotalDurationNS:  a.totalDur,
+			MeanDurationNS:   a.totalDur / float64(a.count),
+			MeanIPC:          stats.Mean(a.ipcs),
+			MeanInstructions: stats.Mean(a.instrs),
+			StdIPC:           stats.StdDev(a.ipcs),
+			BimodalityIPC:    bimodality(a.ipcs),
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	sort.Slice(p.Rows, func(i, j int) bool {
+		if p.Rows[i].TotalDurationNS != p.Rows[j].TotalDurationNS {
+			return p.Rows[i].TotalDurationNS > p.Rows[j].TotalDurationNS
+		}
+		return lessStack(p.Rows[i].Stack, p.Rows[j].Stack)
+	})
+	return p
+}
+
+func lessStack(a, b trace.CallstackRef) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Function < b.Function
+}
+
+// bimodality computes Sarle's bimodality coefficient in its asymptotic
+// form b = (g1^2 + 1) / (g2 + 3) over the population moments, where g1 is
+// the skewness and g2 the excess kurtosis. A uniform distribution scores
+// exactly 5/9 (the threshold), a normal one 1/3, and a clean two-mode
+// mixture approaches 1. Samples smaller than 4 or with zero variance
+// report 0.
+func bimodality(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 4 {
+		return 0
+	}
+	m := stats.Mean(xs)
+	var m2, m3, m4 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+		m4 += d * d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	if m2 == 0 {
+		return 0
+	}
+	g1 := m3 / math.Pow(m2, 1.5)
+	g2 := m4/(m2*m2) - 3
+	denom := g2 + 3
+	if denom <= 0 {
+		return 0
+	}
+	return (g1*g1 + 1) / denom
+}
+
+// Find returns the row of a reference, or nil.
+func (p *Profile) Find(st trace.CallstackRef) *Row {
+	for i := range p.Rows {
+		if p.Rows[i].Stack == st {
+			return &p.Rows[i]
+		}
+	}
+	return nil
+}
+
+// MultimodalRows returns the rows whose IPC distribution looks
+// multi-modal — the regions whose profile average is actively misleading.
+func (p *Profile) MultimodalRows() []Row {
+	var out []Row
+	for _, r := range p.Rows {
+		if r.BimodalityIPC > BimodalityThreshold {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Delta is the per-region difference between two experiments, the
+// "performance algebra" subtraction of SCALASCA.
+type Delta struct {
+	Stack trace.CallstackRef
+	// A and B are the rows of each experiment (nil when absent).
+	A, B *Row
+	// DurationRatio is B's total duration over A's (0 when undefined).
+	DurationRatio float64
+	// IPCRatio is B's mean IPC over A's (0 when undefined).
+	IPCRatio float64
+}
+
+// Compare subtracts profile a from profile b region by region.
+func Compare(a, b *Profile) []Delta {
+	refs := map[trace.CallstackRef]bool{}
+	for _, r := range a.Rows {
+		refs[r.Stack] = true
+	}
+	for _, r := range b.Rows {
+		refs[r.Stack] = true
+	}
+	ordered := make([]trace.CallstackRef, 0, len(refs))
+	for st := range refs {
+		ordered = append(ordered, st)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return lessStack(ordered[i], ordered[j]) })
+	var out []Delta
+	for _, st := range ordered {
+		d := Delta{Stack: st, A: a.Find(st), B: b.Find(st)}
+		if d.A != nil && d.B != nil {
+			if d.A.TotalDurationNS > 0 {
+				d.DurationRatio = d.B.TotalDurationNS / d.A.TotalDurationNS
+			}
+			if d.A.MeanIPC > 0 {
+				d.IPCRatio = d.B.MeanIPC / d.A.MeanIPC
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// String renders the profile as a classic flat profile listing.
+func (p *Profile) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "flat profile of %s (%d regions)\n", p.Label, len(p.Rows))
+	fmt.Fprintf(&sb, "%-34s %8s %12s %10s %8s %8s %6s\n",
+		"region", "calls", "total(ms)", "mean(ms)", "IPC", "sd(IPC)", "bimod")
+	for _, r := range p.Rows {
+		flag := " "
+		if r.BimodalityIPC > BimodalityThreshold {
+			flag = "*"
+		}
+		fmt.Fprintf(&sb, "%-34s %8d %12.3f %10.4f %8.3f %8.3f %5.2f%s\n",
+			r.Stack.String(), r.Count, r.TotalDurationNS/1e6, r.MeanDurationNS/1e6,
+			r.MeanIPC, r.StdIPC, r.BimodalityIPC, flag)
+	}
+	if rows := p.MultimodalRows(); len(rows) > 0 {
+		fmt.Fprintf(&sb, "* %d region(s) show multi-modal IPC: the mean hides distinct behaviours\n", len(rows))
+	}
+	return sb.String()
+}

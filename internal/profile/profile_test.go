@@ -1,0 +1,177 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"perftrack/internal/metrics"
+	"perftrack/internal/trace"
+)
+
+func mk(fn string, line int, ipc, instr float64, n int) []trace.Burst {
+	out := make([]trace.Burst, n)
+	for i := range out {
+		b := trace.Burst{
+			Task:       i,
+			DurationNS: int64(instr / ipc),
+			Stack:      trace.CallstackRef{Function: fn, File: "f.c", Line: line},
+		}
+		b.Counters[metrics.CtrInstructions] = instr
+		b.Counters[metrics.CtrCycles] = instr / ipc
+		out[i] = b
+	}
+	return out
+}
+
+func unimodalTrace() *trace.Trace {
+	t := &trace.Trace{Meta: trace.Metadata{Label: "uni", Ranks: 8}}
+	t.Bursts = append(t.Bursts, mk("solve", 10, 1.0, 1e6, 8)...)
+	t.Bursts = append(t.Bursts, mk("halo", 20, 0.5, 2e5, 8)...)
+	return t
+}
+
+// bimodalTrace gives "solve" two distinct IPC modes across its
+// invocations: the case profiles mislead on.
+func bimodalTrace() *trace.Trace {
+	t := &trace.Trace{Meta: trace.Metadata{Label: "bi", Ranks: 8}}
+	t.Bursts = append(t.Bursts, mk("solve", 10, 1.4, 1e6, 8)...)
+	t.Bursts = append(t.Bursts, mk("solve", 10, 0.6, 1e6, 8)...)
+	t.Bursts = append(t.Bursts, mk("halo", 20, 0.5, 2e5, 8)...)
+	return t
+}
+
+func TestNewProfileBasics(t *testing.T) {
+	p := New(unimodalTrace())
+	if len(p.Rows) != 2 {
+		t.Fatalf("rows = %d", len(p.Rows))
+	}
+	// Ordered by total duration: solve (8e6 ns) first, halo (3.2e6) next.
+	if p.Rows[0].Stack.Function != "solve" {
+		t.Errorf("row order: %v", p.Rows[0].Stack)
+	}
+	r := p.Rows[0]
+	if r.Count != 8 {
+		t.Errorf("count = %d", r.Count)
+	}
+	if math.Abs(r.MeanIPC-1.0) > 1e-9 {
+		t.Errorf("mean IPC = %v", r.MeanIPC)
+	}
+	if math.Abs(r.MeanInstructions-1e6) > 1e-6 {
+		t.Errorf("mean instructions = %v", r.MeanInstructions)
+	}
+	if math.Abs(r.TotalDurationNS-8e6) > 1 {
+		t.Errorf("total duration = %v", r.TotalDurationNS)
+	}
+	if r.StdIPC != 0 {
+		t.Errorf("unimodal std = %v", r.StdIPC)
+	}
+}
+
+func TestBimodalityDetection(t *testing.T) {
+	uni := New(unimodalTrace())
+	if rows := uni.MultimodalRows(); len(rows) != 0 {
+		t.Errorf("unimodal profile flagged: %v", rows)
+	}
+	bi := New(bimodalTrace())
+	rows := bi.MultimodalRows()
+	if len(rows) != 1 || rows[0].Stack.Function != "solve" {
+		t.Fatalf("multimodal rows = %+v", rows)
+	}
+	// The profile's headline number actively misleads: the mean IPC 1.0
+	// is a value NO invocation ever achieved (modes at 1.4 and 0.6).
+	r := bi.Find(trace.CallstackRef{Function: "solve", File: "f.c", Line: 10})
+	if math.Abs(r.MeanIPC-1.0) > 1e-9 {
+		t.Errorf("bimodal mean = %v", r.MeanIPC)
+	}
+	if r.BimodalityIPC <= BimodalityThreshold {
+		t.Errorf("bimodality coefficient = %v, want > %v", r.BimodalityIPC, BimodalityThreshold)
+	}
+}
+
+func TestBimodalityEdgeCases(t *testing.T) {
+	if got := bimodality([]float64{1, 2}); got != 0 {
+		t.Errorf("tiny sample = %v", got)
+	}
+	if got := bimodality([]float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Errorf("zero variance = %v", got)
+	}
+	// A clean two-point mixture maxes the coefficient.
+	two := []float64{1, 1, 1, 1, 2, 2, 2, 2}
+	if got := bimodality(two); got <= BimodalityThreshold {
+		t.Errorf("two-mode sample = %v", got)
+	}
+}
+
+func TestFind(t *testing.T) {
+	p := New(unimodalTrace())
+	if p.Find(trace.CallstackRef{Function: "nope"}) != nil {
+		t.Error("found a missing region")
+	}
+	if p.Find(trace.CallstackRef{Function: "halo", File: "f.c", Line: 20}) == nil {
+		t.Error("missed an existing region")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := New(unimodalTrace())
+	fast := unimodalTrace()
+	// Experiment B: solve doubles its IPC (duration halves).
+	for i := range fast.Bursts {
+		if fast.Bursts[i].Stack.Function == "solve" {
+			fast.Bursts[i].Counters[metrics.CtrCycles] /= 2
+			fast.Bursts[i].DurationNS /= 2
+		}
+	}
+	fast.Meta.Label = "fast"
+	b := New(fast)
+	deltas := Compare(a, b)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d", len(deltas))
+	}
+	for _, d := range deltas {
+		switch d.Stack.Function {
+		case "solve":
+			if math.Abs(d.IPCRatio-2.0) > 1e-9 {
+				t.Errorf("solve IPC ratio = %v", d.IPCRatio)
+			}
+			if math.Abs(d.DurationRatio-0.5) > 1e-9 {
+				t.Errorf("solve duration ratio = %v", d.DurationRatio)
+			}
+		case "halo":
+			if math.Abs(d.IPCRatio-1.0) > 1e-9 {
+				t.Errorf("halo IPC ratio = %v", d.IPCRatio)
+			}
+		}
+	}
+}
+
+func TestCompareDisjointRegions(t *testing.T) {
+	a := New(unimodalTrace())
+	other := &trace.Trace{Meta: trace.Metadata{Label: "o", Ranks: 8}}
+	other.Bursts = mk("brand_new", 99, 1.0, 1e6, 8)
+	b := New(other)
+	deltas := Compare(a, b)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %d", len(deltas))
+	}
+	for _, d := range deltas {
+		if d.Stack.Function == "brand_new" {
+			if d.A != nil || d.B == nil {
+				t.Errorf("new region sides: %+v", d)
+			}
+			if d.IPCRatio != 0 {
+				t.Errorf("undefined ratio = %v", d.IPCRatio)
+			}
+		}
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	s := New(bimodalTrace()).String()
+	for _, want := range []string{"flat profile", "solve", "halo", "multi-modal"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("profile listing missing %q:\n%s", want, s)
+		}
+	}
+}

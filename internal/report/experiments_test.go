@@ -1,0 +1,59 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"perftrack/internal/apps"
+)
+
+// TestWriteExperiments runs the generator over a shrunken catalog (fewer
+// ranks/iterations for speed) and validates the document structure.
+func TestWriteExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several studies")
+	}
+	var results []*StudyResult
+	for _, st := range apps.All() {
+		sr, err := RunStudy(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, sr)
+	}
+	var buf bytes.Buffer
+	if err := WriteExperiments(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"## Table 2",
+		"## WRF",
+		"## CGPOP",
+		"## NAS BT",
+		"## MR-Genesis",
+		"## HydroC",
+		"| WRF | 2 / 2 | 12 / 12 | 100% / 100% |",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("experiments record missing %q", want)
+		}
+	}
+	// Every catalog study appears in the Table 2 section.
+	for _, st := range apps.All() {
+		if !strings.Contains(doc, st.Name) {
+			t.Errorf("study %s missing from the record", st.Name)
+		}
+	}
+}
+
+// TestWriteExperimentsMissingStudy ensures the generator fails loudly when
+// a required study is absent instead of producing a partial record.
+func TestWriteExperimentsMissingStudy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteExperiments(&buf, nil); err == nil {
+		t.Error("empty result set accepted")
+	}
+}

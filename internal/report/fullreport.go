@@ -1,0 +1,67 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"perftrack/internal/metrics"
+)
+
+// WriteStudyReport writes the complete textual analysis of one study: the
+// frame inventory, the per-pair relations with their evaluator matrices,
+// the tracked regions with IPC/instruction trends, and — when ground
+// truth annotations are present — the validation score. This is the
+// report trackctl and the examples print for human consumption.
+func WriteStudyReport(w io.Writer, sr *StudyResult) error {
+	res := sr.Result
+	fmt.Fprintln(w, sr.Summary())
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Frames:")
+	for fi, f := range res.Frames {
+		fmt.Fprintf(w, "  %2d %-24s %6d bursts  %2d clusters  busy %8.3fs\n",
+			fi, f.Label, len(f.Labels), f.NumClusters, f.ClusteredDurationNS()/1e9)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Tracked regions:")
+	for _, tr := range res.Regions {
+		span := "partial"
+		if tr.Spanning {
+			span = "spanning"
+		}
+		fmt.Fprintf(w, "  region %-3d %-8s time %8.3fs  members %v\n",
+			tr.ID, span, tr.TotalDurationNS/1e9, tr.Members)
+	}
+	fmt.Fprintln(w)
+
+	for _, m := range []metrics.Metric{metrics.IPC, metrics.Instructions} {
+		fmt.Fprintln(w, TrendTable(sr, m))
+	}
+
+	if len(res.Pairs) > 0 {
+		pr := res.Pairs[0]
+		fmt.Fprintf(w, "Evaluator matrices for the first pair (%s -> %s):\n\n",
+			res.Frames[pr.From].Label, res.Frames[pr.To].Label)
+		fmt.Fprintln(w, pr.DispAB)
+		fmt.Fprintln(w, pr.StackAB)
+		if pr.Seq != nil {
+			fmt.Fprintln(w, pr.Seq)
+		}
+		fmt.Fprintln(w, "Relations per pair:")
+		for _, p := range res.Pairs {
+			fmt.Fprintf(w, "  %s -> %s:", res.Frames[p.From].Label, res.Frames[p.To].Label)
+			for _, rel := range p.Relations {
+				fmt.Fprintf(w, " A%v=B%v", rel.A, rel.B)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if score := res.Validate(); score.Annotated > 0 {
+		fmt.Fprintf(w, "Ground-truth validation: purity %.3f, adjusted Rand index %.3f over %d annotated bursts\n",
+			score.Purity, score.ARI, score.Annotated)
+	}
+	return nil
+}

@@ -1,0 +1,338 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"perftrack/internal/core"
+	"perftrack/internal/metrics"
+	"perftrack/internal/plot"
+	"perftrack/internal/trace"
+)
+
+// This file regenerates the paper's tables and figures from tracking
+// results. The numbering follows the paper: Table 1 (call-stack
+// correlations), Table 2 (study summary), Table 3 (CGPOP results),
+// Figure 3 (displacement matrix), Figure 4 (SPMD timelines), Figure 5
+// (execution-sequence alignment), Figures 1/6/8/9 (scatter frames) and
+// Figures 7/10/11/12 (trend charts).
+
+// Table2 builds the summary-of-experiments table over a set of studies.
+func Table2(results []*StudyResult) *Table {
+	t := &Table{
+		Title:  "Table 2: Summary of experiments",
+		Header: []string{"Application", "Input images", "Tracked regions", "Coverage %"},
+	}
+	var covSum float64
+	for _, sr := range results {
+		r := sr.Result
+		t.AddRow(sr.Study.Name,
+			fmt.Sprintf("%d", len(r.Frames)),
+			fmt.Sprintf("%d", r.SpanningCount),
+			Pct(r.Coverage))
+		covSum += r.Coverage
+	}
+	if len(results) > 0 {
+		t.AddRow("(average)", "", "", Pct(covSum/float64(len(results))))
+	}
+	return t
+}
+
+// Table3 builds the per-region performance table of the compiler/platform
+// study (CGPOP): average IPC, instructions and scaled whole-run duration
+// of every tracked region under every configuration. Durations are the
+// mean burst duration times the study's nominal invocation count for the
+// region's phase (see EXPERIMENTS.md).
+func Table3(sr *StudyResult) *Table {
+	r := sr.Result
+	header := append([]string{"", ""}, sr.FrameLabels()...)
+	t := &Table{Title: fmt.Sprintf("Table 3: %s performance results", sr.Study.Name), Header: header}
+	for _, tr := range r.Regions {
+		if !tr.Spanning {
+			continue
+		}
+		ipc, _ := r.Trend(tr.ID, metrics.IPC)
+		ins, _ := r.Trend(tr.ID, metrics.Instructions)
+		dur, _ := r.Trend(tr.ID, metrics.DurationMS)
+		name := fmt.Sprintf("Region %d", tr.ID)
+		nominal := 1
+		if sr.Study.PhaseNominal != nil {
+			if n, ok := sr.Study.PhaseNominal[r.RegionMajorityPhase(tr.ID)]; ok {
+				nominal = n
+			}
+		}
+		rowIPC := []string{name, "IPC"}
+		rowIns := []string{"", "Instructions"}
+		rowDur := []string{"", "Duration"}
+		for fi := range r.Frames {
+			rowIPC = append(rowIPC, F(ipc.Points[fi].Mean, 2))
+			rowIns = append(rowIns, SI(ins.Points[fi].Mean))
+			rowDur = append(rowDur, fmt.Sprintf("%.2fs", dur.Points[fi].Mean*float64(nominal)/1000))
+		}
+		t.Rows = append(t.Rows, rowIPC, rowIns, rowDur)
+	}
+	return t
+}
+
+// Table1 builds the call-stack evaluator view for one pair of frames: for
+// every source reference, which objects of each frame contain computations
+// that start there.
+func Table1(sr *StudyResult, pair int) *Table {
+	r := sr.Result
+	if pair < 0 || pair >= len(r.Pairs) {
+		pair = 0
+	}
+	a := r.Frames[r.Pairs[pair].From]
+	b := r.Frames[r.Pairs[pair].To]
+	t := &Table{
+		Title: fmt.Sprintf("Table 1: call-stack correlations (%s vs %s)", a.Label, b.Label),
+		Header: []string{
+			a.Label + " regions", "Callstack reference", b.Label + " regions",
+		},
+	}
+	st := core.StackTable(a, b)
+	refs := make([]trace.CallstackRef, 0, len(st))
+	for ref := range st {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].File != refs[j].File {
+			return refs[i].File < refs[j].File
+		}
+		return refs[i].Line < refs[j].Line
+	})
+	for _, ref := range refs {
+		e := st[ref]
+		t.AddRow(regionList(e[0]), fmt.Sprintf("%d (%s)", ref.Line, ref.File), regionList(e[1]))
+	}
+	return t
+}
+
+func regionList(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("Region %d", id)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// DisplacementText renders the displacement correlation matrix of one pair
+// (the paper's Figure 3).
+func DisplacementText(sr *StudyResult, pair int) string {
+	r := sr.Result
+	if pair < 0 || pair >= len(r.Pairs) {
+		pair = 0
+	}
+	pr := r.Pairs[pair]
+	return fmt.Sprintf("Figure 3: correlations from displacements evaluator (%s rows x %s cols)\n%s",
+		r.Frames[pr.From].Label, r.Frames[pr.To].Label, pr.DispAB)
+}
+
+// SequenceText renders the execution-sequence evaluator view of one pair
+// (the paper's Figure 5): the two consensus sequences and the sequence
+// correlation matrix.
+func SequenceText(sr *StudyResult, pair int) string {
+	r := sr.Result
+	if pair < 0 || pair >= len(r.Pairs) {
+		pair = 0
+	}
+	pr := r.Pairs[pair]
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5: correlations from execution sequence evaluator (%s vs %s)\n",
+		r.Frames[pr.From].Label, r.Frames[pr.To].Label)
+	if pr.Seq != nil {
+		sb.WriteString(pr.Seq.String())
+	} else {
+		sb.WriteString("(sequence evaluator disabled)\n")
+	}
+	return sb.String()
+}
+
+// FrameScatter builds the scatter plot of one frame. With renamed=false
+// the points carry the frame's own cluster ids (the "input images" of
+// Fig. 1/8); with renamed=true they carry tracked-region ids, giving the
+// consistent numbering and colours of the output images (Fig. 6/9).
+func FrameScatter(sr *StudyResult, frameIdx int, renamed bool) *plot.Scatter {
+	r := sr.Result
+	f := r.Frames[frameIdx]
+	labels := f.Labels
+	kind := "clusters"
+	if renamed {
+		labels = r.RegionLabels(frameIdx)
+		kind = "tracked regions"
+	}
+	cfg := sr.Study.Track
+	ms := cfg.Metrics
+	if len(ms) == 0 {
+		ms = metrics.DefaultSpace()
+	}
+	s := &plot.Scatter{
+		Title:  fmt.Sprintf("%s %s (%s)", sr.Study.Name, f.Label, kind),
+		XLabel: ms[0].Name,
+		YLabel: ms[1].Name,
+		XLog:   ms[0].LogScale,
+		YLog:   ms[1].LogScale,
+	}
+	for i, p := range f.Points {
+		s.Points = append(s.Points, plot.ScatterPoint{X: p[0], Y: p[1], Class: labels[i]})
+	}
+	return s
+}
+
+// NormalizedScatter plots a frame in the cross-experiment normalised space
+// (the paper's Figure 1c).
+func NormalizedScatter(sr *StudyResult, frameIdx int, renamed bool) *plot.Scatter {
+	r := sr.Result
+	f := r.Frames[frameIdx]
+	labels := f.Labels
+	if renamed {
+		labels = r.RegionLabels(frameIdx)
+	}
+	s := &plot.Scatter{
+		Title:  fmt.Sprintf("%s %s (normalised scales)", sr.Study.Name, f.Label),
+		XLabel: "normalised dim 0",
+		YLabel: "normalised dim 1",
+	}
+	for i, p := range f.Norm {
+		s.Points = append(s.Points, plot.ScatterPoint{X: p[0], Y: p[1], Class: labels[i]})
+	}
+	return s
+}
+
+// TrendChart builds the per-region trend lines of a metric over the frame
+// sequence (Figures 7, 10, 11, 12). Only spanning regions whose maximum
+// variation reaches minVariation are included (the paper depicts "only the
+// regions with higher IPC variations, above 3%"). useTotals selects the
+// per-frame totals instead of means (Fig. 7b).
+func TrendChart(sr *StudyResult, m metrics.Metric, minVariation float64, useTotals bool) *plot.LineChart {
+	r := sr.Result
+	lc := &plot.LineChart{
+		Title:  fmt.Sprintf("%s: %s evolution", sr.Study.Name, m.Name),
+		XLabel: sr.Study.ParamName,
+		YLabel: m.Name,
+		XTicks: sr.FrameLabels(),
+	}
+	for _, tr := range r.Regions {
+		if !tr.Spanning {
+			continue
+		}
+		rt, err := r.Trend(tr.ID, m)
+		if err != nil || rt.MaxVariation() < minVariation {
+			continue
+		}
+		ys := rt.Means()
+		if useTotals {
+			ys = rt.Totals()
+		}
+		lc.Series = append(lc.Series, plot.Series{
+			Name:  fmt.Sprintf("Region %d", tr.ID),
+			Y:     ys,
+			Class: tr.ID,
+		})
+	}
+	return lc
+}
+
+// TrendTable tabulates per-region metric means per frame.
+func TrendTable(sr *StudyResult, m metrics.Metric) *Table {
+	r := sr.Result
+	t := &Table{
+		Title:  fmt.Sprintf("%s: %s per tracked region", sr.Study.Name, m.Name),
+		Header: append([]string{"Region"}, sr.FrameLabels()...),
+	}
+	for _, tr := range r.Regions {
+		if !tr.Spanning {
+			continue
+		}
+		rt, err := r.Trend(tr.ID, m)
+		if err != nil {
+			continue
+		}
+		row := []string{fmt.Sprintf("%d", tr.ID)}
+		for _, p := range rt.Points {
+			if !p.Present {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, formatMetric(p.Mean))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func formatMetric(v float64) string {
+	if math.Abs(v) >= 1000 {
+		return SI(v)
+	}
+	return F(v, 3)
+}
+
+// MetricCorrelationChart plots several metrics of one tracked region on a
+// common axis: each series is expressed as the percentage of its own
+// maximum across the sequence — the paper's Figure 11b, which correlates
+// the IPC degradation with the growth of cache and TLB misses.
+func MetricCorrelationChart(sr *StudyResult, regionID int, ms []metrics.Metric) *plot.LineChart {
+	r := sr.Result
+	lc := &plot.LineChart{
+		Title:  fmt.Sprintf("%s: region %d metrics (%% of max)", sr.Study.Name, regionID),
+		XLabel: sr.Study.ParamName,
+		YLabel: "% of maximum",
+		XTicks: sr.FrameLabels(),
+	}
+	for mi, m := range ms {
+		rt, err := r.Trend(regionID, m)
+		if err != nil {
+			continue
+		}
+		means := rt.Means()
+		maxV := 0.0
+		for _, v := range means {
+			if !math.IsNaN(v) && v > maxV {
+				maxV = v
+			}
+		}
+		ys := make([]float64, len(means))
+		for i, v := range means {
+			if math.IsNaN(v) || maxV == 0 {
+				ys[i] = math.NaN()
+			} else {
+				ys[i] = 100 * v / maxV
+			}
+		}
+		lc.Series = append(lc.Series, plot.Series{Name: m.Name, Y: ys, Class: mi + 1})
+	}
+	return lc
+}
+
+// TimelineOf renders the temporal cluster sequence of the first windowNS
+// nanoseconds of a frame (the paper's Figure 4). renamed selects
+// tracked-region colours.
+func TimelineOf(sr *StudyResult, frameIdx int, renamed bool, windowNS int64) *plot.Timeline {
+	r := sr.Result
+	f := r.Frames[frameIdx]
+	labels := f.Labels
+	if renamed {
+		labels = r.RegionLabels(frameIdx)
+	}
+	start, _ := f.Trace.Span()
+	limit := start + windowNS
+	tl := &plot.Timeline{
+		Title:  fmt.Sprintf("%s %s: cluster sequence", sr.Study.Name, f.Label),
+		XLabel: "time",
+	}
+	for i, b := range f.Trace.Bursts {
+		if windowNS > 0 && b.StartNS >= limit {
+			continue
+		}
+		tl.Spans = append(tl.Spans, plot.TimeSpan{
+			Task:  b.Task,
+			Start: float64(b.StartNS - start),
+			End:   float64(b.EndNS() - start),
+			Class: labels[i],
+		})
+	}
+	return tl
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"fmt"
+
+	"perftrack/internal/apps"
+	"perftrack/internal/core"
+	"perftrack/internal/mpisim"
+	"perftrack/internal/trace"
+)
+
+// StudyResult bundles a catalog study with its simulated traces and
+// tracking result; every report builder takes one.
+type StudyResult struct {
+	Study  apps.Study
+	Traces []*trace.Trace
+	Result *core.Result
+}
+
+// RunStudy simulates a catalog study and tracks it.
+func RunStudy(st apps.Study) (*StudyResult, error) {
+	traces, err := mpisim.SimulateSeries(st.Runs)
+	if err != nil {
+		return nil, fmt.Errorf("report: study %s: %w", st.Name, err)
+	}
+	if st.Windows > 1 {
+		if len(traces) != 1 {
+			return nil, fmt.Errorf("report: study %s: windowed analysis needs one run, got %d", st.Name, len(traces))
+		}
+		traces = traces[0].SplitWindows(st.Windows)
+	}
+	frames, err := core.BuildFrames(traces, st.Track)
+	if err != nil {
+		return nil, fmt.Errorf("report: study %s: %w", st.Name, err)
+	}
+	res, err := core.NewTracker(st.Track).Track(frames)
+	if err != nil {
+		return nil, fmt.Errorf("report: study %s: %w", st.Name, err)
+	}
+	return &StudyResult{Study: st, Traces: traces, Result: res}, nil
+}
+
+// RunAll runs every catalog study in Table 2 order.
+func RunAll() ([]*StudyResult, error) {
+	var out []*StudyResult
+	for _, st := range apps.All() {
+		sr, err := RunStudy(st)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// FrameLabels returns the experiment labels of the study's frames.
+func (sr *StudyResult) FrameLabels() []string {
+	out := make([]string, len(sr.Result.Frames))
+	for i, f := range sr.Result.Frames {
+		out[i] = f.Label
+	}
+	return out
+}
+
+// Summary returns a one-paragraph outcome description.
+func (sr *StudyResult) Summary() string {
+	r := sr.Result
+	return fmt.Sprintf("%s: %d input images, %d tracked regions (k), optimal k %d, coverage %s",
+		sr.Study.Name, len(r.Frames), r.SpanningCount, r.OptimalK, Pct(r.Coverage))
+}

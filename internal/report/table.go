@@ -1,0 +1,147 @@
+// Package report turns tracking results into the textual artefacts the
+// paper presents: fixed-width and Markdown tables (Tables 1-3), trend
+// summaries (Figures 7, 10-12 as data), scatter/timeline plots via package
+// plot, and the paper-vs-measured comparison recorded in EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple rectangular table with a title.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row, padding or truncating to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	if len(t.Header) == 0 {
+		row = append([]string(nil), cells...)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func (t *Table) widths() []int {
+	n := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	return w
+}
+
+// String renders the table with aligned columns for terminals.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	w := t.widths()
+	writeRow := func(cells []string) {
+		for i := 0; i < len(w); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", w[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, x := range w {
+			total += x + 2
+		}
+		sb.WriteString(strings.Repeat("-", total-2))
+		sb.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as GitHub-flavoured Markdown.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
+	}
+	header := t.Header
+	if len(header) == 0 && len(t.Rows) > 0 {
+		header = make([]string, len(t.Rows[0]))
+	}
+	sb.WriteString("|")
+	for _, h := range header {
+		fmt.Fprintf(&sb, " %s |", h)
+	}
+	sb.WriteString("\n|")
+	for range header {
+		sb.WriteString("---|")
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		sb.WriteString("|")
+		for i := range header {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			fmt.Fprintf(&sb, " %s |", c)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Pct formats a fraction as a percentage with no decimals ("88%").
+func Pct(f float64) string { return fmt.Sprintf("%.0f%%", 100*f) }
+
+// F formats a float compactly.
+func F(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// SI formats a value with an engineering suffix ("6.8M").
+func SI(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.2gG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.2gM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.2gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

@@ -1,0 +1,384 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"perftrack/internal/metrics"
+)
+
+// The perftrack trace format is a line-oriented text format:
+//
+//	#PERFTRACK 1
+//	#meta app=WRF label=128-tasks ranks=128 tasksPerNode=4 machine=MareNostrum compiler=gfortran
+//	#param class=B
+//	#counters PAPI_TOT_INS PAPI_TOT_CYC PAPI_L1_DCM PAPI_L2_DCM PAPI_TLB_DM PAPI_LST_INS
+//	B <task> <thread> <startNS> <durNS> <func> <file> <line> <phase> <c0> <c1> ...
+//
+// String fields are quoted with strconv.Quote when they contain spaces or
+// are empty; otherwise they appear bare. The format is deliberately simple
+// enough to inspect with standard shell tools and diff across runs.
+
+const (
+	formatMagic   = "#PERFTRACK"
+	formatVersion = 1
+)
+
+// Write serialises the trace to w in the perftrack text format. Bursts are
+// written in (task, time) order to make output deterministic.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %d\n", formatMagic, formatVersion); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "#meta app=%s label=%s ranks=%d tasksPerNode=%d machine=%s compiler=%s\n",
+		quoteField(t.Meta.App), quoteField(t.Meta.Label), t.Meta.Ranks,
+		t.Meta.TasksPerNode, quoteField(t.Meta.Machine), quoteField(t.Meta.Compiler))
+	keys := make([]string, 0, len(t.Meta.Params))
+	for k := range t.Meta.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(bw, "#param %s=%s\n", quoteField(k), quoteField(t.Meta.Params[k]))
+	}
+	fmt.Fprint(bw, "#counters")
+	for c := metrics.Counter(0); c < metrics.NumCounters; c++ {
+		fmt.Fprintf(bw, " %s", c)
+	}
+	fmt.Fprintln(bw)
+
+	sorted := t.Clone()
+	sorted.SortByTaskTime()
+	for _, b := range sorted.Bursts {
+		fmt.Fprintf(bw, "B %d %d %d %d %s %s %d %d",
+			b.Task, b.Thread, b.StartNS, b.DurationNS,
+			quoteField(b.Stack.Function), quoteField(b.Stack.File), b.Stack.Line, b.Phase)
+		for _, v := range b.Counters {
+			fmt.Fprintf(bw, " %s", formatCount(v))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// WriteFile serialises the trace to the named file.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a trace in the perftrack text format.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	t := &Trace{}
+	lineNo := 0
+	counterOrder := defaultCounterOrder()
+	sawMagic := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, formatMagic):
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: malformed magic %q", lineNo, line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v != formatVersion {
+				return nil, fmt.Errorf("trace: line %d: unsupported version %q", lineNo, fields[1])
+			}
+			sawMagic = true
+		case strings.HasPrefix(line, "#meta"):
+			if err := parseMeta(line, &t.Meta); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+		case strings.HasPrefix(line, "#param"):
+			k, v, err := parseParam(line)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			if t.Meta.Params == nil {
+				t.Meta.Params = map[string]string{}
+			}
+			t.Meta.Params[k] = v
+		case strings.HasPrefix(line, "#counters"):
+			order, err := parseCounters(line)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			counterOrder = order
+		case strings.HasPrefix(line, "#"):
+			// Unknown comment/directive: ignore for forward compatibility.
+		case strings.HasPrefix(line, "B "):
+			b, err := parseBurst(line, counterOrder)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			t.Bursts = append(t.Bursts, b)
+		default:
+			return nil, fmt.Errorf("trace: line %d: unrecognised record %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawMagic {
+		return nil, fmt.Errorf("trace: missing %s header", formatMagic)
+	}
+	return t, nil
+}
+
+// ReadFile parses the named trace file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+func defaultCounterOrder() []metrics.Counter {
+	order := make([]metrics.Counter, metrics.NumCounters)
+	for i := range order {
+		order[i] = metrics.Counter(i)
+	}
+	return order
+}
+
+// quoteField emits s bare when it is a single printable token, quoted
+// otherwise, so the file remains whitespace-splittable.
+func quoteField(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\"\\") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// fieldScanner splits a line into tokens honouring quoted fields.
+type fieldScanner struct {
+	rest string
+}
+
+func (fs *fieldScanner) next() (string, error) {
+	fs.rest = strings.TrimLeft(fs.rest, " \t")
+	if fs.rest == "" {
+		return "", io.EOF
+	}
+	if fs.rest[0] == '"' {
+		// Quoted field: find the closing quote honouring escapes.
+		for i := 1; i < len(fs.rest); i++ {
+			if fs.rest[i] == '\\' {
+				i++
+				continue
+			}
+			if fs.rest[i] == '"' {
+				tok := fs.rest[:i+1]
+				fs.rest = fs.rest[i+1:]
+				return strconv.Unquote(tok)
+			}
+		}
+		return "", fmt.Errorf("unterminated quoted field %q", fs.rest)
+	}
+	i := strings.IndexAny(fs.rest, " \t")
+	if i < 0 {
+		tok := fs.rest
+		fs.rest = ""
+		return tok, nil
+	}
+	tok := fs.rest[:i]
+	fs.rest = fs.rest[i:]
+	return tok, nil
+}
+
+func (fs *fieldScanner) nextInt() (int, error) {
+	tok, err := fs.next()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(tok)
+}
+
+func (fs *fieldScanner) nextInt64() (int64, error) {
+	tok, err := fs.next()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(tok, 10, 64)
+}
+
+func (fs *fieldScanner) nextFloat() (float64, error) {
+	tok, err := fs.next()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(tok, 64)
+}
+
+// nextKV reads one key=value pair where the value (and in #param lines the
+// key) may be a quoted field. It returns io.EOF when the line is
+// exhausted.
+func (fs *fieldScanner) nextKV() (key, val string, err error) {
+	fs.rest = strings.TrimLeft(fs.rest, " \t")
+	if fs.rest == "" {
+		return "", "", io.EOF
+	}
+	// Key: possibly quoted, terminated by '='.
+	if fs.rest[0] == '"' {
+		key, err = fs.next()
+		if err != nil {
+			return "", "", err
+		}
+		if fs.rest == "" || fs.rest[0] != '=' {
+			return "", "", fmt.Errorf("malformed key=value near %q", fs.rest)
+		}
+		fs.rest = fs.rest[1:]
+	} else {
+		eq := strings.IndexByte(fs.rest, '=')
+		sp := strings.IndexAny(fs.rest, " \t")
+		if eq < 0 || (sp >= 0 && sp < eq) {
+			return "", "", fmt.Errorf("malformed key=value near %q", fs.rest)
+		}
+		key = fs.rest[:eq]
+		fs.rest = fs.rest[eq+1:]
+	}
+	// Value: a quoted or bare field starting immediately after '='.
+	if fs.rest == "" || fs.rest[0] == ' ' || fs.rest[0] == '\t' {
+		return key, "", nil
+	}
+	val, err = fs.next()
+	if err == io.EOF {
+		return key, "", nil
+	}
+	return key, val, err
+}
+
+func parseMeta(line string, m *Metadata) error {
+	fs := &fieldScanner{rest: strings.TrimPrefix(line, "#meta")}
+	for {
+		k, v, err := fs.nextKV()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch k {
+		case "app":
+			m.App = v
+		case "label":
+			m.Label = v
+		case "ranks":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("ranks: %w", err)
+			}
+			m.Ranks = n
+		case "tasksPerNode":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("tasksPerNode: %w", err)
+			}
+			m.TasksPerNode = n
+		case "machine":
+			m.Machine = v
+		case "compiler":
+			m.Compiler = v
+		default:
+			// Ignore unknown keys for forward compatibility.
+		}
+	}
+}
+
+func parseParam(line string) (key, val string, err error) {
+	fs := &fieldScanner{rest: strings.TrimPrefix(line, "#param")}
+	key, val, err = fs.nextKV()
+	if err != nil {
+		return "", "", fmt.Errorf("malformed param line: %v", err)
+	}
+	return key, val, nil
+}
+
+func parseCounters(line string) ([]metrics.Counter, error) {
+	names := strings.Fields(line)[1:]
+	order := make([]metrics.Counter, len(names))
+	for i, n := range names {
+		c, ok := metrics.CounterByName(n)
+		if !ok {
+			return nil, fmt.Errorf("unknown counter %q", n)
+		}
+		order[i] = c
+	}
+	return order, nil
+}
+
+func parseBurst(line string, order []metrics.Counter) (Burst, error) {
+	fs := &fieldScanner{rest: strings.TrimPrefix(line, "B ")}
+	var b Burst
+	var err error
+	if b.Task, err = fs.nextInt(); err != nil {
+		return b, fmt.Errorf("task: %w", err)
+	}
+	if b.Thread, err = fs.nextInt(); err != nil {
+		return b, fmt.Errorf("thread: %w", err)
+	}
+	if b.StartNS, err = fs.nextInt64(); err != nil {
+		return b, fmt.Errorf("start: %w", err)
+	}
+	if b.DurationNS, err = fs.nextInt64(); err != nil {
+		return b, fmt.Errorf("duration: %w", err)
+	}
+	if b.Stack.Function, err = fs.next(); err != nil {
+		return b, fmt.Errorf("function: %w", err)
+	}
+	if b.Stack.File, err = fs.next(); err != nil {
+		return b, fmt.Errorf("file: %w", err)
+	}
+	if b.Stack.Line, err = fs.nextInt(); err != nil {
+		return b, fmt.Errorf("line: %w", err)
+	}
+	if b.Phase, err = fs.nextInt(); err != nil {
+		return b, fmt.Errorf("phase: %w", err)
+	}
+	for _, c := range order {
+		v, err := fs.nextFloat()
+		if err != nil {
+			return b, fmt.Errorf("counter %s: %w", c, err)
+		}
+		b.Counters[c] = v
+	}
+	if _, err := fs.next(); err != io.EOF {
+		return b, fmt.Errorf("trailing fields in burst record")
+	}
+	return b, nil
+}
+
+// formatCount renders a counter value compactly: integral values print
+// without a fractional part.
+func formatCount(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"perftrack/internal/metrics"
+)
+
+// WriteCSV exports the bursts as a flat CSV table (one row per burst) for
+// spreadsheet/notebook interop. Columns: task, thread, startNs,
+// durationNs, function, file, line, phase, then one column per hardware
+// counter.
+func WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	header := []string{"task", "thread", "startNs", "durationNs", "function", "file", "line", "phase"}
+	for c := metrics.Counter(0); c < metrics.NumCounters; c++ {
+		header = append(header, c.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	sorted := t.Clone()
+	sorted.SortByTaskTime()
+	row := make([]string, 0, len(header))
+	for _, b := range sorted.Bursts {
+		row = row[:0]
+		row = append(row,
+			strconv.Itoa(b.Task),
+			strconv.Itoa(b.Thread),
+			strconv.FormatInt(b.StartNS, 10),
+			strconv.FormatInt(b.DurationNS, 10),
+			b.Stack.Function,
+			b.Stack.File,
+			strconv.Itoa(b.Stack.Line),
+			strconv.Itoa(b.Phase),
+		)
+		for _, v := range b.Counters {
+			row = append(row, formatCount(v))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table produced by WriteCSV. The trace metadata is not
+// part of the CSV; callers set Meta themselves.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv header: %w", err)
+	}
+	const fixed = 8
+	if len(header) < fixed {
+		return nil, fmt.Errorf("trace: csv header too short: %v", header)
+	}
+	order := make([]metrics.Counter, 0, len(header)-fixed)
+	for _, name := range header[fixed:] {
+		c, ok := metrics.CounterByName(name)
+		if !ok {
+			return nil, fmt.Errorf("trace: csv: unknown counter column %q", name)
+		}
+		order = append(order, c)
+	}
+	t := &Trace{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("trace: csv line %d: %d fields, want %d", line, len(rec), len(header))
+		}
+		var b Burst
+		if b.Task, err = strconv.Atoi(rec[0]); err != nil {
+			return nil, fmt.Errorf("trace: csv line %d task: %w", line, err)
+		}
+		if b.Thread, err = strconv.Atoi(rec[1]); err != nil {
+			return nil, fmt.Errorf("trace: csv line %d thread: %w", line, err)
+		}
+		if b.StartNS, err = strconv.ParseInt(rec[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: csv line %d start: %w", line, err)
+		}
+		if b.DurationNS, err = strconv.ParseInt(rec[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: csv line %d duration: %w", line, err)
+		}
+		b.Stack.Function = rec[4]
+		b.Stack.File = rec[5]
+		if b.Stack.Line, err = strconv.Atoi(rec[6]); err != nil {
+			return nil, fmt.Errorf("trace: csv line %d line: %w", line, err)
+		}
+		if b.Phase, err = strconv.Atoi(rec[7]); err != nil {
+			return nil, fmt.Errorf("trace: csv line %d phase: %w", line, err)
+		}
+		for i, c := range order {
+			v, err := strconv.ParseFloat(rec[fixed+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: csv line %d counter %s: %w", line, c, err)
+			}
+			b.Counters[c] = v
+		}
+		t.Bursts = append(t.Bursts, b)
+	}
+	return t, nil
+}

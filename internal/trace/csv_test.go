@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"perftrack/internal/metrics"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	tr.Bursts[0].Counters[metrics.CtrInstructions] = 999
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Clone()
+	want.SortByTaskTime()
+	if !reflect.DeepEqual(got.Bursts, want.Bursts) {
+		t.Errorf("csv round trip mismatch:\n got %+v\nwant %+v", got.Bursts, want.Bursts)
+	}
+}
+
+func TestCSVHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	for _, col := range []string{"task", "durationNs", "PAPI_TOT_INS"} {
+		if !strings.Contains(first, col) {
+			t.Errorf("header %q missing column %q", first, col)
+		}
+	}
+}
+
+func TestCSVFieldsWithCommas(t *testing.T) {
+	tr := sampleTrace()
+	tr.Bursts[0].Stack.Function = "foo, the bar"
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range got.Bursts {
+		if b.Stack.Function == "foo, the bar" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("comma-containing field lost")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []struct{ name, input string }{
+		{"empty", ""},
+		{"short header", "task,thread\n"},
+		{"unknown counter", "task,thread,startNs,durationNs,function,file,line,phase,NOPE\n"},
+		{"bad task", csvHeader() + "x,0,0,1,f,f.c,1,0" + zeros() + "\n"},
+		{"bad counter value", csvHeader() + "0,0,0,1,f,f.c,1,0,a,0,0,0,0,0\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.input)); err == nil {
+			t.Errorf("%s: accepted malformed CSV", c.name)
+		}
+	}
+}
+
+func csvHeader() string {
+	h := "task,thread,startNs,durationNs,function,file,line,phase"
+	for c := metrics.Counter(0); c < metrics.NumCounters; c++ {
+		h += "," + c.String()
+	}
+	return h + "\n"
+}
+
+func zeros() string {
+	return strings.Repeat(",0", int(metrics.NumCounters))
+}

@@ -1,0 +1,86 @@
+package perftrack
+
+// The paper notes the whole process "can be likewise applied to any
+// arbitrary number of dimensions". These tests run the full pipeline on a
+// three-metric performance space (IPC x Instructions x L2 misses per
+// kilo-instruction) to exercise the d-dimensional code paths of the grid
+// index, DBSCAN, normalisation and the displacement evaluator.
+
+import (
+	"testing"
+
+	"perftrack/internal/metrics"
+)
+
+func TestTrackThreeDimensions(t *testing.T) {
+	st, err := CatalogStudy("NAS BT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := SimulateStudy(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := st.Track
+	cfg.Metrics = []Metric{metrics.IPC, metrics.Instructions, metrics.L2MissesPerKInstr}
+	res, err := Track(traces, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The extra dimension must not break the tracking: the six regions
+	// stay fully resolved.
+	if res.SpanningCount != 6 {
+		t.Errorf("3D tracking regions = %d, want 6", res.SpanningCount)
+	}
+	if res.Coverage < 0.99 {
+		t.Errorf("3D coverage = %.2f", res.Coverage)
+	}
+	// Norm coordinates carry three dimensions in [0,1].
+	for _, f := range res.Frames {
+		for _, q := range f.Norm {
+			if len(q) != 3 {
+				t.Fatalf("normalised dims = %d", len(q))
+			}
+			for d, v := range q {
+				if v < -1e-9 || v > 1+1e-9 {
+					t.Fatalf("dim %d out of range: %v", d, v)
+				}
+			}
+		}
+	}
+	// Region identity matches the 2D result.
+	flat, err := Track(traces, st.Track)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for phase := 1; phase <= 6; phase++ {
+		if res.RegionByPhase(phase) == nil {
+			t.Errorf("3D tracking lost phase %d", phase)
+		}
+		if flat.RegionByPhase(phase) == nil {
+			t.Errorf("2D tracking lost phase %d", phase)
+		}
+	}
+}
+
+func TestTrackSingleDimension(t *testing.T) {
+	// Degenerate but legal: a one-dimensional space (instructions only).
+	st, err := CatalogStudy("NAS FT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Runs = st.Runs[:3]
+	traces, err := SimulateStudy(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := st.Track
+	cfg.Metrics = []Metric{metrics.Instructions}
+	res, err := Track(traces, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpanningCount != 2 {
+		t.Errorf("1D tracking regions = %d, want 2 (the phases differ in instructions)", res.SpanningCount)
+	}
+}

@@ -1,0 +1,161 @@
+// Package perftrack applies object-tracking techniques to parallel
+// application performance analysis, reproducing the SC'13 paper "On the
+// usefulness of object tracking techniques in performance analysis"
+// (Llort, Servat, Giménez, Labarta — Barcelona Supercomputing Center).
+//
+// The library converts burst-level performance traces of multiple
+// experiments into a sequence of "images" of the performance space,
+// detects objects (behavioural clusters of CPU bursts) in each image with
+// density-based clustering, and tracks how those objects move, split and
+// merge across the sequence using four cooperating heuristics:
+// displacements in the performance space, SPMD simultaneity, call-stack
+// references and the execution sequence. The result is a set of tracked
+// regions whose per-metric trends explain how each part of the code reacts
+// to changes in the execution conditions.
+//
+// Quick start:
+//
+//	study, _ := perftrack.CatalogStudy("WRF")
+//	res, _ := perftrack.RunStudy(study)
+//	for _, trend := range res.TopTrends(perftrack.IPC, 0.03) {
+//	    fmt.Println(trend.RegionID, trend.Means())
+//	}
+//
+// The subpackages under internal/ hold the substrates: trace model and
+// codec, SPMD application simulator, machine model, DBSCAN clustering,
+// sequence alignment, the tracking core, plotting and reporting.
+package perftrack
+
+import (
+	"fmt"
+	"io"
+
+	"perftrack/internal/apps"
+	"perftrack/internal/core"
+	"perftrack/internal/metrics"
+	"perftrack/internal/mpisim"
+	"perftrack/internal/profile"
+	"perftrack/internal/trace"
+)
+
+// Re-exported types: the stable public surface of the library.
+type (
+	// Trace is a burst-level performance trace of one experiment.
+	Trace = trace.Trace
+	// Burst is one sequential computing region of one task.
+	Burst = trace.Burst
+	// CallstackRef locates the source code a burst executes.
+	CallstackRef = trace.CallstackRef
+	// Metric is one axis of the performance space.
+	Metric = metrics.Metric
+	// Config parametrises the tracking pipeline.
+	Config = core.Config
+	// Frame is one clustered image of the performance space.
+	Frame = core.Frame
+	// Result is the outcome of tracking a frame sequence.
+	Result = core.Result
+	// TrackedRegion is a region followed along the whole sequence.
+	TrackedRegion = core.TrackedRegion
+	// RegionTrend is the evolution of one metric for one region.
+	RegionTrend = core.RegionTrend
+	// Relation is one correspondence between consecutive frames.
+	Relation = core.Relation
+	// Study is a catalog entry describing a multi-experiment analysis.
+	Study = apps.Study
+	// Scenario fixes the execution conditions of one simulated run.
+	Scenario = mpisim.Scenario
+	// AppSpec is a synthetic application model for the simulator.
+	AppSpec = mpisim.AppSpec
+)
+
+// Standard metrics, re-exported for convenience.
+var (
+	IPC          = metrics.IPC
+	Instructions = metrics.Instructions
+	Cycles       = metrics.Cycles
+	DurationMS   = metrics.DurationMS
+	L1DMisses    = metrics.L1DMisses
+	L2DMisses    = metrics.L2DMisses
+	TLBMisses    = metrics.TLBMisses
+)
+
+// CatalogStudy returns one of the built-in case studies reproducing the
+// paper's Table 2 (names: "Gadget", "QuantumESPRESSO", "WRF", "Gromacs",
+// "CGPOP", "NAS BT", "HydroC", "MR-Genesis", "NAS FT",
+// "Gromacs-evolution").
+func CatalogStudy(name string) (Study, error) { return apps.ByName(name) }
+
+// CatalogStudies returns every built-in case study in Table 2 order.
+func CatalogStudies() []Study { return apps.All() }
+
+// SimulateStudy produces the trace sequence of a study: one trace per run,
+// or — for single-run studies with Windows > 0 — one trace per time window
+// of the single run (the paper's "evolution along time intervals within
+// the same experiment" mode).
+func SimulateStudy(st Study) ([]*Trace, error) {
+	traces, err := mpisim.SimulateSeries(st.Runs)
+	if err != nil {
+		return nil, err
+	}
+	if st.Windows > 1 {
+		if len(traces) != 1 {
+			return nil, fmt.Errorf("perftrack: study %s: windowed analysis needs exactly one run, got %d", st.Name, len(traces))
+		}
+		return traces[0].SplitWindows(st.Windows), nil
+	}
+	return traces, nil
+}
+
+// Track runs the full pipeline over a trace sequence: frame construction
+// (filtering, metric evaluation, per-frame clustering), cross-experiment
+// scale normalisation and tracking.
+func Track(traces []*Trace, cfg Config) (*Result, error) {
+	frames, err := core.BuildFrames(traces, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewTracker(cfg).Track(frames)
+}
+
+// RunStudy simulates a catalog study and tracks its frames with the
+// study's configuration.
+func RunStudy(st Study) (*Result, error) {
+	traces, err := SimulateStudy(st)
+	if err != nil {
+		return nil, err
+	}
+	return Track(traces, st.Track)
+}
+
+// Simulate runs a synthetic application under a scenario — the entry
+// point for building custom studies on the public API.
+func Simulate(app AppSpec, sc Scenario) (*Trace, error) {
+	return mpisim.Simulate(app, sc)
+}
+
+// Profile is the flat per-region summary a classic profiler would report
+// — the baseline the paper compares its approach against.
+type Profile = profile.Profile
+
+// NewProfile aggregates a trace into the profile-based baseline view.
+// Its MultimodalRows method exposes the regions whose averages hide
+// distinct behaviours, which is what the tracking approach resolves.
+func NewProfile(t *Trace) *Profile { return profile.New(t) }
+
+// CompareProfiles subtracts two profiles region by region — the classic
+// "performance algebra" multi-experiment comparison.
+func CompareProfiles(a, b *Profile) []profile.Delta { return profile.Compare(a, b) }
+
+// WriteResultJSON serialises a tracking result (with the mean trends of
+// the given metrics) for external tooling.
+func WriteResultJSON(w io.Writer, res *Result, ms []Metric) error {
+	return res.WriteJSON(w, ms)
+}
+
+// ReadTraceFile and WriteTraceFile expose the text trace codec.
+func ReadTraceFile(path string) (*Trace, error)           { return trace.ReadFile(path) }
+func WriteTraceFile(path string, t *Trace) error          { return trace.WriteFile(path, t) }
+func DefaultMetrics() []Metric                            { return metrics.DefaultSpace() }
+func MetricByName(name string) (Metric, bool)             { return metrics.ByName(name) }
+func NewTracker(cfg Config) *core.Tracker                 { return core.NewTracker(cfg) }
+func BuildFrames(ts []*Trace, c Config) ([]*Frame, error) { return core.BuildFrames(ts, c) }

@@ -1,0 +1,37 @@
+package perftrack
+
+import (
+	"testing"
+)
+
+// TestStudiesSmoke runs every catalog study end to end and logs the frame
+// structure and tracking outcome. It asserts only basic sanity here; the
+// paper-shape assertions live in repro_test.go.
+func TestStudiesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog run")
+	}
+	for _, st := range CatalogStudies() {
+		st := st
+		t.Run(st.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunStudy(st)
+			if err != nil {
+				t.Fatalf("RunStudy: %v", err)
+			}
+			for _, f := range res.Frames {
+				sizes := make([]int, 0, f.NumClusters)
+				for _, ci := range f.Clusters[1:] {
+					sizes = append(sizes, ci.Size)
+				}
+				t.Logf("frame %d (%s): %d bursts, %d clusters %v", f.Index, f.Label, len(f.Labels), f.NumClusters, sizes)
+			}
+			t.Logf("regions=%d spanning=%d optimalK=%d coverage=%.1f%% (expected regions=%d coverage=%.1f%%)",
+				len(res.Regions), res.SpanningCount, res.OptimalK, 100*res.Coverage,
+				st.ExpectedRegions, 100*st.ExpectedCoverage)
+			if res.SpanningCount == 0 {
+				t.Errorf("no spanning regions tracked")
+			}
+		})
+	}
+}
