@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet race check fuzz clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: static analysis plus the full suite under
+# the race detector.
+check: vet race
+
+# A short fuzzing pass over the trace decoders (lenient + strict + CSV).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzLenientRead -fuzztime=30s ./internal/trace/
+	$(GO) test -run=^$$ -fuzz=FuzzRead$$ -fuzztime=30s ./internal/trace/
+
+clean:
+	$(GO) clean ./...

@@ -84,6 +84,9 @@ func (g *generator) study(name string) (*report.StudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !sr.Result.Diagnostics.Clean() {
+		fmt.Fprintf(os.Stderr, "study %s ran degraded: %s\n", name, sr.Result.Diagnostics.Summary())
+	}
 	g.cache[name] = sr
 	return sr, nil
 }

@@ -18,6 +18,7 @@ import (
 // the paper draws against SCALASCA/PerfExplorer-style analysis).
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	lenientFlag(fs)
 	fs.Parse(args)
 	traces, err := loadTraces(fs.Args())
 	if err != nil {
@@ -51,6 +52,7 @@ func cmdAnimate(args []string) error {
 	eps, minPts, metricNames := analysisFlags(fs)
 	out := fs.String("o", "animation.svg", "output SVG (a _grid.svg variant is written too)")
 	secs := fs.Float64("seconds", 1, "seconds per frame")
+	lenientFlag(fs)
 	fs.Parse(args)
 	cfg, err := buildConfig(*eps, *minPts, *metricNames)
 	if err != nil {
@@ -68,6 +70,7 @@ func cmdAnimate(args []string) error {
 	if err != nil {
 		return err
 	}
+	noteDiagnostics(res)
 	strip := &plot.Filmstrip{
 		Title:        "tracked performance space",
 		FrameSeconds: *secs,
@@ -101,6 +104,7 @@ func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	eps, minPts, metricNames := analysisFlags(fs)
 	windows := fs.Int("windows", 0, "split a single trace into N time windows first")
+	lenientFlag(fs)
 	fs.Parse(args)
 	cfg, err := buildConfig(*eps, *minPts, *metricNames)
 	if err != nil {
@@ -124,6 +128,7 @@ func cmdReport(args []string) error {
 	if err != nil {
 		return err
 	}
+	noteDiagnostics(res)
 	sr := &report.StudyResult{
 		Study:  apps.Study{Name: traces[0].Meta.App, Track: cfg, ParamName: "experiment"},
 		Traces: traces,
@@ -138,6 +143,7 @@ func cmdExport(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	eps, minPts, metricNames := analysisFlags(fs)
 	out := fs.String("o", "", "output file (default stdout)")
+	lenientFlag(fs)
 	fs.Parse(args)
 	cfg, err := buildConfig(*eps, *minPts, *metricNames)
 	if err != nil {
@@ -155,6 +161,7 @@ func cmdExport(args []string) error {
 	if err != nil {
 		return err
 	}
+	noteDiagnostics(res)
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -20,6 +20,11 @@
 // including evaluator matrices and ground-truth validation; profile runs
 // the classic flat-profile baseline; animate emits the tracked sequence
 // as a self-playing SVG; export serialises the result as JSON.
+//
+// Every subcommand accepts -lenient, which decodes trace files in lenient
+// mode: malformed burst lines are quarantined (with per-file counts
+// reported to stderr) instead of aborting the analysis, and the skipped
+// lines are accounted for in the result's diagnostics.
 package main
 
 import (
@@ -79,7 +84,10 @@ func usage() {
   trackctl report  [-windows N] TRACE...
   trackctl animate [-o FILE] [-seconds S] TRACE...
   trackctl export  [-o FILE] TRACE...
-  trackctl info    TRACE...`)
+  trackctl info    TRACE...
+
+every subcommand accepts -lenient: tolerate malformed trace lines by
+quarantining them (diagnostics go to stderr) instead of failing.`)
 }
 
 // analysisFlags registers the flags shared by cluster and track.
@@ -108,12 +116,39 @@ func buildConfig(eps float64, minPts int, metricNames string) (core.Config, erro
 	return cfg, nil
 }
 
+// lenientMode is set by the -lenient flag (see lenientFlag); linesSkipped
+// accumulates the malformed lines the lenient decoder quarantined so the
+// result diagnostics can account for them.
+var (
+	lenientMode  bool
+	linesSkipped int
+)
+
+// lenientFlag registers -lenient on a subcommand's flag set. Every
+// subcommand that reads trace files supports it.
+func lenientFlag(fs *flag.FlagSet) {
+	fs.BoolVar(&lenientMode, "lenient", false,
+		"tolerate malformed trace lines: quarantine them and report counts to stderr")
+}
+
 func loadTraces(paths []string) ([]*trace.Trace, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("no trace files given")
 	}
 	out := make([]*trace.Trace, 0, len(paths))
 	for _, p := range paths {
+		if lenientMode {
+			t, diag, err := trace.ReadFileWith(p, trace.DecodeOptions{Strict: false})
+			if err != nil {
+				return nil, err
+			}
+			if diag.Skipped() > 0 || diag.MissingHeader {
+				fmt.Fprintf(os.Stderr, "trackctl: %s: %s\n", p, diag.Summary())
+			}
+			linesSkipped += diag.Skipped()
+			out = append(out, t)
+			continue
+		}
 		t, err := trace.ReadFile(p)
 		if err != nil {
 			return nil, err
@@ -123,8 +158,19 @@ func loadTraces(paths []string) ([]*trace.Trace, error) {
 	return out, nil
 }
 
+// noteDiagnostics folds the lenient-decode accounting into the result and
+// reports any degraded-mode activity to stderr, keeping stdout clean for
+// the analysis itself.
+func noteDiagnostics(res *core.Result) {
+	res.Diagnostics.AddDecode(linesSkipped)
+	if !res.Diagnostics.Clean() {
+		fmt.Fprintln(os.Stderr, "trackctl: diagnostics:", res.Diagnostics.Summary())
+	}
+}
+
 func cmdInfo(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	lenientFlag(fs)
 	fs.Parse(args)
 	traces, err := loadTraces(fs.Args())
 	if err != nil {
@@ -143,6 +189,7 @@ func cmdCluster(args []string) error {
 	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
 	eps, minPts, metricNames := analysisFlags(fs)
 	svgPath := fs.String("svg", "", "write the frame scatter as SVG to this file")
+	lenientFlag(fs)
 	fs.Parse(args)
 	cfg, err := buildConfig(*eps, *minPts, *metricNames)
 	if err != nil {
@@ -180,6 +227,7 @@ func cmdTrack(args []string) error {
 	svgDir := fs.String("svg", "", "write renamed scatter frames as SVG into this directory")
 	minVar := fs.Float64("minvar", 0.03, "minimum trend variation to report")
 	windows := fs.Int("windows", 0, "split a single trace into N time windows and track their evolution")
+	lenientFlag(fs)
 	fs.Parse(args)
 	cfg, err := buildConfig(*eps, *minPts, *metricNames)
 	if err != nil {
@@ -206,6 +254,7 @@ func cmdTrack(args []string) error {
 	if err != nil {
 		return err
 	}
+	noteDiagnostics(res)
 
 	fmt.Printf("%d frames, %d tracked regions, optimal k=%d, coverage %.0f%%\n",
 		len(res.Frames), res.SpanningCount, res.OptimalK, 100*res.Coverage)

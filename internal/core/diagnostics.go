@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diagnostics accounts for everything the degraded-mode pipeline dropped
+// or worked around while producing a Result: bursts quarantined during
+// frame construction (with a per-fault-class breakdown), input lines the
+// lenient decoder skipped, and frames that were marked degraded and
+// bridged over by the tracker. A clean run reports all zeros; anything
+// else means the result is a coarsened — but still sound — view of the
+// study.
+type Diagnostics struct {
+	// BurstsQuarantined is the total number of bursts excluded from frame
+	// construction because their values were corrupt.
+	BurstsQuarantined int `json:"burstsQuarantined"`
+	// QuarantinedBy breaks the quarantined bursts down by fault class
+	// (e.g. "nan-counter", "inf-counter", "zero-counter",
+	// "negative-duration", "task-out-of-range").
+	QuarantinedBy map[string]int `json:"quarantinedBy,omitempty"`
+	// LinesSkipped is the number of malformed input lines the lenient
+	// decoder quarantined before the traces reached the pipeline. It is
+	// filled by callers that decode leniently (see AddDecode).
+	LinesSkipped int `json:"linesSkipped,omitempty"`
+	// FramesDegraded counts frames marked Degraded (empty after
+	// quarantine/filtering, or collapsed by clustering).
+	FramesDegraded int `json:"framesDegraded,omitempty"`
+	// DegradedFrames lists the indices of the degraded frames.
+	DegradedFrames []int `json:"degradedFrames,omitempty"`
+	// FramesBridged counts degraded frames the tracker bridged across
+	// (correlating the surrounding healthy frames directly).
+	FramesBridged int `json:"framesBridged,omitempty"`
+	// Bridges lists each bridging correlation as a [from, to] frame index
+	// pair with to-from > 1.
+	Bridges [][2]int `json:"bridges,omitempty"`
+}
+
+// Clean reports whether the pipeline ran without quarantining,
+// skipping or bridging anything.
+func (d Diagnostics) Clean() bool {
+	return d.BurstsQuarantined == 0 && d.LinesSkipped == 0 &&
+		d.FramesDegraded == 0 && d.FramesBridged == 0
+}
+
+// AddDecode folds the skipped-line count of a lenient trace decode into
+// the diagnostics (call once per decoded trace).
+func (d *Diagnostics) AddDecode(linesSkipped int) { d.LinesSkipped += linesSkipped }
+
+// Summary renders a one-line human-readable account, or "clean" when
+// nothing was dropped.
+func (d Diagnostics) Summary() string {
+	if d.Clean() {
+		return "clean"
+	}
+	var parts []string
+	if d.BurstsQuarantined > 0 {
+		reasons := make([]string, 0, len(d.QuarantinedBy))
+		for r := range d.QuarantinedBy {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		var rs []string
+		for _, r := range reasons {
+			rs = append(rs, fmt.Sprintf("%s:%d", r, d.QuarantinedBy[r]))
+		}
+		parts = append(parts, fmt.Sprintf("quarantined %d bursts (%s)",
+			d.BurstsQuarantined, strings.Join(rs, ", ")))
+	}
+	if d.LinesSkipped > 0 {
+		parts = append(parts, fmt.Sprintf("skipped %d malformed lines", d.LinesSkipped))
+	}
+	if d.FramesDegraded > 0 {
+		parts = append(parts, fmt.Sprintf("%d degraded frame(s) %v", d.FramesDegraded, d.DegradedFrames))
+	}
+	if d.FramesBridged > 0 {
+		var bs []string
+		for _, b := range d.Bridges {
+			bs = append(bs, fmt.Sprintf("%d→%d", b[0], b[1]))
+		}
+		parts = append(parts, fmt.Sprintf("bridged %d frame(s) (%s)",
+			d.FramesBridged, strings.Join(bs, ", ")))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// gatherFrameDiagnostics aggregates the per-frame quarantine and
+// degradation bookkeeping into result-level diagnostics.
+func gatherFrameDiagnostics(frames []*Frame) Diagnostics {
+	var d Diagnostics
+	for _, f := range frames {
+		if f.Quarantined > 0 {
+			d.BurstsQuarantined += f.Quarantined
+			if d.QuarantinedBy == nil {
+				d.QuarantinedBy = map[string]int{}
+			}
+			for r, n := range f.QuarantinedBy {
+				d.QuarantinedBy[r] += n
+			}
+		}
+		if f.Degraded {
+			d.FramesDegraded++
+			d.DegradedFrames = append(d.DegradedFrames, f.Index)
+		}
+	}
+	return d
+}

@@ -14,11 +14,14 @@ import (
 
 // ExportFrame is the serialised form of one frame.
 type ExportFrame struct {
-	Index    int             `json:"index"`
-	Label    string          `json:"label"`
-	Ranks    int             `json:"ranks"`
-	Bursts   int             `json:"bursts"`
-	Clusters []ExportCluster `json:"clusters"`
+	Index          int             `json:"index"`
+	Label          string          `json:"label"`
+	Ranks          int             `json:"ranks"`
+	Bursts         int             `json:"bursts"`
+	Quarantined    int             `json:"quarantined,omitempty"`
+	Degraded       bool            `json:"degraded,omitempty"`
+	DegradedReason string          `json:"degradedReason,omitempty"`
+	Clusters       []ExportCluster `json:"clusters"`
 }
 
 // ExportCluster is the serialised form of one object.
@@ -49,12 +52,13 @@ type ExportRelation struct {
 
 // Export is the top-level JSON document.
 type Export struct {
-	Frames    []ExportFrame    `json:"frames"`
-	Regions   []ExportRegion   `json:"regions"`
-	Relations []ExportRelation `json:"relations"`
-	OptimalK  int              `json:"optimalK"`
-	Spanning  int              `json:"trackedRegions"`
-	Coverage  float64          `json:"coverage"`
+	Frames      []ExportFrame    `json:"frames"`
+	Regions     []ExportRegion   `json:"regions"`
+	Relations   []ExportRelation `json:"relations"`
+	OptimalK    int              `json:"optimalK"`
+	Spanning    int              `json:"trackedRegions"`
+	Coverage    float64          `json:"coverage"`
+	Diagnostics Diagnostics      `json:"diagnostics"`
 }
 
 // Export converts the result into its serialisable form, including the
@@ -64,12 +68,16 @@ type Export struct {
 // members list tells presence.
 func (r *Result) Export(ms []metrics.Metric) *Export {
 	out := &Export{
-		OptimalK: r.OptimalK,
-		Spanning: r.SpanningCount,
-		Coverage: r.Coverage,
+		OptimalK:    r.OptimalK,
+		Spanning:    r.SpanningCount,
+		Coverage:    r.Coverage,
+		Diagnostics: r.Diagnostics,
 	}
 	for fi, f := range r.Frames {
-		ef := ExportFrame{Index: f.Index, Label: f.Label, Ranks: f.Ranks, Bursts: len(f.Labels)}
+		ef := ExportFrame{
+			Index: f.Index, Label: f.Label, Ranks: f.Ranks, Bursts: len(f.Labels),
+			Quarantined: f.Quarantined, Degraded: f.Degraded, DegradedReason: f.DegradedReason,
+		}
 		for _, ci := range f.Clusters[1:] {
 			if ci == nil {
 				continue

@@ -151,6 +151,18 @@ type Frame struct {
 	// Clusters holds per-object summaries, indexed 1..NumClusters
 	// (index 0 is nil).
 	Clusters []*ClusterInfo
+	// Quarantined is the number of bursts excluded from the frame because
+	// their values were corrupt (non-finite counters, negative times, out
+	// of range tasks); QuarantinedBy breaks them down by fault class.
+	Quarantined   int
+	QuarantinedBy map[string]int
+	// Degraded marks a frame the pipeline could not render reliably:
+	// empty after quarantine and filtering, all-noise, or collapsed to a
+	// single cluster while the rest of the series resolves several. The
+	// tracker bridges across degraded frames instead of aborting.
+	Degraded bool
+	// DegradedReason says why the frame was marked degraded.
+	DegradedReason string
 }
 
 // Cluster returns the info of cluster id, or nil when out of range.
@@ -171,11 +183,77 @@ func (f *Frame) ClusteredDurationNS() float64 {
 	return sum
 }
 
+// burstFault classifies a corrupt burst, returning "" for healthy ones.
+// Corruption here means values no metric evaluation can make sense of:
+// non-finite or negative counters, negative times, tasks outside the
+// declared rank range, and dead counter reads (zero instructions or
+// cycles — no real burst retires nothing).
+func burstFault(b trace.Burst, ranks int) string {
+	switch {
+	case b.DurationNS < 0:
+		return "negative-duration"
+	case b.StartNS < 0:
+		return "negative-start"
+	case b.Task < 0:
+		return "negative-task"
+	case ranks > 0 && b.Task >= ranks:
+		return "task-out-of-range"
+	}
+	for _, v := range b.Counters {
+		if math.IsNaN(v) {
+			return "nan-counter"
+		}
+		if math.IsInf(v, 0) {
+			return "inf-counter"
+		}
+		if v < 0 {
+			return "negative-counter"
+		}
+	}
+	if b.Counters[metrics.CtrInstructions] == 0 || b.Counters[metrics.CtrCycles] == 0 {
+		return "zero-counter"
+	}
+	return ""
+}
+
+// quarantineBursts splits corrupt bursts out of a trace. When the trace
+// is clean it is returned as-is with a nil reason map, so the healthy
+// path stays allocation-free.
+func quarantineBursts(t *trace.Trace) (*trace.Trace, map[string]int) {
+	var reasons map[string]int
+	var out *trace.Trace
+	for i, b := range t.Bursts {
+		r := burstFault(b, t.Meta.Ranks)
+		if r == "" {
+			if out != nil {
+				out.Bursts = append(out.Bursts, b)
+			}
+			continue
+		}
+		if out == nil {
+			out = &trace.Trace{Meta: t.Meta}
+			out.Bursts = append(out.Bursts, t.Bursts[:i]...)
+			reasons = map[string]int{}
+		}
+		reasons[r]++
+	}
+	if out == nil {
+		return t, nil
+	}
+	return out, reasons
+}
+
 // BuildFrames converts one trace per experiment into the frame sequence:
-// it filters bursts, evaluates the metric space, clusters every frame
-// independently (the paper stresses this is "an independent, non
-// supervised process" whose numbering differs frame to frame) and finally
-// normalises scales across the series.
+// it quarantines corrupt bursts, filters, evaluates the metric space,
+// clusters every frame independently (the paper stresses this is "an
+// independent, non supervised process" whose numbering differs frame to
+// frame) and finally normalises scales across the series.
+//
+// Frames that come out unusable — no bursts after quarantine/filtering,
+// no clusters, or a single-cluster collapse while the rest of the series
+// resolves several objects — are marked Degraded rather than failing the
+// build, so one bad experiment coarsens the study instead of killing it.
+// Only a sequence in which every frame is degraded is an error.
 func BuildFrames(traces []*trace.Trace, cfg Config) ([]*Frame, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -209,6 +287,10 @@ func BuildFrames(traces []*trace.Trace, cfg Config) ([]*Frame, error) {
 			return nil, err
 		}
 	}
+	markCollapsed(frames)
+	if err := allDegraded(frames); err != nil {
+		return nil, err
+	}
 	normalizeSeries(frames, cfg.Metrics)
 	for _, f := range frames {
 		f.fillClusterInfo(cfg)
@@ -216,16 +298,65 @@ func BuildFrames(traces []*trace.Trace, cfg Config) ([]*Frame, error) {
 	return frames, nil
 }
 
+// markCollapsed flags single-cluster frames as degraded when the rest of
+// the series resolves clearly more structure: the frame carries no
+// trackable relations of its own, and bridging the neighbours preserves
+// more information than forcing everything through one merged object.
+// When the whole series is low-resolution (max < 3 clusters) nothing is
+// marked — that is the study's genuine structure, not a collapse.
+func markCollapsed(frames []*Frame) {
+	maxC := 0
+	for _, f := range frames {
+		if f.NumClusters > maxC {
+			maxC = f.NumClusters
+		}
+	}
+	if maxC < 3 {
+		return
+	}
+	for _, f := range frames {
+		if !f.Degraded && f.NumClusters == 1 {
+			f.Degraded = true
+			f.DegradedReason = "clustering collapsed to a single object"
+		}
+	}
+}
+
+// allDegraded returns an error when no frame in the sequence is usable.
+func allDegraded(frames []*Frame) error {
+	for _, f := range frames {
+		if !f.Degraded {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: all %d frames are degraded (frame 0: %s)",
+		len(frames), frames[0].DegradedReason)
+}
+
 func buildFrame(index int, t *trace.Trace, cfg Config) (*Frame, error) {
-	ft := t
+	ft, quarantined := quarantineBursts(t)
+	qcount := 0
+	for _, n := range quarantined {
+		qcount += n
+	}
 	if cfg.MinBurstDurationNS > 0 {
 		ft = ft.FilterMinDuration(cfg.MinBurstDurationNS)
 	}
 	if cfg.TopDurationFrac > 0 && cfg.TopDurationFrac < 1 {
 		ft = ft.FilterTopDuration(cfg.TopDurationFrac)
 	}
+	f := &Frame{
+		Index:         index,
+		Label:         t.Meta.Label,
+		Ranks:         t.Meta.Ranks,
+		Trace:         ft,
+		Quarantined:   qcount,
+		QuarantinedBy: quarantined,
+	}
 	if len(ft.Bursts) == 0 {
-		return nil, fmt.Errorf("no bursts after filtering")
+		f.Degraded = true
+		f.DegradedReason = "no bursts after quarantine and filtering"
+		return f, nil
 	}
 	points := make([][]float64, len(ft.Bursts))
 	coords := make([][]float64, len(ft.Bursts))
@@ -239,15 +370,14 @@ func buildFrame(index int, t *trace.Trace, cfg Config) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Frame{
-		Index:       index,
-		Label:       t.Meta.Label,
-		Ranks:       t.Meta.Ranks,
-		Trace:       ft,
-		Points:      points,
-		Labels:      res.Labels,
-		NumClusters: res.NumClusters,
-	}, nil
+	f.Points = points
+	f.Labels = res.Labels
+	f.NumClusters = res.NumClusters
+	if res.NumClusters == 0 {
+		f.Degraded = true
+		f.DegradedReason = "clustering found no objects"
+	}
+	return f, nil
 }
 
 // transformSpace maps raw metric values into the space distances are

@@ -77,6 +77,9 @@ type Result struct {
 	// correspondences between all objects; lower values mean nearby
 	// objects had to be grouped into wide relations.
 	Coverage float64
+	// Diagnostics accounts for quarantined bursts, skipped lines,
+	// degraded frames and the bridges the tracker built across them.
+	Diagnostics Diagnostics
 }
 
 // Tracker runs the combination algorithm of Section 3 over a sequence of
@@ -89,13 +92,31 @@ type Tracker struct {
 // take defaults).
 func NewTracker(cfg Config) *Tracker { return &Tracker{cfg: cfg.withDefaults()} }
 
-// Track correlates the objects of every pair of consecutive frames and
-// chains the relations into tracked regions over the whole sequence.
+// Track correlates the objects of every pair of consecutive healthy
+// frames and chains the relations into tracked regions over the whole
+// sequence. Degraded frames are bridged: the surrounding healthy frames
+// are correlated directly (the displacement and sequence evaluators do
+// not require adjacency, only comparable normalised spaces), so a corrupt
+// or collapsed experiment coarsens the trend instead of aborting the
+// study. Every bridge is recorded in Result.Diagnostics.
 func (tk *Tracker) Track(frames []*Frame) (*Result, error) {
 	if len(frames) == 0 {
 		return nil, fmt.Errorf("core: no frames to track")
 	}
 	cfg := tk.cfg
+
+	// The tracked sequence is the healthy frames; degraded ones stay in
+	// Result.Frames (so indices and labels are preserved) but take no
+	// part in correlation.
+	var active []int
+	for i, f := range frames {
+		if !f.Degraded {
+			active = append(active, i)
+		}
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("core: every frame is degraded")
+	}
 
 	// Per-frame machinery shared by evaluators: star alignment of the
 	// per-task sequences, its SPMD matrix, pairs and consensus sequence.
@@ -109,6 +130,10 @@ func (tk *Tracker) Track(frames []*Frame) (*Result, error) {
 	var wg sync.WaitGroup
 	for i, f := range frames {
 		i, f := i, f
+		if f.Degraded {
+			spmdM[i] = NewMatrix("spmd", i, i, f.NumClusters, f.NumClusters)
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -126,20 +151,28 @@ func (tk *Tracker) Track(frames []*Frame) (*Result, error) {
 	}
 	wg.Wait()
 
-	// Consecutive pairs are likewise independent (the chain step joins
-	// their relations afterwards).
-	res := &Result{Frames: frames, Pairs: make([]*PairResult, max(0, len(frames)-1))}
-	for k := 0; k+1 < len(frames); k++ {
+	// Consecutive active pairs are likewise independent (the chain step
+	// joins their relations afterwards).
+	res := &Result{Frames: frames, Pairs: make([]*PairResult, max(0, len(active)-1))}
+	res.Diagnostics = gatherFrameDiagnostics(frames)
+	for k := 0; k+1 < len(active); k++ {
 		k := k
+		i, j := active[k], active[k+1]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res.Pairs[k] = tk.trackPair(frames[k], frames[k+1],
-				spmdM[k], spmdM[k+1], spmdPairs[k], spmdPairs[k+1],
-				consensus[k], consensus[k+1])
+			res.Pairs[k] = tk.trackPair(frames[i], frames[j],
+				spmdM[i], spmdM[j], spmdPairs[i], spmdPairs[j],
+				consensus[i], consensus[j])
 		}()
 	}
 	wg.Wait()
+	for _, pr := range res.Pairs {
+		if pr.To-pr.From > 1 {
+			res.Diagnostics.FramesBridged += pr.To - pr.From - 1
+			res.Diagnostics.Bridges = append(res.Diagnostics.Bridges, [2]int{pr.From, pr.To})
+		}
+	}
 	tk.chain(res)
 	return res, nil
 }
@@ -489,10 +522,12 @@ func (tk *Tracker) chain(res *Result) {
 				tr.TotalDurationNS += ci.TotalDurationNS
 			}
 		}
+		// Spanning means present in every healthy frame: degraded frames
+		// cannot host any region, so they do not break spans.
 		tr.Spanning = true
 		for fi := range frames {
 			sort.Ints(tr.Members[fi])
-			if len(tr.Members[fi]) == 0 {
+			if len(tr.Members[fi]) == 0 && !frames[fi].Degraded {
 				tr.Spanning = false
 			}
 		}
@@ -515,9 +550,14 @@ func (tk *Tracker) chain(res *Result) {
 	}
 	res.Regions = regions
 
-	res.OptimalK = frames[0].NumClusters
-	for _, f := range frames[1:] {
-		if f.NumClusters < res.OptimalK {
+	// The optimal k is bounded by the healthy image with the fewest
+	// objects; degraded frames are outside the tracked sequence.
+	res.OptimalK = 0
+	for _, f := range frames {
+		if f.Degraded {
+			continue
+		}
+		if res.OptimalK == 0 || f.NumClusters < res.OptimalK {
 			res.OptimalK = f.NumClusters
 		}
 	}

@@ -1,0 +1,378 @@
+// Package faults provides deterministic, seeded fault injectors that
+// corrupt burst-level traces the way real collection pipelines do: dead
+// ranks, tasks truncated mid-run, zeroed/NaN/Inf hardware counters,
+// duplicated and reordered bursts, skewed per-task clocks, and truncated
+// or garbled trace files. Injectors never mutate their input; the same
+// (input, seed) pair always produces the same corruption, so the
+// robustness matrix in the test suite is reproducible burst for burst.
+//
+// Two injector families exist: Injector corrupts a *trace.Trace in
+// memory (the faults survive a clean encode/decode round trip), and
+// BytesInjector corrupts the serialised file form (the faults exercise
+// the lenient decoder).
+package faults
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"perftrack/internal/metrics"
+	"perftrack/internal/trace"
+)
+
+// Report describes what one injector did.
+type Report struct {
+	// Injector is the injector's Name.
+	Injector string
+	// Faults counts the injected faults: bursts dropped, corrupted,
+	// duplicated, reordered or skewed for in-memory injectors; lines
+	// removed or garbled for byte-level injectors.
+	Faults int
+}
+
+// Injector corrupts a trace in memory and reports what it did.
+type Injector interface {
+	Name() string
+	Apply(t *trace.Trace, seed uint64) (*trace.Trace, Report)
+}
+
+// BytesInjector corrupts a serialised trace file.
+type BytesInjector interface {
+	Name() string
+	ApplyBytes(data []byte, seed uint64) ([]byte, Report)
+}
+
+// Counter corruption modes for CorruptCounters.
+const (
+	ModeZero = "zero" // a dead PAPI read: every counter comes back 0
+	ModeNaN  = "nan"  // one counter slot becomes NaN
+	ModeInf  = "inf"  // one counter slot becomes +Inf
+)
+
+// TraceInjectors returns the full in-memory injector matrix at the given
+// severity: frac is the fraction of bursts (or ranks, for the rank-level
+// injectors) affected.
+func TraceInjectors(frac float64) []Injector {
+	return []Injector{
+		DropRanks{Frac: frac},
+		TruncateTasks{Frac: frac},
+		CorruptCounters{Frac: frac, Mode: ModeZero},
+		CorruptCounters{Frac: frac, Mode: ModeNaN},
+		CorruptCounters{Frac: frac, Mode: ModeInf},
+		DuplicateBursts{Frac: frac},
+		ReorderBursts{Frac: frac},
+		SkewClocks{Frac: frac, MaxSkewNS: 5_000_000},
+	}
+}
+
+// ByteInjectors returns the serialised-form injector matrix at the given
+// severity (fraction of the file / of the burst lines affected).
+func ByteInjectors(frac float64) []BytesInjector {
+	return []BytesInjector{
+		TruncateBytes{Frac: frac},
+		GarbleLines{Frac: frac},
+	}
+}
+
+// rng derives an independent deterministic stream per injector name so
+// applying several injectors with the same base seed stays uncorrelated.
+func rng(name string, seed uint64) *rand.Rand {
+	h := uint64(1469598103934665603)
+	for _, c := range []byte(name) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return rand.New(rand.NewPCG(seed, h))
+}
+
+// affected returns how many of n items a severity fraction touches: at
+// least one (when n > 0 and frac > 0), at most all.
+func affected(n int, frac float64) int {
+	if n == 0 || frac <= 0 {
+		return 0
+	}
+	k := int(math.Round(frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// taskIDs returns the sorted distinct task ids of a trace.
+func taskIDs(t *trace.Trace) []int {
+	seen := map[int]bool{}
+	for _, b := range t.Bursts {
+		seen[b.Task] = true
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// pickTasks selects k random task ids from the trace.
+func pickTasks(t *trace.Trace, frac float64, r *rand.Rand) map[int]bool {
+	ids := taskIDs(t)
+	k := affected(len(ids), frac)
+	chosen := map[int]bool{}
+	for _, i := range r.Perm(len(ids))[:k] {
+		chosen[ids[i]] = true
+	}
+	return chosen
+}
+
+// DropRanks removes every burst of a random fraction of the tasks — the
+// dead ranks of a crashed node or an unflushed trace buffer.
+type DropRanks struct {
+	// Frac is the fraction of tasks dropped (at least one).
+	Frac float64
+}
+
+func (d DropRanks) Name() string { return "drop-ranks" }
+
+func (d DropRanks) Apply(t *trace.Trace, seed uint64) (*trace.Trace, Report) {
+	r := rng(d.Name(), seed)
+	drop := pickTasks(t, d.Frac, r)
+	out := &trace.Trace{Meta: t.Meta}
+	faults := 0
+	for _, b := range t.Bursts {
+		if drop[b.Task] {
+			faults++
+			continue
+		}
+		out.Bursts = append(out.Bursts, b)
+	}
+	return out, Report{d.Name(), faults}
+}
+
+// TruncateTasks cuts a random fraction of the tasks mid-run: the trailing
+// half of each affected task's bursts is lost, as when tracing stops
+// before the application does.
+type TruncateTasks struct {
+	// Frac is the fraction of tasks truncated (at least one).
+	Frac float64
+}
+
+func (tt TruncateTasks) Name() string { return "truncate-tasks" }
+
+func (tt TruncateTasks) Apply(t *trace.Trace, seed uint64) (*trace.Trace, Report) {
+	r := rng(tt.Name(), seed)
+	cut := pickTasks(t, tt.Frac, r)
+	// Chronological per-task order decides what "trailing" means.
+	seqs := t.PerTaskSequences()
+	dropIdx := map[int]bool{}
+	for task := range cut {
+		s := seqs[task]
+		for _, bi := range s[len(s)/2:] {
+			dropIdx[bi] = true
+		}
+	}
+	out := &trace.Trace{Meta: t.Meta}
+	for i, b := range t.Bursts {
+		if dropIdx[i] {
+			continue
+		}
+		out.Bursts = append(out.Bursts, b)
+	}
+	return out, Report{tt.Name(), len(dropIdx)}
+}
+
+// CorruptCounters damages the hardware counter vector of a random
+// fraction of the bursts, in one of three modes: a dead read zeroing the
+// whole vector, or a single slot becoming NaN or +Inf.
+type CorruptCounters struct {
+	// Frac is the fraction of bursts corrupted (at least one).
+	Frac float64
+	// Mode is ModeZero, ModeNaN or ModeInf (default ModeNaN).
+	Mode string
+}
+
+func (cc CorruptCounters) mode() string {
+	if cc.Mode == "" {
+		return ModeNaN
+	}
+	return cc.Mode
+}
+
+func (cc CorruptCounters) Name() string { return "counter-" + cc.mode() }
+
+func (cc CorruptCounters) Apply(t *trace.Trace, seed uint64) (*trace.Trace, Report) {
+	r := rng(cc.Name(), seed)
+	out := t.Clone()
+	k := affected(len(out.Bursts), cc.Frac)
+	for _, bi := range r.Perm(len(out.Bursts))[:k] {
+		b := &out.Bursts[bi]
+		switch cc.mode() {
+		case ModeZero:
+			b.Counters = metrics.CounterVector{}
+		case ModeInf:
+			b.Counters[r.IntN(int(metrics.NumCounters))] = math.Inf(1)
+		default: // ModeNaN
+			b.Counters[r.IntN(int(metrics.NumCounters))] = math.NaN()
+		}
+	}
+	return out, Report{cc.Name(), k}
+}
+
+// DuplicateBursts appends copies of a random fraction of the bursts —
+// the double flush of a crashed writer or a merge of overlapping chunks.
+type DuplicateBursts struct {
+	// Frac is the fraction of bursts duplicated (at least one).
+	Frac float64
+}
+
+func (db DuplicateBursts) Name() string { return "duplicate-bursts" }
+
+func (db DuplicateBursts) Apply(t *trace.Trace, seed uint64) (*trace.Trace, Report) {
+	r := rng(db.Name(), seed)
+	out := t.Clone()
+	k := affected(len(t.Bursts), db.Frac)
+	for _, bi := range r.Perm(len(t.Bursts))[:k] {
+		out.Bursts = append(out.Bursts, t.Bursts[bi])
+	}
+	return out, Report{db.Name(), k}
+}
+
+// ReorderBursts breaks the chronological order within tasks by swapping
+// the start times of a random fraction of consecutive same-task burst
+// pairs — out-of-order buffer flushes and non-monotonic clocks.
+type ReorderBursts struct {
+	// Frac is the fraction of bursts whose order is disturbed.
+	Frac float64
+}
+
+func (rb ReorderBursts) Name() string { return "reorder-bursts" }
+
+func (rb ReorderBursts) Apply(t *trace.Trace, seed uint64) (*trace.Trace, Report) {
+	r := rng(rb.Name(), seed)
+	out := t.Clone()
+	seqs := out.PerTaskSequences()
+	tasks := taskIDs(out)
+	// Collect all consecutive same-task index pairs, then swap a sample.
+	var pairs [][2]int
+	for _, task := range tasks {
+		s := seqs[task]
+		for i := 0; i+1 < len(s); i++ {
+			pairs = append(pairs, [2]int{s[i], s[i+1]})
+		}
+	}
+	k := affected(len(pairs), rb.Frac/2) // each swap disturbs two bursts
+	faults := 0
+	for _, pi := range r.Perm(len(pairs))[:k] {
+		a, b := pairs[pi][0], pairs[pi][1]
+		out.Bursts[a].StartNS, out.Bursts[b].StartNS = out.Bursts[b].StartNS, out.Bursts[a].StartNS
+		faults += 2
+	}
+	return out, Report{rb.Name(), faults}
+}
+
+// SkewClocks shifts the clock of a random fraction of the tasks by a
+// constant positive offset — unsynchronised node clocks.
+type SkewClocks struct {
+	// Frac is the fraction of tasks skewed (at least one).
+	Frac float64
+	// MaxSkewNS bounds the per-task offset (default 1ms).
+	MaxSkewNS int64
+}
+
+func (sc SkewClocks) Name() string { return "skew-clocks" }
+
+func (sc SkewClocks) Apply(t *trace.Trace, seed uint64) (*trace.Trace, Report) {
+	r := rng(sc.Name(), seed)
+	maxSkew := sc.MaxSkewNS
+	if maxSkew <= 0 {
+		maxSkew = 1_000_000
+	}
+	skewed := pickTasks(t, sc.Frac, r)
+	offsets := map[int]int64{}
+	for _, task := range taskIDs(t) {
+		if skewed[task] {
+			offsets[task] = 1 + r.Int64N(maxSkew)
+		}
+	}
+	out := t.Clone()
+	faults := 0
+	for i := range out.Bursts {
+		if off, ok := offsets[out.Bursts[i].Task]; ok {
+			out.Bursts[i].StartNS += off
+			faults++
+		}
+	}
+	return out, Report{sc.Name(), faults}
+}
+
+// TruncateBytes cuts the trailing fraction of a serialised trace — the
+// partial file left behind by a full disk or a killed writer. The report
+// counts the lines fully or partially lost.
+type TruncateBytes struct {
+	// Frac is the fraction of the file removed from the end.
+	Frac float64
+}
+
+func (tb TruncateBytes) Name() string { return "truncate-bytes" }
+
+func (tb TruncateBytes) ApplyBytes(data []byte, seed uint64) ([]byte, Report) {
+	keep := len(data) - int(float64(len(data))*tb.Frac)
+	if keep < 0 {
+		keep = 0
+	}
+	if keep >= len(data) {
+		return append([]byte(nil), data...), Report{tb.Name(), 0}
+	}
+	// Every affected line contributes its terminating newline to the
+	// removed region, except a final line the original file left
+	// unterminated. A cut mid-line leaves a partial line in the kept
+	// prefix, which the lenient decoder must quarantine; that line's
+	// newline is also in the removed region, so it is already counted.
+	removed := data[keep:]
+	faults := bytes.Count(removed, []byte("\n"))
+	if len(removed) > 0 && removed[len(removed)-1] != '\n' {
+		faults++
+	}
+	return append([]byte(nil), data[:keep]...), Report{tb.Name(), faults}
+}
+
+// GarbleLines overwrites random bytes inside a random fraction of the
+// burst records of a serialised trace — bit rot, racing writers, charset
+// mangling. Only "B " records are touched so the header stays parseable;
+// a garbled record either fails to parse (and is quarantined by the
+// lenient decoder) or silently carries wrong values (and is quarantined
+// later by frame construction when the values are non-finite).
+type GarbleLines struct {
+	// Frac is the fraction of burst lines garbled (at least one).
+	Frac float64
+}
+
+func (gl GarbleLines) Name() string { return "garble-lines" }
+
+func (gl GarbleLines) ApplyBytes(data []byte, seed uint64) ([]byte, Report) {
+	r := rng(gl.Name(), seed)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	var burstLines []int
+	for i, l := range lines {
+		if bytes.HasPrefix(l, []byte("B ")) {
+			burstLines = append(burstLines, i)
+		}
+	}
+	k := affected(len(burstLines), gl.Frac)
+	junk := []byte("x?!NaN#~")
+	for _, li := range r.Perm(len(burstLines))[:k] {
+		l := append([]byte(nil), lines[burstLines[li]]...)
+		// Mutate a few bytes after the "B " prefix, sparing the newline.
+		span := len(l) - 3
+		if span <= 0 {
+			continue
+		}
+		for n := 1 + r.IntN(4); n > 0; n-- {
+			l[2+r.IntN(span)] = junk[r.IntN(len(junk))]
+		}
+		lines[burstLines[li]] = l
+	}
+	return bytes.Join(lines, nil), Report{gl.Name(), k}
+}

@@ -1,0 +1,236 @@
+package faults
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"perftrack/internal/metrics"
+	"perftrack/internal/trace"
+)
+
+// sample builds a small deterministic trace: ranks tasks, iters bursts
+// each, two alternating code regions.
+func sample(ranks, iters int) *trace.Trace {
+	t := &trace.Trace{Meta: trace.Metadata{App: "synth", Label: "run", Ranks: ranks}}
+	for task := 0; task < ranks; task++ {
+		clock := int64(0)
+		for it := 0; it < iters; it++ {
+			dur := int64(1_000_000 + 10_000*((task+it)%7))
+			var c metrics.CounterVector
+			c[metrics.CtrInstructions] = 2e6 + 1e4*float64(it%5)
+			c[metrics.CtrCycles] = 3e6
+			c[metrics.CtrL1DMisses] = 1e3
+			stack := trace.CallstackRef{Function: "compute", File: "a.f90", Line: 10}
+			if it%2 == 1 {
+				stack = trace.CallstackRef{Function: "exchange", File: "a.f90", Line: 99}
+			}
+			t.Bursts = append(t.Bursts, trace.Burst{
+				Task: task, StartNS: clock, DurationNS: dur,
+				Stack: stack, Counters: c, Phase: it % 2,
+			})
+			clock += dur + 50_000
+		}
+	}
+	return t
+}
+
+// TestDeterministic applies every injector twice with the same seed and
+// once with a different seed: same seed must reproduce the corruption
+// byte for byte, different seeds must (for the randomised injectors)
+// diverge somewhere across the matrix.
+func TestDeterministic(t *testing.T) {
+	in := sample(8, 20)
+	for _, inj := range TraceInjectors(0.2) {
+		a, ra := inj.Apply(in, 42)
+		b, rb := inj.Apply(in, 42)
+		if ra != rb {
+			t.Errorf("%s: reports differ across identical applications: %+v vs %+v", inj.Name(), ra, rb)
+		}
+		if !tracesEqual(a, b) {
+			t.Errorf("%s: corrupted traces differ across identical applications", inj.Name())
+		}
+	}
+	enc := encode(t, in)
+	for _, inj := range ByteInjectors(0.2) {
+		a, ra := inj.ApplyBytes(enc, 42)
+		b, rb := inj.ApplyBytes(enc, 42)
+		if ra != rb || !bytes.Equal(a, b) {
+			t.Errorf("%s: not deterministic for a fixed seed", inj.Name())
+		}
+	}
+}
+
+// TestInputImmutable checks injectors never mutate the trace (or bytes)
+// they are given.
+func TestInputImmutable(t *testing.T) {
+	in := sample(6, 12)
+	want := in.Clone()
+	for _, inj := range TraceInjectors(0.3) {
+		inj.Apply(in, 7)
+		if !reflect.DeepEqual(in, want) {
+			t.Fatalf("%s mutated its input", inj.Name())
+		}
+	}
+	enc := encode(t, in)
+	orig := append([]byte(nil), enc...)
+	for _, inj := range ByteInjectors(0.3) {
+		inj.ApplyBytes(enc, 7)
+		if !bytes.Equal(enc, orig) {
+			t.Fatalf("%s mutated its input bytes", inj.Name())
+		}
+	}
+}
+
+// TestFaultCounts verifies each injector's report matches the observable
+// damage.
+func TestFaultCounts(t *testing.T) {
+	in := sample(10, 20) // 200 bursts
+
+	out, rep := DropRanks{Frac: 0.2}.Apply(in, 1)
+	if got := len(in.Bursts) - len(out.Bursts); got != rep.Faults {
+		t.Errorf("drop-ranks: reported %d faults, dropped %d bursts", rep.Faults, got)
+	}
+	if rep.Faults != 2*20 {
+		t.Errorf("drop-ranks at 0.2 over 10 tasks: want 40 bursts gone, got %d", rep.Faults)
+	}
+
+	out, rep = TruncateTasks{Frac: 0.2}.Apply(in, 1)
+	if got := len(in.Bursts) - len(out.Bursts); got != rep.Faults {
+		t.Errorf("truncate-tasks: reported %d faults, dropped %d bursts", rep.Faults, got)
+	}
+
+	for _, mode := range []string{ModeZero, ModeNaN, ModeInf} {
+		out, rep = CorruptCounters{Frac: 0.1, Mode: mode}.Apply(in, 1)
+		bad := 0
+		for _, b := range out.Bursts {
+			for _, v := range b.Counters {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					bad++
+					break
+				}
+			}
+			if mode == ModeZero && b.Counters == (metrics.CounterVector{}) {
+				bad++
+			}
+		}
+		if bad != rep.Faults {
+			t.Errorf("counter-%s: reported %d faults, observed %d corrupt bursts", mode, rep.Faults, bad)
+		}
+	}
+
+	out, rep = DuplicateBursts{Frac: 0.15}.Apply(in, 1)
+	if got := len(out.Bursts) - len(in.Bursts); got != rep.Faults {
+		t.Errorf("duplicate-bursts: reported %d, appended %d", rep.Faults, got)
+	}
+
+	out, rep = SkewClocks{Frac: 0.2, MaxSkewNS: 1000}.Apply(in, 1)
+	moved := 0
+	for i := range out.Bursts {
+		if out.Bursts[i].StartNS != in.Bursts[i].StartNS {
+			moved++
+		}
+	}
+	if moved != rep.Faults {
+		t.Errorf("skew-clocks: reported %d, moved %d", rep.Faults, moved)
+	}
+
+	out, rep = ReorderBursts{Frac: 0.2}.Apply(in, 1)
+	moved = 0
+	for i := range out.Bursts {
+		if out.Bursts[i].StartNS != in.Bursts[i].StartNS {
+			moved++
+		}
+	}
+	if moved != rep.Faults {
+		t.Errorf("reorder-bursts: reported %d, moved %d", rep.Faults, moved)
+	}
+}
+
+// TestTruncateBytesCounts checks the removed-line accounting against a
+// hand-built file.
+func TestTruncateBytesCounts(t *testing.T) {
+	data := []byte("l1\nl2\nl3\nl4\n")
+	out, rep := TruncateBytes{Frac: 0.5}.ApplyBytes(data, 0)
+	if len(out) != 6 {
+		t.Fatalf("want 6 bytes kept, got %d (%q)", len(out), out)
+	}
+	if rep.Faults != 2 {
+		t.Errorf("removing %q: want 2 lines lost, got %d", data[6:], rep.Faults)
+	}
+	// Cut mid-line: "l3\nl4\n" minus 7 bytes removes "4\n", "l3\n" and
+	// leaves a partial "l" — removed region "3\nl4\n" holds both newlines.
+	out, rep = TruncateBytes{Frac: 7.0 / 12.0}.ApplyBytes(data, 0)
+	if string(out) != "l1\nl2\n" {
+		// keep = 12 - floor(12*7/12) = 5 → "l1\nl2" (partial second line)
+		if string(out) != "l1\nl2" {
+			t.Fatalf("unexpected kept prefix %q", out)
+		}
+		if rep.Faults != 3 {
+			t.Errorf("partial cut: want 3 affected lines, got %d", rep.Faults)
+		}
+	}
+	out, rep = TruncateBytes{Frac: 0}.ApplyBytes(data, 0)
+	if !bytes.Equal(out, data) || rep.Faults != 0 {
+		t.Errorf("frac 0 must be the identity, got %q with %d faults", out, rep.Faults)
+	}
+}
+
+// TestGarbleLinesSparesHeader checks only burst records are touched.
+func TestGarbleLinesSparesHeader(t *testing.T) {
+	in := sample(4, 10)
+	enc := encode(t, in)
+	out, rep := GarbleLines{Frac: 0.5}.ApplyBytes(enc, 3)
+	if rep.Faults == 0 {
+		t.Fatal("garble-lines reported no faults at frac 0.5")
+	}
+	inLines, outLines := bytes.Split(enc, []byte("\n")), bytes.Split(out, []byte("\n"))
+	if len(inLines) != len(outLines) {
+		t.Fatalf("line count changed: %d -> %d", len(inLines), len(outLines))
+	}
+	changed := 0
+	for i := range inLines {
+		if bytes.Equal(inLines[i], outLines[i]) {
+			continue
+		}
+		changed++
+		if !bytes.HasPrefix(inLines[i], []byte("B ")) {
+			t.Errorf("non-burst line %d garbled: %q -> %q", i, inLines[i], outLines[i])
+		}
+	}
+	if changed > rep.Faults {
+		t.Errorf("garbled %d lines but reported only %d faults", changed, rep.Faults)
+	}
+}
+
+// tracesEqual is reflect.DeepEqual with NaN counters comparing equal
+// (DeepEqual uses ==, under which NaN != NaN).
+func tracesEqual(a, b *trace.Trace) bool {
+	if !reflect.DeepEqual(a.Meta, b.Meta) || len(a.Bursts) != len(b.Bursts) {
+		return false
+	}
+	for i := range a.Bursts {
+		ba, bb := a.Bursts[i], b.Bursts[i]
+		ca, cb := ba.Counters, bb.Counters
+		ba.Counters, bb.Counters = metrics.CounterVector{}, metrics.CounterVector{}
+		if ba != bb {
+			return false
+		}
+		for j := range ca {
+			if ca[j] != cb[j] && !(math.IsNaN(ca[j]) && math.IsNaN(cb[j])) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func encode(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

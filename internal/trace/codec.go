@@ -30,39 +30,57 @@ const (
 )
 
 // Write serialises the trace to w in the perftrack text format. Bursts are
-// written in (task, time) order to make output deterministic.
+// written in (task, time) order to make output deterministic. Every write
+// is checked so a full disk or closed pipe surfaces as an error instead of
+// a silently truncated file.
 func Write(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "%s %d\n", formatMagic, formatVersion); err != nil {
 		return err
 	}
-	fmt.Fprintf(bw, "#meta app=%s label=%s ranks=%d tasksPerNode=%d machine=%s compiler=%s\n",
+	if _, err := fmt.Fprintf(bw, "#meta app=%s label=%s ranks=%d tasksPerNode=%d machine=%s compiler=%s\n",
 		quoteField(t.Meta.App), quoteField(t.Meta.Label), t.Meta.Ranks,
-		t.Meta.TasksPerNode, quoteField(t.Meta.Machine), quoteField(t.Meta.Compiler))
+		t.Meta.TasksPerNode, quoteField(t.Meta.Machine), quoteField(t.Meta.Compiler)); err != nil {
+		return err
+	}
 	keys := make([]string, 0, len(t.Meta.Params))
 	for k := range t.Meta.Params {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Fprintf(bw, "#param %s=%s\n", quoteField(k), quoteField(t.Meta.Params[k]))
+		if _, err := fmt.Fprintf(bw, "#param %s=%s\n", quoteField(k), quoteField(t.Meta.Params[k])); err != nil {
+			return err
+		}
 	}
-	fmt.Fprint(bw, "#counters")
+	if _, err := fmt.Fprint(bw, "#counters"); err != nil {
+		return err
+	}
 	for c := metrics.Counter(0); c < metrics.NumCounters; c++ {
-		fmt.Fprintf(bw, " %s", c)
+		if _, err := fmt.Fprintf(bw, " %s", c); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintln(bw)
+	if _, err := fmt.Fprintln(bw); err != nil {
+		return err
+	}
 
 	sorted := t.Clone()
 	sorted.SortByTaskTime()
 	for _, b := range sorted.Bursts {
-		fmt.Fprintf(bw, "B %d %d %d %d %s %s %d %d",
+		if _, err := fmt.Fprintf(bw, "B %d %d %d %d %s %s %d %d",
 			b.Task, b.Thread, b.StartNS, b.DurationNS,
-			quoteField(b.Stack.Function), quoteField(b.Stack.File), b.Stack.Line, b.Phase)
-		for _, v := range b.Counters {
-			fmt.Fprintf(bw, " %s", formatCount(v))
+			quoteField(b.Stack.Function), quoteField(b.Stack.File), b.Stack.Line, b.Phase); err != nil {
+			return err
 		}
-		fmt.Fprintln(bw)
+		for _, v := range b.Counters {
+			if _, err := fmt.Fprintf(bw, " %s", formatCount(v)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -80,83 +98,180 @@ func WriteFile(path string, t *Trace) error {
 	return f.Close()
 }
 
-// Read parses a trace in the perftrack text format.
+// DecodeOptions selects between strict decoding (the historical
+// all-or-nothing behaviour of Read) and lenient decoding, which
+// quarantines malformed lines with line-numbered diagnostics and keeps
+// going — the mode real, partially corrupted traces need. The zero value
+// is maximally lenient.
+type DecodeOptions struct {
+	// Strict aborts at the first malformed line. False quarantines
+	// malformed lines instead.
+	Strict bool
+	// MaxBadLines bounds how many malformed lines lenient mode tolerates
+	// before giving up on the input entirely (0 = unlimited). Ignored in
+	// strict mode.
+	MaxBadLines int
+}
+
+// BadLine records one quarantined input line.
+type BadLine struct {
+	// Line is the 1-based line number in the input.
+	Line int
+	// Reason describes the parse failure, naming the offending field.
+	Reason string
+}
+
+// DecodeDiagnostics reports what lenient decoding had to skip.
+type DecodeDiagnostics struct {
+	// BadLines lists the quarantined lines in input order.
+	BadLines []BadLine
+	// MissingHeader is set when no #PERFTRACK magic line was seen.
+	MissingHeader bool
+}
+
+// Skipped returns the number of quarantined lines.
+func (d DecodeDiagnostics) Skipped() int { return len(d.BadLines) }
+
+// Summary renders a short human-readable account, or "" when clean.
+func (d DecodeDiagnostics) Summary() string {
+	if len(d.BadLines) == 0 && !d.MissingHeader {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "skipped %d malformed line(s)", len(d.BadLines))
+	if d.MissingHeader {
+		sb.WriteString(", missing #PERFTRACK header")
+	}
+	for i, bl := range d.BadLines {
+		if i == 3 {
+			fmt.Fprintf(&sb, "; (%d more)", len(d.BadLines)-i)
+			break
+		}
+		fmt.Fprintf(&sb, "; line %d: %s", bl.Line, bl.Reason)
+	}
+	return sb.String()
+}
+
+// Read parses a trace in the perftrack text format, strictly: the first
+// malformed line aborts the decode.
 func Read(r io.Reader) (*Trace, error) {
+	t, _, err := ReadWith(r, DecodeOptions{Strict: true})
+	return t, err
+}
+
+// ReadWith parses a trace according to opts. In lenient mode malformed
+// lines are quarantined into the returned diagnostics instead of failing
+// the decode; an error is still returned for I/O failures, for inputs
+// whose bad-line count exceeds opts.MaxBadLines, and for every malformed
+// line in strict mode.
+func ReadWith(r io.Reader, opts DecodeOptions) (*Trace, DecodeDiagnostics, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	t := &Trace{}
+	var diag DecodeDiagnostics
 	lineNo := 0
 	counterOrder := defaultCounterOrder()
 	sawMagic := false
+	// quarantine routes one malformed line: strict mode fails, lenient
+	// mode records it (and gives up past MaxBadLines).
+	quarantine := func(err error) error {
+		if opts.Strict {
+			return fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		diag.BadLines = append(diag.BadLines, BadLine{Line: lineNo, Reason: err.Error()})
+		if opts.MaxBadLines > 0 && len(diag.BadLines) > opts.MaxBadLines {
+			return fmt.Errorf("trace: giving up after %d malformed lines (last: line %d: %v)",
+				len(diag.BadLines), lineNo, err)
+		}
+		return nil
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
+		var err error
 		switch {
 		case strings.HasPrefix(line, formatMagic):
 			fields := strings.Fields(line)
 			if len(fields) != 2 {
-				return nil, fmt.Errorf("trace: line %d: malformed magic %q", lineNo, line)
+				err = fmt.Errorf("malformed magic %q", line)
+				break
 			}
-			v, err := strconv.Atoi(fields[1])
-			if err != nil || v != formatVersion {
-				return nil, fmt.Errorf("trace: line %d: unsupported version %q", lineNo, fields[1])
+			v, verr := strconv.Atoi(fields[1])
+			if verr != nil || v != formatVersion {
+				err = fmt.Errorf("unsupported version %q", fields[1])
+				break
 			}
 			sawMagic = true
 		case strings.HasPrefix(line, "#meta"):
-			if err := parseMeta(line, &t.Meta); err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
-			}
+			err = parseMeta(line, &t.Meta)
 		case strings.HasPrefix(line, "#param"):
-			k, v, err := parseParam(line)
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			k, v, perr := parseParam(line)
+			if perr != nil {
+				err = perr
+				break
 			}
 			if t.Meta.Params == nil {
 				t.Meta.Params = map[string]string{}
 			}
 			t.Meta.Params[k] = v
 		case strings.HasPrefix(line, "#counters"):
-			order, err := parseCounters(line)
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			order, cerr := parseCounters(line)
+			if cerr != nil {
+				err = cerr
+				break
 			}
 			counterOrder = order
 		case strings.HasPrefix(line, "#"):
 			// Unknown comment/directive: ignore for forward compatibility.
 		case strings.HasPrefix(line, "B "):
-			b, err := parseBurst(line, counterOrder)
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			b, berr := parseBurst(line, counterOrder)
+			if berr != nil {
+				err = berr
+				break
 			}
 			t.Bursts = append(t.Bursts, b)
 		default:
-			return nil, fmt.Errorf("trace: line %d: unrecognised record %q", lineNo, line)
+			err = fmt.Errorf("unrecognised record %q", line)
+		}
+		if err != nil {
+			if qerr := quarantine(err); qerr != nil {
+				return nil, diag, qerr
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, diag, err
 	}
 	if !sawMagic {
-		return nil, fmt.Errorf("trace: missing %s header", formatMagic)
+		if opts.Strict {
+			return nil, diag, fmt.Errorf("trace: missing %s header", formatMagic)
+		}
+		diag.MissingHeader = true
 	}
-	return t, nil
+	return t, diag, nil
 }
 
-// ReadFile parses the named trace file.
+// ReadFile parses the named trace file strictly.
 func ReadFile(path string) (*Trace, error) {
+	t, _, err := ReadFileWith(path, DecodeOptions{Strict: true})
+	return t, err
+}
+
+// ReadFileWith parses the named trace file according to opts.
+func ReadFileWith(path string, opts DecodeOptions) (*Trace, DecodeDiagnostics, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, DecodeDiagnostics{}, err
 	}
 	defer f.Close()
-	t, err := Read(f)
+	t, diag, err := ReadWith(f, opts)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, diag, fmt.Errorf("%s: %w", path, err)
 	}
-	return t, nil
+	return t, diag, nil
 }
 
 func defaultCounterOrder() []metrics.Counter {
@@ -214,26 +329,47 @@ func (fs *fieldScanner) next() (string, error) {
 
 func (fs *fieldScanner) nextInt() (int, error) {
 	tok, err := fs.next()
+	if err == io.EOF {
+		return 0, fmt.Errorf("missing value")
+	}
 	if err != nil {
 		return 0, err
 	}
-	return strconv.Atoi(tok)
+	n, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("invalid integer %q", tok)
+	}
+	return n, nil
 }
 
 func (fs *fieldScanner) nextInt64() (int64, error) {
 	tok, err := fs.next()
+	if err == io.EOF {
+		return 0, fmt.Errorf("missing value")
+	}
 	if err != nil {
 		return 0, err
 	}
-	return strconv.ParseInt(tok, 10, 64)
+	n, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid integer %q", tok)
+	}
+	return n, nil
 }
 
 func (fs *fieldScanner) nextFloat() (float64, error) {
 	tok, err := fs.next()
+	if err == io.EOF {
+		return 0, fmt.Errorf("missing value")
+	}
 	if err != nil {
 		return 0, err
 	}
-	return strconv.ParseFloat(tok, 64)
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid number %q", tok)
+	}
+	return v, nil
 }
 
 // nextKV reads one key=value pair where the value (and in #param lines the
@@ -292,13 +428,13 @@ func parseMeta(line string, m *Metadata) error {
 		case "ranks":
 			n, err := strconv.Atoi(v)
 			if err != nil {
-				return fmt.Errorf("ranks: %w", err)
+				return fmt.Errorf("ranks: invalid integer %q", v)
 			}
 			m.Ranks = n
 		case "tasksPerNode":
 			n, err := strconv.Atoi(v)
 			if err != nil {
-				return fmt.Errorf("tasksPerNode: %w", err)
+				return fmt.Errorf("tasksPerNode: invalid integer %q", v)
 			}
 			m.TasksPerNode = n
 		case "machine":
@@ -350,10 +486,10 @@ func parseBurst(line string, order []metrics.Counter) (Burst, error) {
 		return b, fmt.Errorf("duration: %w", err)
 	}
 	if b.Stack.Function, err = fs.next(); err != nil {
-		return b, fmt.Errorf("function: %w", err)
+		return b, fmt.Errorf("function: %w", fieldErr(err))
 	}
 	if b.Stack.File, err = fs.next(); err != nil {
-		return b, fmt.Errorf("file: %w", err)
+		return b, fmt.Errorf("file: %w", fieldErr(err))
 	}
 	if b.Stack.Line, err = fs.nextInt(); err != nil {
 		return b, fmt.Errorf("line: %w", err)
@@ -372,6 +508,15 @@ func parseBurst(line string, order []metrics.Counter) (Burst, error) {
 		return b, fmt.Errorf("trailing fields in burst record")
 	}
 	return b, nil
+}
+
+// fieldErr converts the scanner's io.EOF sentinel into a readable
+// message for error chains shown to users.
+func fieldErr(err error) error {
+	if err == io.EOF {
+		return fmt.Errorf("missing value")
+	}
+	return err
 }
 
 // formatCount renders a counter value compactly: integral values print

@@ -60,6 +60,14 @@ type (
 	RegionTrend = core.RegionTrend
 	// Relation is one correspondence between consecutive frames.
 	Relation = core.Relation
+	// Diagnostics accounts for what the degraded-mode pipeline dropped
+	// or bridged over (quarantined bursts, skipped lines, degraded and
+	// bridged frames).
+	Diagnostics = core.Diagnostics
+	// DecodeOptions selects strict or lenient trace decoding.
+	DecodeOptions = trace.DecodeOptions
+	// DecodeDiagnostics reports the lines a lenient decode quarantined.
+	DecodeDiagnostics = trace.DecodeDiagnostics
 	// Study is a catalog entry describing a multi-experiment analysis.
 	Study = apps.Study
 	// Scenario fixes the execution conditions of one simulated run.
@@ -153,8 +161,16 @@ func WriteResultJSON(w io.Writer, res *Result, ms []Metric) error {
 }
 
 // ReadTraceFile and WriteTraceFile expose the text trace codec.
-func ReadTraceFile(path string) (*Trace, error)           { return trace.ReadFile(path) }
-func WriteTraceFile(path string, t *Trace) error          { return trace.WriteFile(path, t) }
+func ReadTraceFile(path string) (*Trace, error)  { return trace.ReadFile(path) }
+func WriteTraceFile(path string, t *Trace) error { return trace.WriteFile(path, t) }
+
+// ReadTraceFileLenient decodes a trace file tolerating malformed burst
+// lines: instead of failing, each bad line is quarantined and reported in
+// the returned diagnostics. Use it to salvage partially corrupt traces.
+func ReadTraceFileLenient(path string) (*Trace, DecodeDiagnostics, error) {
+	return trace.ReadFileWith(path, trace.DecodeOptions{Strict: false})
+}
+
 func DefaultMetrics() []Metric                            { return metrics.DefaultSpace() }
 func MetricByName(name string) (Metric, bool)             { return metrics.ByName(name) }
 func NewTracker(cfg Config) *core.Tracker                 { return core.NewTracker(cfg) }

@@ -6,10 +6,13 @@ package perftrack
 // result in large changes of behaviour"; these tests quantify the margin.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
 	"perftrack/internal/apps"
+	"perftrack/internal/faults"
+	"perftrack/internal/trace"
 )
 
 func runSynthetic(t testing.TB, p apps.SyntheticParams) *Result {
@@ -158,6 +161,168 @@ func TestScalabilityExtension(t *testing.T) {
 		// fitted exponent is shallower than the ideal -1.
 		if phase == 1 && pred.PowerModel.B <= -1 {
 			t.Errorf("replicated phase exponent = %.4f, want shallower than -1", pred.PowerModel.B)
+		}
+	}
+}
+
+// faultStudies returns the two studies the fault matrix sweeps: the WRF
+// reproduction and the synthetic ground-truth study.
+func faultStudies(t *testing.T) []struct {
+	name   string
+	traces []*Trace
+	cfg    Config
+} {
+	t.Helper()
+	wrf, err := CatalogStudy("WRF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrfTraces, err := SimulateStudy(wrf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth := apps.Synthetic(apps.SyntheticParams{Seed: 404})
+	synthTraces, err := SimulateStudy(synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []struct {
+		name   string
+		traces []*Trace
+		cfg    Config
+	}{
+		{"WRF", wrfTraces, wrf.Track},
+		{"Synthetic", synthTraces, synth.Track},
+	}
+}
+
+// TestFaultMatrix sweeps every in-memory fault injector at moderate
+// severity (10%) against the WRF reproduction and the synthetic study:
+// tracking must stay essentially intact (coverage and ARI >= 0.90) and
+// the diagnostics must account for what was dropped.
+func TestFaultMatrix(t *testing.T) {
+	for _, study := range faultStudies(t) {
+		for _, inj := range faults.TraceInjectors(0.10) {
+			t.Run(study.name+"/"+inj.Name(), func(t *testing.T) {
+				corrupted := make([]*Trace, len(study.traces))
+				injected := 0
+				for i, tr := range study.traces {
+					c, rep := inj.Apply(tr, uint64(1000+i))
+					corrupted[i] = c
+					injected += rep.Faults
+				}
+				if injected == 0 {
+					t.Fatalf("%s injected nothing at 10%% severity", inj.Name())
+				}
+				res, err := Track(corrupted, study.cfg)
+				if err != nil {
+					t.Fatalf("tracking under %s failed: %v", inj.Name(), err)
+				}
+				if res.Coverage < 0.90 {
+					t.Errorf("coverage %.2f < 0.90 under %s (%s)", res.Coverage, inj.Name(), res.Diagnostics.Summary())
+				}
+				if score := res.Validate(); score.ARI < 0.90 {
+					t.Errorf("ARI %.3f < 0.90 under %s", score.ARI, inj.Name())
+				}
+				// Value-corrupting injectors must be fully accounted for by
+				// the quarantine; structural injectors must not trigger it.
+				switch inj.Name() {
+				case "counter-zero", "counter-nan", "counter-inf":
+					if res.Diagnostics.BurstsQuarantined != injected {
+						t.Errorf("%s: quarantined %d bursts, injected %d",
+							inj.Name(), res.Diagnostics.BurstsQuarantined, injected)
+					}
+				default:
+					if res.Diagnostics.BurstsQuarantined != 0 {
+						t.Errorf("%s: unexpectedly quarantined %d bursts (%v)",
+							inj.Name(), res.Diagnostics.BurstsQuarantined, res.Diagnostics.QuarantinedBy)
+					}
+				}
+			})
+		}
+		for _, inj := range faults.ByteInjectors(0.10) {
+			t.Run(study.name+"/"+inj.Name(), func(t *testing.T) {
+				// Serialised-form faults go through the lenient decoder, the
+				// way a CLI user with corrupt files would run the analysis.
+				decoded := make([]*Trace, len(study.traces))
+				injected, skipped := 0, 0
+				for i, tr := range study.traces {
+					var buf bytes.Buffer
+					if err := trace.Write(&buf, tr); err != nil {
+						t.Fatal(err)
+					}
+					corrupt, rep := inj.ApplyBytes(buf.Bytes(), uint64(2000+i))
+					injected += rep.Faults
+					dec, diag, err := trace.ReadWith(bytes.NewReader(corrupt), trace.DecodeOptions{})
+					if err != nil {
+						t.Fatalf("lenient decode under %s failed: %v", inj.Name(), err)
+					}
+					if diag.Skipped() > rep.Faults {
+						t.Errorf("trace %d: quarantined %d lines > %d injected faults", i, diag.Skipped(), rep.Faults)
+					}
+					skipped += diag.Skipped()
+					decoded[i] = dec
+				}
+				if injected == 0 {
+					t.Fatalf("%s injected nothing at 10%% severity", inj.Name())
+				}
+				res, err := Track(decoded, study.cfg)
+				if err != nil {
+					t.Fatalf("tracking under %s failed: %v", inj.Name(), err)
+				}
+				res.Diagnostics.AddDecode(skipped)
+				if res.Coverage < 0.90 {
+					t.Errorf("coverage %.2f < 0.90 under %s (%s)", res.Coverage, inj.Name(), res.Diagnostics.Summary())
+				}
+				if score := res.Validate(); score.ARI < 0.90 {
+					t.Errorf("ARI %.3f < 0.90 under %s", score.ARI, inj.Name())
+				}
+				if res.Diagnostics.LinesSkipped != skipped {
+					t.Errorf("diagnostics carry %d skipped lines, decode reported %d",
+						res.Diagnostics.LinesSkipped, skipped)
+				}
+			})
+		}
+	}
+}
+
+// TestBridgeDeadMiddleExperiment drops the middle experiment of the
+// five-point WRF scalability series: the tracker must bridge 64 tasks ->
+// 256 tasks directly and keep every region spanning, so one lost
+// experiment coarsens the trend instead of killing the study.
+func TestBridgeDeadMiddleExperiment(t *testing.T) {
+	st := apps.WRFScalability()
+	traces, err := SimulateStudy(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 5 {
+		t.Fatalf("scalability series has %d traces", len(traces))
+	}
+	traces[2] = &Trace{Meta: traces[2].Meta} // the crashed run left only metadata
+	res, err := Track(traces, st.Track)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Diagnostics
+	if d.FramesDegraded != 1 || d.FramesBridged != 1 {
+		t.Fatalf("diagnostics: %+v", d)
+	}
+	if len(d.Bridges) != 1 || d.Bridges[0] != [2]int{1, 3} {
+		t.Errorf("bridges: %v", d.Bridges)
+	}
+	if res.SpanningCount != 12 || res.Coverage < 0.99 {
+		t.Errorf("bridged scalability: %d regions at %.0f%% coverage, want 12 at 100%%",
+			res.SpanningCount, 100*res.Coverage)
+	}
+	if score := res.Validate(); score.ARI < 0.99 {
+		t.Errorf("bridged ARI = %.3f", score.ARI)
+	}
+	// The trend across the surviving frames still carries the bridge: the
+	// degraded frame contributes no members to any region.
+	for _, reg := range res.Regions {
+		if len(reg.Members[2]) != 0 {
+			t.Errorf("region %d has members in the dead frame", reg.ID)
 		}
 	}
 }
