@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check fuzz clean
+.PHONY: all build test vet race serve-smoke check fuzz clean
 
 all: build
 
@@ -16,9 +16,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the pre-merge gate: static analysis plus the full suite under
-# the race detector.
-check: vet race
+# serve-smoke boots the real trackd binary on an ephemeral port, submits
+# the synthetic study twice, and asserts the second submission is a cache
+# hit with byte-identical results and sane /metrics counters.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 ./cmd/trackd
+
+# check is the pre-merge gate: static analysis, the full suite under the
+# race detector, and the daemon end-to-end smoke.
+check: vet race serve-smoke
 
 # A short fuzzing pass over the trace decoders (lenient + strict + CSV).
 fuzz:

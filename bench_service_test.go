@@ -1,0 +1,111 @@
+package perftrack
+
+// Service-layer benchmarks: what a submission costs when the pipeline
+// actually runs (cold), when the content-addressed cache answers
+// (cached), and how the daemon sustains a concurrent stream of distinct
+// jobs through its worker pool and bounded queue. Recorded in
+// BENCH_service.json.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"perftrack/internal/service"
+)
+
+// coldReq returns a synthetic-study request whose cache key is unique per
+// i: MinCorrelation is perturbed far below any observable effect on the
+// analysis but enough to change the fingerprint.
+func coldReq(i int) service.JobRequest {
+	return service.JobRequest{
+		Study:  "Synthetic",
+		Config: &service.ConfigSpec{MinCorrelation: 0.05 + float64(i+1)*1e-12},
+	}
+}
+
+func submitWait(b *testing.B, s *service.Server, req service.JobRequest) {
+	b.Helper()
+	j, _, err := s.Submit(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Wait(ctx, j); err != nil {
+		b.Fatal(err)
+	}
+	if _, state, errMsg := s.Result(j); state != service.StateDone {
+		b.Fatalf("job state %s (%s)", state, errMsg)
+	}
+}
+
+// BenchmarkServiceSubmitCold measures the end-to-end latency of a
+// submission that misses the cache: queue wait, simulation, clustering,
+// tracking and export.
+func BenchmarkServiceSubmitCold(b *testing.B) {
+	s := service.New(service.Config{Workers: 2, QueueDepth: 8, CacheMaxEntries: 4})
+	defer s.Shutdown(context.Background())
+	submitWait(b, s, coldReq(-1)) // warm code paths, not the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submitWait(b, s, coldReq(i))
+	}
+}
+
+// BenchmarkServiceSubmitCached measures the same submission when the
+// result cache answers: resolve + fingerprint + lookup, no pipeline.
+func BenchmarkServiceSubmitCached(b *testing.B) {
+	s := service.New(service.Config{Workers: 2, QueueDepth: 8})
+	defer s.Shutdown(context.Background())
+	req := service.JobRequest{Study: "Synthetic"}
+	submitWait(b, s, req) // populate the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submitWait(b, s, req)
+	}
+}
+
+// BenchmarkServiceThroughput streams b.N distinct jobs through the
+// daemon's sized-for-production configuration (8 workers, 64-deep queue),
+// honouring backpressure the way a polite client would, and reports
+// sustained jobs per second.
+func BenchmarkServiceThroughput(b *testing.B) {
+	s := service.New(service.Config{Workers: 8, QueueDepth: 64, CacheMaxEntries: 16})
+	defer s.Shutdown(context.Background())
+	submitWait(b, s, coldReq(-1))
+	b.ResetTimer()
+	start := time.Now()
+
+	jobs := make([]*service.Job, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		for {
+			j, _, err := s.Submit(coldReq(i))
+			if err == service.ErrQueueFull {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs = append(jobs, j)
+			break
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	for i, j := range jobs {
+		if err := s.Wait(ctx, j); err != nil {
+			b.Fatal(err)
+		}
+		if _, state, errMsg := s.Result(j); state != service.StateDone {
+			b.Fatalf("job %d state %s (%s)", i, state, errMsg)
+		}
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "jobs/s")
+	if b.N >= 8 {
+		b.Logf("throughput: %d jobs in %s (%.1f jobs/s)",
+			b.N, elapsed.Round(time.Millisecond), float64(b.N)/elapsed.Seconds())
+	}
+}

@@ -11,6 +11,7 @@
 //	trackctl profile TRACE...
 //	trackctl animate [-o FILE] [-seconds S] TRACE...
 //	trackctl export  [-o FILE] TRACE...
+//	trackctl submit  [-addr URL] [-study NAME] [-o FILE] [TRACE...]
 //	trackctl info    TRACE...
 //
 // cluster renders the frame of a single experiment; track correlates a
@@ -64,6 +65,8 @@ func main() {
 		err = cmdAnimate(os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -84,7 +87,11 @@ func usage() {
   trackctl report  [-windows N] TRACE...
   trackctl animate [-o FILE] [-seconds S] TRACE...
   trackctl export  [-o FILE] TRACE...
+  trackctl submit  [-addr URL] [-study NAME] [-o FILE] [TRACE...]
   trackctl info    TRACE...
+
+submit sends the analysis to a running trackd daemon instead of
+executing it locally, and honours the daemon's queue backpressure.
 
 every subcommand accepts -lenient: tolerate malformed trace lines by
 quarantining them (diagnostics go to stderr) instead of failing.`)

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"perftrack/internal/service"
+)
+
+// cmdSubmit sends an analysis to a running trackd daemon instead of
+// executing it in-process: the trace files (or a catalog study name) are
+// posted to /v1/jobs, the job is polled until it reaches a terminal
+// state, and the result JSON is written to stdout or -o. Cache and queue
+// feedback (X-Cache, 429 backoff) goes to stderr so stdout stays a clean
+// result stream.
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7077", "trackd base URL")
+	study := fs.String("study", "", "submit a catalog study by name instead of trace files")
+	windows := fs.Int("windows", 0, "split a single trace into N time windows")
+	metricNames := fs.String("metrics", "", "comma-separated metric names (default: server-side default space)")
+	out := fs.String("o", "", "write the result JSON to this file (default stdout)")
+	timeout := fs.Duration("timeout", 5*time.Minute, "overall submit+poll deadline")
+	eps := fs.Float64("eps", 0, "DBSCAN radius override (0 = server default)")
+	minPts := fs.Int("minpts", 0, "DBSCAN density override (0 = server default)")
+	lenientFlag(fs)
+	fs.Parse(args)
+
+	req := service.JobRequest{
+		Study:   *study,
+		Windows: *windows,
+		Lenient: lenientMode,
+	}
+	if *metricNames != "" {
+		for _, name := range strings.Split(*metricNames, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				req.Metrics = append(req.Metrics, name)
+			}
+		}
+	}
+	if *eps != 0 || *minPts != 0 {
+		req.Config = &service.ConfigSpec{Eps: *eps, MinPts: *minPts}
+	}
+	if *study == "" {
+		if fs.NArg() == 0 {
+			return fmt.Errorf("submit needs -study NAME or trace files")
+		}
+		for _, p := range fs.Args() {
+			text, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			req.Traces = append(req.Traces, string(text))
+		}
+	} else if fs.NArg() != 0 {
+		return fmt.Errorf("-study and trace files are mutually exclusive")
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := strings.TrimRight(*addr, "/")
+	deadline := time.Now().Add(*timeout)
+
+	// Submit, honouring 429 backpressure with the server's Retry-After.
+	var view service.JobView
+	for {
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("submitting to %s: %w", base, err)
+		}
+		respBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			if time.Now().Add(wait).After(deadline) {
+				return fmt.Errorf("queue full at %s and deadline exceeded", base)
+			}
+			fmt.Fprintf(os.Stderr, "trackctl: queue full, retrying in %s\n", wait)
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(respBody)))
+		}
+		if err := json.Unmarshal(respBody, &view); err != nil {
+			return fmt.Errorf("decoding job view: %w", err)
+		}
+		if cache := resp.Header.Get("X-Cache"); cache != "" {
+			fmt.Fprintf(os.Stderr, "trackctl: job %s (cache %s)\n", view.ID, cache)
+		}
+		break
+	}
+
+	// Poll the result endpoint until the job is terminal.
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + view.ID + "/result")
+		if err != nil {
+			return err
+		}
+		respBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			// Fetch the final view so degraded-mode diagnostics reach
+			// stderr even when the result was ready on the first poll.
+			if r2, err := client.Get(base + "/v1/jobs/" + view.ID); err == nil {
+				var final service.JobView
+				if b2, _ := io.ReadAll(r2.Body); json.Unmarshal(b2, &final) == nil {
+					view = final
+				}
+				r2.Body.Close()
+			}
+			if view.Diagnostics != "" {
+				fmt.Fprintln(os.Stderr, "trackctl: diagnostics:", view.Diagnostics)
+			}
+			if *out != "" {
+				return os.WriteFile(*out, respBody, 0o644)
+			}
+			_, err := os.Stdout.Write(respBody)
+			return err
+		case http.StatusAccepted:
+			var pending service.JobView
+			if err := json.Unmarshal(respBody, &pending); err == nil {
+				view = pending
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("job %s still %s after %s", view.ID, view.State, *timeout)
+			}
+			time.Sleep(100 * time.Millisecond)
+		default:
+			return fmt.Errorf("job %s: %s: %s", view.ID, resp.Status, strings.TrimSpace(string(respBody)))
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command trackd is the tracking daemon: it serves the perftrack pipeline
+// over HTTP with a bounded job queue, a worker pool, a content-addressed
+// result cache, and Prometheus-text metrics.
+//
+// Usage:
+//
+//	trackd [-addr HOST:PORT] [-workers N] [-queue N] [-timeout D]
+//	       [-cache-entries N] [-cache-bytes N]
+//
+// The daemon prints "trackd: listening on ADDR" once the socket is bound
+// (with the resolved port when :0 was requested), and shuts down
+// gracefully on SIGINT/SIGTERM: in-flight jobs are canceled through their
+// contexts, queued jobs are marked canceled, and the HTTP server drains.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"perftrack/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7077", "listen address (use :0 for an ephemeral port)")
+		workers      = flag.Int("workers", defaultWorkers(), "worker pool size")
+		queueDepth   = flag.Int("queue", 64, "job queue depth (full queue replies 429)")
+		timeout      = flag.Duration("timeout", 2*time.Minute, "per-job execution timeout")
+		cacheEntries = flag.Int("cache-entries", 256, "result cache entry bound")
+		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "result cache byte bound")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "trackd: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		JobTimeout:      *timeout,
+		CacheMaxEntries: *cacheEntries,
+		CacheMaxBytes:   *cacheBytes,
+		RetryAfter:      *retryAfter,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("trackd: listen %s: %v", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	// The smoke harness and scripts parse this line to find the port.
+	fmt.Printf("trackd: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("trackd: %s, shutting down", sig)
+	case err := <-errc:
+		log.Fatalf("trackd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("trackd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("trackd: worker shutdown: %v", err)
+	}
+}
+
+// defaultWorkers sizes the pool to the machine, capped where extra
+// workers only add queueing inside the pipeline's own parallel stages.
+func defaultWorkers() int {
+	n := runtime.NumCPU() / 2
+	if n < 1 {
+		n = 1
+	}
+	if n > 8 {
+		n = 8
+	}
+	return n
+}

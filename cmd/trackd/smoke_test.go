@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end gate behind `make serve-smoke`: it
+// builds the real trackd binary, boots it on an ephemeral port, submits
+// the synthetic study twice, and asserts the second submission is a cache
+// hit returning byte-identical results, with /metrics and /healthz
+// telling the same story. Finally it delivers SIGTERM and expects a clean
+// exit.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec-based smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "trackd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building trackd: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting trackd: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints "trackd: listening on ADDR" once bound.
+	var addr string
+	lines := bufio.NewScanner(stdout)
+	for lines.Scan() {
+		line := lines.Text()
+		if rest, ok := strings.CutPrefix(line, "trackd: listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("never saw the listening line (scan err %v)", lines.Err())
+	}
+	base := "http://" + addr
+	// Keep draining stdout so the child never blocks on a full pipe.
+	go io.Copy(io.Discard, stdout)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, b
+	}
+	submit := func() (*http.Response, []byte) {
+		t.Helper()
+		resp, err := client.Post(base+"/v1/jobs", "application/json",
+			strings.NewReader(`{"study":"Synthetic"}`))
+		if err != nil {
+			t.Fatalf("POST /v1/jobs: %v", err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, b
+	}
+
+	// First submission: a miss that runs the pipeline.
+	resp, body := submit()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d body %s", resp.StatusCode, body)
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatalf("decoding job view: %v", err)
+	}
+
+	var result1 []byte
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, b := get("/v1/jobs/" + view.ID + "/result")
+		if code == http.StatusOK {
+			result1 = b
+			break
+		}
+		if code != http.StatusAccepted {
+			t.Fatalf("result poll: status %d body %s", code, b)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish within 60s")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !json.Valid(result1) {
+		t.Fatal("result is not valid JSON")
+	}
+
+	// Second submission: must be an instant cache hit, identical bytes.
+	resp, body = submit()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second submit: status %d body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second submit X-Cache %q, want hit", got)
+	}
+	var hit struct {
+		ID       string `json:"id"`
+		CacheHit bool   `json:"cacheHit"`
+	}
+	if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatalf("second submit view not a cache hit: %s", body)
+	}
+	code, result2 := get("/v1/jobs/" + hit.ID + "/result")
+	if code != http.StatusOK {
+		t.Fatalf("cached result: status %d", code)
+	}
+	if !bytes.Equal(result1, result2) {
+		t.Fatal("cached result differs from the original bytes")
+	}
+
+	// Metrics must agree: one execution, one hit, sane stage counts.
+	code, metricsBody := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"trackd_jobs_accepted_total 2",
+		"trackd_jobs_executed_total 1",
+		"trackd_jobs_completed_total 2",
+		"trackd_cache_hits_total 1",
+		"trackd_cache_misses_total 1",
+		"trackd_cache_entries 1",
+		"trackd_stage_cluster_seconds_count 1",
+		"trackd_stage_track_seconds_count 1",
+		"trackd_stage_export_seconds_count 1",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, healthBody := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Jobs   struct {
+			Completed uint64 `json:"completed"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(healthBody, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Jobs.Completed != 2 {
+		t.Fatalf("healthz %s", healthBody)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitc := make(chan error, 1)
+	go func() { waitc <- cmd.Wait() }()
+	select {
+	case err := <-waitc:
+		if err != nil {
+			t.Fatalf("trackd exited uncleanly: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("trackd did not exit after SIGTERM")
+	}
+}

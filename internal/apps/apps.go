@@ -77,8 +77,14 @@ func All() []Study {
 	}
 }
 
-// ByName resolves a study by its Table 2 name.
+// ByName resolves a study by its Table 2 name. The default synthetic
+// robustness study is addressable as "Synthetic", which is what service
+// smoke tests and benchmarks submit when they need a fast, fully known
+// workload outside the paper's catalog.
 func ByName(name string) (Study, error) {
+	if name == "Synthetic" {
+		return Synthetic(SyntheticParams{}), nil
+	}
 	for _, s := range All() {
 		if s.Name == name {
 			return s, nil

@@ -48,6 +48,11 @@ type Config struct {
 	// relevant, those that represent a high percentage of the application
 	// time".
 	MaxClusters int
+	// Interrupt, when non-nil, is polled periodically inside the
+	// clustering loops; a non-nil return aborts the run with that error.
+	// It is how cancelled contexts stop a long DBSCAN mid-flight instead
+	// of burning CPU until completion.
+	Interrupt func() error
 }
 
 func (c Config) minPts(n int) int {
@@ -215,10 +220,23 @@ func (g *gridIndex) neighbors(q []float64) []int {
 // Noise (0) for outliers. Deterministic: clusters are discovered in point
 // order, so identical input yields identical labels.
 func DBSCAN(points [][]float64, eps float64, minPts int) []int {
+	labels, _ := dbscan(points, eps, minPts, nil)
+	return labels
+}
+
+// interruptEvery is how many units of work pass between Interrupt polls;
+// frequent enough that cancellation lands within microseconds, rare
+// enough to stay invisible in profiles.
+const interruptEvery = 1024
+
+// dbscan is DBSCAN with an optional interrupt hook polled every
+// interruptEvery neighbourhood expansions, so a cancelled job stops
+// mid-cluster instead of finishing the whole frame.
+func dbscan(points [][]float64, eps float64, minPts int, interrupt func() error) ([]int, error) {
 	n := len(points)
 	labels := make([]int, n)
 	if n == 0 {
-		return labels
+		return labels, nil
 	}
 	const (
 		unvisited = 0
@@ -227,10 +245,24 @@ func DBSCAN(points [][]float64, eps float64, minPts int) []int {
 	state := make([]int, n) // 0 unvisited, -1 noise, >0 cluster id
 	g := newGridIndex(points, eps)
 	next := 0
+	work := 0
+	poll := func() error {
+		if interrupt == nil {
+			return nil
+		}
+		work++
+		if work%interruptEvery != 0 {
+			return nil
+		}
+		return interrupt()
+	}
 	var queue []int
 	for i := 0; i < n; i++ {
 		if state[i] != unvisited {
 			continue
+		}
+		if err := poll(); err != nil {
+			return nil, err
 		}
 		neigh := g.neighbors(points[i])
 		if len(neigh) < minPts {
@@ -241,6 +273,9 @@ func DBSCAN(points [][]float64, eps float64, minPts int) []int {
 		state[i] = next
 		queue = append(queue[:0], neigh...)
 		for qi := 0; qi < len(queue); qi++ {
+			if err := poll(); err != nil {
+				return nil, err
+			}
 			j := queue[qi]
 			if state[j] == noiseMark {
 				state[j] = next // border point adopted by the cluster
@@ -263,7 +298,7 @@ func DBSCAN(points [][]float64, eps float64, minPts int) []int {
 			labels[i] = s
 		}
 	}
-	return labels
+	return labels, nil
 }
 
 // EstimateEps implements the k-dist heuristic: it computes the distance to
@@ -340,7 +375,10 @@ func Run(points [][]float64, weights []float64, cfg Config) (*Result, error) {
 		eps = EstimateEps(normed, cfg.minPts(len(points)))
 	}
 	minPts := cfg.minPts(len(points))
-	labels := DBSCAN(normed, eps, minPts)
+	labels, err := dbscan(normed, eps, minPts, cfg.Interrupt)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{Labels: labels, Eps: eps, MinPts: minPts}
 	relabelByWeight(res, weights, cfg)

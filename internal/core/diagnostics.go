@@ -1,10 +1,43 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
+
+// QuarantineCounts is a fault-class → count map that marshals with its
+// keys in sorted order, keeping JSON exports byte-deterministic (the
+// service's content-addressed cache and the golden tests depend on it).
+type QuarantineCounts map[string]int
+
+// MarshalJSON writes the counts object with keys sorted bytewise.
+func (qc QuarantineCounts) MarshalJSON() ([]byte, error) {
+	keys := make([]string, 0, len(qc))
+	for k := range qc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(kb)
+		buf.WriteByte(':')
+		buf.WriteString(strconv.Itoa(qc[k]))
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
 
 // Diagnostics accounts for everything the degraded-mode pipeline dropped
 // or worked around while producing a Result: bursts quarantined during
@@ -20,7 +53,7 @@ type Diagnostics struct {
 	// QuarantinedBy breaks the quarantined bursts down by fault class
 	// (e.g. "nan-counter", "inf-counter", "zero-counter",
 	// "negative-duration", "task-out-of-range").
-	QuarantinedBy map[string]int `json:"quarantinedBy,omitempty"`
+	QuarantinedBy QuarantineCounts `json:"quarantinedBy,omitempty"`
 	// LinesSkipped is the number of malformed input lines the lenient
 	// decoder quarantined before the traces reached the pipeline. It is
 	// filled by callers that decode leniently (see AddDecode).

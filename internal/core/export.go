@@ -1,9 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"perftrack/internal/metrics"
 )
@@ -33,13 +35,50 @@ type ExportCluster struct {
 	Region     int       `json:"region"`
 }
 
+// OrderedTrends is a metric-name → per-frame-means map that marshals
+// with its keys in sorted order. encoding/json already sorts string map
+// keys, but byte-determinism of the export is load-bearing — it is what
+// the content-addressed result cache and the golden tests key on — so
+// the ordering is guaranteed here rather than inherited from a library
+// implementation detail.
+type OrderedTrends map[string][]float64
+
+// MarshalJSON writes the trends object with keys sorted bytewise.
+func (ot OrderedTrends) MarshalJSON() ([]byte, error) {
+	keys := make([]string, 0, len(ot))
+	for k := range ot {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(kb)
+		buf.WriteByte(':')
+		vb, err := json.Marshal(ot[k])
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(vb)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
 // ExportRegion is the serialised form of one tracked region.
 type ExportRegion struct {
-	ID         int                  `json:"id"`
-	Spanning   bool                 `json:"spanning"`
-	DurationNS float64              `json:"durationNs"`
-	Members    [][]int              `json:"members"`
-	Trends     map[string][]float64 `json:"trends"`
+	ID         int           `json:"id"`
+	Spanning   bool          `json:"spanning"`
+	DurationNS float64       `json:"durationNs"`
+	Members    [][]int       `json:"members"`
+	Trends     OrderedTrends `json:"trends"`
 }
 
 // ExportRelation is the serialised form of one pairwise relation.
@@ -98,7 +137,7 @@ func (r *Result) Export(ms []metrics.Metric) *Export {
 			Spanning:   tr.Spanning,
 			DurationNS: tr.TotalDurationNS,
 			Members:    tr.Members,
-			Trends:     map[string][]float64{},
+			Trends:     OrderedTrends{},
 		}
 		for _, m := range ms {
 			rt, err := r.Trend(tr.ID, m)

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The result cache serves stored bytes for identical inputs, so WriteJSON
+// must be byte-deterministic: every map in the export path marshals its
+// keys in sorted order, explicitly, not by accident of encoding/json.
+
+func TestOrderedTrendsMarshalSorted(t *testing.T) {
+	tr := OrderedTrends{
+		"IPC":          {1, 2},
+		"Instructions": {3},
+		"aLowercase":   {4},
+		"Bandwidth":    nil,
+	}
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bytewise order: uppercase before lowercase.
+	wantOrder := []string{`"Bandwidth"`, `"IPC"`, `"Instructions"`, `"aLowercase"`}
+	last := -1
+	for _, key := range wantOrder {
+		i := bytes.Index(b, []byte(key))
+		if i < 0 {
+			t.Fatalf("key %s missing in %s", key, b)
+		}
+		if i < last {
+			t.Fatalf("key %s out of order in %s", key, b)
+		}
+		last = i
+	}
+	// Round-trips as a plain map.
+	var back map[string][]float64
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != len(tr) || back["IPC"][1] != 2 {
+		t.Fatalf("round trip lost data: %v", back)
+	}
+}
+
+func TestQuarantineCountsMarshalSorted(t *testing.T) {
+	qc := QuarantineCounts{"zero-duration": 3, "negative-counter": 1, "aberrant-ipc": 2}
+	b, err := json.Marshal(qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"aberrant-ipc":2,"negative-counter":1,"zero-duration":3}`
+	if string(b) != want {
+		t.Fatalf("got %s, want %s", b, want)
+	}
+}
+
+func TestEmptyOrderedMapsMarshal(t *testing.T) {
+	for name, v := range map[string]any{
+		"trends nil":   OrderedTrends(nil),
+		"trends empty": OrderedTrends{},
+		"counts nil":   QuarantineCounts(nil),
+		"counts empty": QuarantineCounts{},
+	} {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := string(b); got != "{}" && got != "null" {
+			t.Fatalf("%s: got %s", name, got)
+		}
+		if strings.Contains(name, "empty") && string(b) != "{}" {
+			t.Fatalf("%s: empty map must marshal as {}, got %s", name, b)
+		}
+	}
+}
+
+// TestWriteJSONByteDeterministic runs the full pipeline twice on the same
+// input and requires bit-identical exports — the property the service
+// cache depends on.
+func TestWriteJSONByteDeterministic(t *testing.T) {
+	var outs [][]byte
+	for i := 0; i < 2; i++ {
+		res, err := buildAndTrack(testConfig(),
+			mkTrace("x", 4, 4, simplePhases()),
+			mkTrace("y", 4, 4, simplePhases()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf, nil); err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, buf.Bytes())
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatal("WriteJSON produced different bytes for identical input")
+	}
+}

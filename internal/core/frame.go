@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -255,12 +256,26 @@ func quarantineBursts(t *trace.Trace) (*trace.Trace, map[string]int) {
 // build, so one bad experiment coarsens the study instead of killing it.
 // Only a sequence in which every frame is degraded is an error.
 func BuildFrames(traces []*trace.Trace, cfg Config) ([]*Frame, error) {
+	return BuildFramesContext(context.Background(), traces, cfg)
+}
+
+// BuildFramesContext is BuildFrames with cancellation: the per-frame
+// filtering, metric evaluation and clustering loops poll ctx, so a
+// cancelled or timed-out caller stops the build mid-frame instead of
+// paying for the whole sequence. The first error returned after a cancel
+// is ctx.Err().
+func BuildFramesContext(ctx context.Context, traces []*trace.Trace, cfg Config) ([]*Frame, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("core: no traces to build frames from")
+	}
+	// Thread cancellation into the clustering inner loops. The config is
+	// a per-call copy, so mutating it here leaks nowhere.
+	if ctx.Done() != nil {
+		cfg.Cluster.Interrupt = func() error { return ctx.Err() }
 	}
 	// Frames are independent until the cross-series normalisation, so
 	// they are clustered concurrently. Results are deterministic: each
@@ -273,7 +288,11 @@ func BuildFrames(traces []*trace.Trace, cfg Config) ([]*Frame, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			f, err := buildFrame(i, t, cfg)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			f, err := buildFrame(ctx, i, t, cfg)
 			if err != nil {
 				errs[i] = fmt.Errorf("core: frame %d (%s): %w", i, t.Meta.Label, err)
 				return
@@ -282,6 +301,9 @@ func BuildFrames(traces []*trace.Trace, cfg Config) ([]*Frame, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -333,7 +355,7 @@ func allDegraded(frames []*Frame) error {
 		len(frames), frames[0].DegradedReason)
 }
 
-func buildFrame(index int, t *trace.Trace, cfg Config) (*Frame, error) {
+func buildFrame(ctx context.Context, index int, t *trace.Trace, cfg Config) (*Frame, error) {
 	ft, quarantined := quarantineBursts(t)
 	qcount := 0
 	for _, n := range quarantined {
@@ -362,6 +384,11 @@ func buildFrame(index int, t *trace.Trace, cfg Config) (*Frame, error) {
 	coords := make([][]float64, len(ft.Bursts))
 	weights := make([]float64, len(ft.Bursts))
 	for i, b := range ft.Bursts {
+		if i%8192 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		points[i] = metrics.Space(cfg.Metrics, b.Sample())
 		coords[i] = transformSpace(cfg.Metrics, points[i], 1)
 		weights[i] = float64(b.DurationNS)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -100,6 +101,15 @@ func NewTracker(cfg Config) *Tracker { return &Tracker{cfg: cfg.withDefaults()} 
 // or collapsed experiment coarsens the trend instead of aborting the
 // study. Every bridge is recorded in Result.Diagnostics.
 func (tk *Tracker) Track(frames []*Frame) (*Result, error) {
+	return tk.TrackContext(context.Background(), frames)
+}
+
+// TrackContext is Track with cancellation: the per-frame alignment
+// workers and per-pair correlation workers poll ctx between stages, so a
+// cancelled or timed-out caller abandons the remaining evaluator work
+// instead of computing matrices nobody will read. After a cancel the
+// returned error is ctx.Err().
+func (tk *Tracker) TrackContext(ctx context.Context, frames []*Frame) (*Result, error) {
 	if len(frames) == 0 {
 		return nil, fmt.Errorf("core: no frames to track")
 	}
@@ -137,11 +147,17 @@ func (tk *Tracker) Track(frames []*Frame) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if ctx.Err() != nil {
+				// Leave empty per-frame machinery; the cancel check
+				// after wg.Wait discards everything anyway.
+				spmdM[i] = NewMatrix("spmd", i, i, f.NumClusters, f.NumClusters)
+				return
+			}
 			if needAlign {
 				aligns[i] = frameAlignment(f, cfg)
 				consensus[i] = consensusOf(aligns[i])
 			}
-			if !cfg.DisableSPMD {
+			if !cfg.DisableSPMD && ctx.Err() == nil {
 				spmdM[i] = SPMDSimultaneity(f, aligns[i], cfg)
 				spmdPairs[i] = SPMDPairs(spmdM[i], cfg)
 			} else {
@@ -150,6 +166,9 @@ func (tk *Tracker) Track(frames []*Frame) (*Result, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Consecutive active pairs are likewise independent (the chain step
 	// joins their relations afterwards).
@@ -161,12 +180,15 @@ func (tk *Tracker) Track(frames []*Frame) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res.Pairs[k] = tk.trackPair(frames[i], frames[j],
+			res.Pairs[k] = tk.trackPair(ctx, frames[i], frames[j],
 				spmdM[i], spmdM[j], spmdPairs[i], spmdPairs[j],
 				consensus[i], consensus[j])
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, pr := range res.Pairs {
 		if pr.To-pr.From > 1 {
 			res.Diagnostics.FramesBridged += pr.To - pr.From - 1
@@ -181,11 +203,19 @@ func (tk *Tracker) Track(frames []*Frame) (*Result, error) {
 // displacement links first, widened by SPMD simultaneity, vetoed by call
 // stack disjointness, searched reciprocally, and finally refined by the
 // execution-sequence evaluator that tries to split wide relations.
-func (tk *Tracker) trackPair(a, b *Frame, spmdA, spmdB *Matrix, pairsA, pairsB [][2]int, seqA, seqB []int) *PairResult {
+// Cancellation is polled between evaluator stages; a cancelled pair
+// returns nil (the caller discards the whole result on ctx.Err()).
+func (tk *Tracker) trackPair(ctx context.Context, a, b *Frame, spmdA, spmdB *Matrix, pairsA, pairsB [][2]int, seqA, seqB []int) *PairResult {
 	cfg := tk.cfg
 	pr := &PairResult{From: a.Index, To: b.Index}
+	if ctx.Err() != nil {
+		return nil
+	}
 	pr.DispAB = Displacement(a, b, cfg)
 	pr.DispBA = Displacement(b, a, cfg)
+	if ctx.Err() != nil {
+		return nil
+	}
 	pr.StackAB = Callstack(a, b, cfg)
 	pr.StackBA = Callstack(b, a, cfg)
 	pr.SPMDA, pr.SPMDB = spmdA, spmdB
@@ -272,6 +302,9 @@ func (tk *Tracker) trackPair(a, b *Frame, spmdA, spmdB *Matrix, pairsA, pairsB [
 	// sequence of computing bursts over time will preserve the same
 	// chronological order" across experiments.
 	if !cfg.DisableSequence {
+		if ctx.Err() != nil {
+			return nil
+		}
 		pivotsA, pivotsB := map[int]int{}, map[int]int{}
 		relID := 0
 		for _, r := range relations {

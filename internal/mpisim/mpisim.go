@@ -14,6 +14,7 @@
 package mpisim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -388,8 +389,18 @@ type Run struct {
 // SimulateSeries simulates a list of runs in order, returning one trace per
 // run. It fails fast on the first error.
 func SimulateSeries(runs []Run) ([]*trace.Trace, error) {
+	return SimulateSeriesContext(context.Background(), runs)
+}
+
+// SimulateSeriesContext is SimulateSeries with cancellation between runs,
+// so a cancelled or timed-out caller does not simulate experiments whose
+// traces nobody will analyse.
+func SimulateSeriesContext(ctx context.Context, runs []Run) ([]*trace.Trace, error) {
 	out := make([]*trace.Trace, 0, len(runs))
 	for i, r := range runs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t, err := Simulate(r.App, r.Scenario)
 		if err != nil {
 			return nil, fmt.Errorf("mpisim: run %d (%s): %w", i, r.Scenario.Label, err)

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed result store: keys are hex SHA-256
+// digests of the canonicalized inputs (traces + config + metric space),
+// values are the byte-deterministic JSON exports those inputs produce.
+// Because the pipeline is a pure function of the key's preimage, a hit
+// can be served without any validation — identical key, identical bytes.
+//
+// Eviction is LRU, bounded both by entry count and by total value bytes,
+// so one giant study cannot evict the daemon into swap and a million tiny
+// ones cannot grow the map unboundedly.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+
+	// onEvict, when set, observes each eviction (metrics hook).
+	onEvict func()
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache bounded by maxEntries entries and maxBytes
+// total value bytes. Zero or negative bounds mean "no bound on that
+// axis"; both unbounded is allowed but unwise in a daemon.
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      map[string]*list.Element{},
+	}
+}
+
+// Get returns the cached value for key and marks it most recently used.
+// The returned slice is shared: callers must treat it as immutable.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key (replacing any previous value) and evicts
+// least-recently-used entries until the bounds hold again. A value larger
+// than maxBytes on its own is stored and immediately becomes the only
+// entry candidate for the next eviction; it is not rejected, because the
+// job already paid for the computation.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += int64(len(val)) - int64(len(ent.val))
+		ent.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.bytes += int64(len(val))
+	}
+	for c.over() && c.ll.Len() > 1 {
+		c.evictOldest()
+	}
+}
+
+func (c *Cache) over() bool {
+	if c.maxEntries > 0 && c.ll.Len() > c.maxEntries {
+		return true
+	}
+	if c.maxBytes > 0 && c.bytes > c.maxBytes {
+		return true
+	}
+	return false
+}
+
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.bytes -= int64(len(ent.val))
+	if c.onEvict != nil {
+		c.onEvict()
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the total size of cached values.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

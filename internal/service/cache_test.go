@@ -1,0 +1,118 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheEntryBound(t *testing.T) {
+	c := NewCache(3, 0)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len %d, want 3", c.Len())
+	}
+	// Oldest two were evicted.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Fatalf("k%d survived eviction", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d missing", i)
+		}
+	}
+}
+
+func TestCacheByteBound(t *testing.T) {
+	evictions := 0
+	c := NewCache(0, 100)
+	c.onEvict = func() { evictions++ }
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 40))
+	}
+	if c.Bytes() > 100 {
+		t.Fatalf("bytes %d over bound 100", c.Bytes())
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+	if evictions != 2 {
+		t.Fatalf("evictions %d, want 2", evictions)
+	}
+}
+
+func TestCacheOversizeValueStillStored(t *testing.T) {
+	// A value bigger than the byte bound is kept (the computation is
+	// already paid for); it just becomes the lone entry.
+	c := NewCache(0, 10)
+	c.Put("big", make([]byte, 1000))
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("oversize value rejected")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d, want 1", c.Len())
+	}
+	// The next insert evicts it.
+	c.Put("small", make([]byte, 5))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversize value survived a subsequent insert")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(2, 0)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if _, ok := c.Get("a"); !ok { // refresh a: now b is oldest
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (least recently used)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was evicted despite being recently used")
+	}
+}
+
+func TestCacheReplace(t *testing.T) {
+	c := NewCache(4, 0)
+	c.Put("k", []byte("old"))
+	c.Put("k", []byte("newer"))
+	v, ok := c.Get("k")
+	if !ok || string(v) != "newer" {
+		t.Fatalf("got %q, want \"newer\"", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d after replace, want 1", c.Len())
+	}
+	if c.Bytes() != int64(len("newer")) {
+		t.Fatalf("bytes %d, want %d", c.Bytes(), len("newer"))
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(32, 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%48)
+				if v, ok := c.Get(key); ok && len(v) == 0 {
+					t.Errorf("empty value for %s", key)
+				}
+				c.Put(key, []byte(key))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("len %d over bound", c.Len())
+	}
+}

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Dependency-free metrics in the Prometheus text exposition format.
+// trackd must expose its operational state (queue depth, cache hit rate,
+// per-stage latency) to standard scrapers without pulling the Prometheus
+// client library into a repo that vendors nothing; counters, gauges and
+// fixed-bucket histograms are all the daemon needs, so they are ~150
+// lines here instead of a dependency.
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+		c.name, c.help, c.name, c.name, c.v.Load())
+	return err
+}
+
+// Gauge is a metric that can go up and down. When fn is set the gauge is
+// computed at scrape time (e.g. current queue depth) instead of tracked.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+	fn         func() int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add increments (or with negative n, decrements) the value.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) write(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+		g.name, g.help, g.name, g.name, g.Value())
+	return err
+}
+
+// DefBuckets are latency buckets in seconds spanning sub-millisecond
+// cache hits to multi-minute studies.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// Histogram observes value distributions over fixed buckets.
+type Histogram struct {
+	name, help string
+	buckets    []float64 // upper bounds, ascending
+
+	mu    sync.Mutex
+	count uint64
+	sum   float64
+	in    []uint64 // cumulative counts are computed at write time
+}
+
+// Observe records one value (typically seconds of latency).
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.in[i]++
+			return
+		}
+	}
+	// Falls into the implicit +Inf bucket only.
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (h *Histogram) write(w io.Writer) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, ub := range h.buckets {
+		cum += h.in[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatBound(ub), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", h.name, strconv.FormatFloat(h.sum, 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", h.name, h.count)
+	return err
+}
+
+type collector interface{ write(io.Writer) error }
+
+// Registry holds the daemon's metrics and renders them for scraping.
+type Registry struct {
+	mu    sync.Mutex
+	names []string
+	byN   map[string]collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byN: map[string]collector{}}
+}
+
+func (r *Registry) register(name string, c collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byN[name]; dup {
+		panic("service: duplicate metric " + name)
+	}
+	r.names = append(r.names, name)
+	r.byN[name] = c
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// NewGauge registers and returns a tracked gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// NewGaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) *Gauge {
+	g := &Gauge{name: name, help: help, fn: fn}
+	r.register(name, g)
+	return g
+}
+
+// NewHistogram registers and returns a histogram over the given bucket
+// upper bounds (nil selects DefBuckets).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := &Histogram{name: name, help: help, buckets: buckets, in: make([]uint64, len(buckets))}
+	r.register(name, h)
+	return h
+}
+
+// WritePrometheus renders every registered metric in registration order
+// (stable output makes the endpoint diffable in tests).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	byN := make(map[string]collector, len(r.byN))
+	for k, v := range r.byN {
+		byN[k] = v
+	}
+	r.mu.Unlock()
+	for _, n := range names {
+		if err := byN[n].write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedNames returns the registered metric names, sorted (test helper).
+func (r *Registry) sortedNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.names...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "Jobs.")
+	c.Inc()
+	c.Add(2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP jobs_total Jobs.\n# TYPE jobs_total counter\njobs_total 3\n"
+	if sb.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("depth", "Depth.")
+	g.Set(5)
+	g.Add(-2)
+	f := r.NewGaugeFunc("cap", "Capacity.", func() int64 { return 64 })
+	if g.Value() != 3 || f.Value() != 64 {
+		t.Fatalf("values %d, %d", g.Value(), f.Value())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# TYPE depth gauge\ndepth 3\n", "# TYPE cap gauge\ncap 64\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Fatalf("sum %g, want 56.05", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Bucket counts are cumulative in the exposition format.
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 56.05",
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "H.", []float64{1})
+	h.Observe(1) // le="1" is inclusive
+	h.Observe(1.0000001)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `h_bucket{le="1"} 1`) {
+		t.Fatalf("inclusive upper bound broken:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `h_bucket{le="+Inf"} 2`) {
+		t.Fatalf("+Inf bucket broken:\n%s", sb.String())
+	}
+}
+
+func TestDuplicateMetricPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "First.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("dup", "Second.")
+}
+
+func TestRegistrationOrderStable(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zzz", "Z.")
+	r.NewCounter("aaa", "A.")
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	if strings.Index(out, "zzz") > strings.Index(out, "aaa") {
+		t.Fatal("exposition did not preserve registration order")
+	}
+	names := r.sortedNames()
+	if len(names) != 2 || names[0] != "aaa" || names[1] != "zzz" {
+		t.Fatalf("sortedNames %v", names)
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "C.")
+	g := r.NewGauge("g", "G.")
+	h := r.NewHistogram("h", "H.", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("got c=%d g=%d h=%d, want 8000 each", c.Value(), g.Value(), h.Count())
+	}
+}

@@ -1,0 +1,687 @@
+// Package service turns the perftrack library into a tracking-as-a-service
+// daemon: a bounded job queue feeding a worker pool, a content-addressed
+// result cache keyed by the canonical hash of each job's inputs, and
+// built-in Prometheus-text metrics. The HTTP surface is:
+//
+//	POST /v1/jobs            submit a study name or uploaded traces + config
+//	GET  /v1/jobs            list jobs
+//	GET  /v1/jobs/{id}        job status
+//	GET  /v1/jobs/{id}/result the result JSON (byte-deterministic export)
+//	GET  /v1/studies          the catalog
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             liveness + degraded-mode diagnostics
+//
+// Backpressure is explicit: when the queue is full a submission is
+// rejected with 429 and a Retry-After header rather than queued without
+// bound. Identical submissions are collapsed: a cache hit returns the
+// stored bytes instantly, and concurrent duplicates attach to the one
+// in-flight job (singleflight) so the pipeline runs exactly once per
+// distinct input.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"perftrack/internal/apps"
+	"perftrack/internal/core"
+	"perftrack/internal/mpisim"
+	"perftrack/internal/trace"
+)
+
+// Config parametrises the daemon.
+type Config struct {
+	// Workers is the worker pool size (default 4).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker
+	// (default 64). A full queue rejects submissions with 429.
+	QueueDepth int
+	// JobTimeout bounds each job's pipeline execution (default 2m).
+	JobTimeout time.Duration
+	// CacheMaxEntries / CacheMaxBytes bound the result cache
+	// (defaults 256 entries, 256 MiB).
+	CacheMaxEntries int
+	CacheMaxBytes   int64
+	// RetryAfter is the backoff hint sent with 429 responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds the request body (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.CacheMaxEntries <= 0 {
+		c.CacheMaxEntries = 256
+	}
+	if c.CacheMaxBytes <= 0 {
+		c.CacheMaxBytes = 256 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// ErrQueueFull is returned when the bounded queue cannot accept a job.
+var ErrQueueFull = errors.New("service: job queue is full")
+
+// ErrShuttingDown is returned for submissions after Shutdown began.
+var ErrShuttingDown = errors.New("service: shutting down")
+
+// Server is the tracking service: call New, mount Handler, and Shutdown
+// when done.
+type Server struct {
+	cfg   Config
+	cache *Cache
+
+	reg *Registry
+	m   serverMetrics
+
+	rootCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	queue   chan *Job
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int
+	jobs     map[string]*Job
+	order    []string        // job ids in submission order
+	inflight map[string]*Job // cache key -> queued/running job (singleflight)
+
+	// Cumulative degraded-mode accounting across all completed jobs,
+	// surfaced by /healthz (the service-level continuation of the
+	// library's Diagnostics).
+	health healthAccum
+
+	// testGate, when set before any submission, blocks each job at the
+	// start of execution until the channel is closed. Tests use it to
+	// hold workers busy deterministically (queue saturation,
+	// singleflight, shutdown-cancellation scenarios).
+	testGate chan struct{}
+}
+
+type healthAccum struct {
+	jobsWithDiagnostics int
+	burstsQuarantined   int
+	linesSkipped        int
+	framesDegraded      int
+	framesBridged       int
+	lastSummary         string
+}
+
+type serverMetrics struct {
+	jobsAccepted   *Counter
+	jobsRejected   *Counter
+	jobsCoalesced  *Counter
+	jobsExecuted   *Counter
+	jobsCompleted  *Counter
+	jobsFailed     *Counter
+	jobsCanceled   *Counter
+	cacheHits      *Counter
+	cacheMisses    *Counter
+	cacheEvictions *Counter
+	cacheEntries   *Gauge
+	cacheBytes     *Gauge
+	queueDepth     *Gauge
+	queueCapacity  *Gauge
+	workersBusy    *Gauge
+	workersTotal   *Gauge
+	stagePrepare   *Histogram
+	stageCluster   *Histogram
+	stageTrack     *Histogram
+	stageExport    *Histogram
+	jobLatency     *Histogram
+}
+
+// New starts a server: the worker pool begins consuming immediately.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheMaxEntries, cfg.CacheMaxBytes),
+		reg:      NewRegistry(),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     map[string]*Job{},
+		inflight: map[string]*Job{},
+	}
+	s.rootCtx, s.cancel = context.WithCancel(context.Background())
+
+	r := s.reg
+	s.m = serverMetrics{
+		jobsAccepted:   r.NewCounter("trackd_jobs_accepted_total", "Submissions admitted (including cache hits and coalesced duplicates)."),
+		jobsRejected:   r.NewCounter("trackd_jobs_rejected_total", "Submissions rejected with 429 because the queue was full."),
+		jobsCoalesced:  r.NewCounter("trackd_jobs_coalesced_total", "Submissions attached to an identical in-flight job (singleflight)."),
+		jobsExecuted:   r.NewCounter("trackd_jobs_executed_total", "Pipeline executions started by workers (cache misses only)."),
+		jobsCompleted:  r.NewCounter("trackd_jobs_completed_total", "Jobs finished successfully (including instant cache hits)."),
+		jobsFailed:     r.NewCounter("trackd_jobs_failed_total", "Jobs that ended in error (including per-job timeouts)."),
+		jobsCanceled:   r.NewCounter("trackd_jobs_canceled_total", "Jobs canceled by daemon shutdown."),
+		cacheHits:      r.NewCounter("trackd_cache_hits_total", "Submissions served from the content-addressed result cache."),
+		cacheMisses:    r.NewCounter("trackd_cache_misses_total", "Submissions whose key was absent from the result cache."),
+		cacheEvictions: r.NewCounter("trackd_cache_evictions_total", "Results evicted from the cache by the LRU bounds."),
+		cacheEntries:   r.NewGaugeFunc("trackd_cache_entries", "Results currently cached.", func() int64 { return int64(s.cache.Len()) }),
+		cacheBytes:     r.NewGaugeFunc("trackd_cache_bytes", "Total bytes of cached results.", func() int64 { return s.cache.Bytes() }),
+		queueDepth:     r.NewGaugeFunc("trackd_queue_depth", "Jobs waiting for a worker.", func() int64 { return int64(len(s.queue)) }),
+		queueCapacity:  r.NewGaugeFunc("trackd_queue_capacity", "Bound of the job queue.", func() int64 { return int64(cfg.QueueDepth) }),
+		workersBusy:    r.NewGauge("trackd_workers_busy", "Workers currently executing a job."),
+		workersTotal:   r.NewGaugeFunc("trackd_workers", "Size of the worker pool.", func() int64 { return int64(cfg.Workers) }),
+		stagePrepare:   r.NewHistogram("trackd_stage_prepare_seconds", "Latency of input preparation (simulation or trace windowing).", nil),
+		stageCluster:   r.NewHistogram("trackd_stage_cluster_seconds", "Latency of frame building and clustering.", nil),
+		stageTrack:     r.NewHistogram("trackd_stage_track_seconds", "Latency of the tracking combination algorithm.", nil),
+		stageExport:    r.NewHistogram("trackd_stage_export_seconds", "Latency of result serialisation.", nil),
+		jobLatency:     r.NewHistogram("trackd_job_seconds", "End-to-end job latency, submission to terminal state.", nil),
+	}
+	s.cache.onEvict = func() { s.m.cacheEvictions.Inc() }
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry exposes the metrics registry (for embedding hosts).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Submit resolves the request, consults the cache and singleflight table,
+// and either returns a finished job (cache hit), an existing identical
+// in-flight job (coalesced=true), or enqueues a new one. ErrQueueFull
+// means the caller should retry later (HTTP 429).
+func (s *Server) Submit(req JobRequest) (job *Job, coalesced bool, err error) {
+	spec, err := resolve(req)
+	if err != nil {
+		return nil, false, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrShuttingDown
+	}
+	s.m.jobsAccepted.Inc()
+
+	if val, ok := s.cache.Get(spec.key); ok {
+		s.m.cacheHits.Inc()
+		j := s.newJobLocked(spec)
+		j.state = StateDone
+		j.cacheHit = true
+		j.result = val
+		j.finished = time.Now()
+		close(j.done)
+		s.m.jobsCompleted.Inc()
+		s.m.jobLatency.Observe(j.finished.Sub(j.submitted).Seconds())
+		return j, false, nil
+	}
+	s.m.cacheMisses.Inc()
+
+	if running, ok := s.inflight[spec.key]; ok {
+		s.m.jobsCoalesced.Inc()
+		return running, true, nil
+	}
+
+	j := s.newJobLocked(spec)
+	select {
+	case s.queue <- j:
+	default:
+		// Undo the bookkeeping: the job never existed.
+		delete(s.jobs, j.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.m.jobsRejected.Inc()
+		return nil, false, ErrQueueFull
+	}
+	s.inflight[spec.key] = j
+	return j, false, nil
+}
+
+// newJobLocked allocates and registers a job; callers hold s.mu.
+func (s *Server) newJobLocked(spec *jobSpec) *Job {
+	s.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("j%06d-%s", s.seq, spec.key[:8]),
+		Key:       spec.key,
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	return j
+}
+
+// Job returns the job with the given id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done.
+func (s *Server) Wait(ctx context.Context, j *Job) error {
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Result returns the job's result bytes once done.
+func (s *Server) Result(j *Job) ([]byte, JobState, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.result, j.state, j.errMsg
+}
+
+// View snapshots a job for JSON rendering.
+func (s *Server) View(j *Job) JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.view()
+}
+
+// worker consumes the queue until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.rootCtx.Done():
+			return
+		case j := <-s.queue:
+			s.run(j)
+		}
+	}
+}
+
+// run executes one job under the per-job timeout and publishes the
+// outcome.
+func (s *Server) run(j *Job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+
+	s.m.jobsExecuted.Inc()
+	s.m.workersBusy.Add(1)
+	defer s.m.workersBusy.Add(-1)
+
+	ctx, cancel := context.WithTimeout(s.rootCtx, s.cfg.JobTimeout)
+	defer cancel()
+
+	if s.testGate != nil {
+		select {
+		case <-s.testGate:
+		case <-ctx.Done():
+		}
+	}
+
+	result, diags, err := s.execute(ctx, j.spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = time.Now()
+	delete(s.inflight, j.Key)
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = result
+		j.diagnostics = diags
+		s.cache.Put(j.Key, result)
+		s.m.jobsCompleted.Inc()
+		s.noteDiagnosticsLocked(diags)
+	case s.rootCtx.Err() != nil && ctx.Err() == context.Canceled:
+		j.state = StateCanceled
+		j.errMsg = "daemon shutting down"
+		s.m.jobsCanceled.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("job timeout after %s", s.cfg.JobTimeout)
+		s.m.jobsFailed.Inc()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.m.jobsFailed.Inc()
+	}
+	s.m.jobLatency.Observe(j.finished.Sub(j.submitted).Seconds())
+	close(j.done)
+}
+
+// execute runs the pipeline stages, timing each into its histogram.
+func (s *Server) execute(ctx context.Context, spec *jobSpec) ([]byte, *core.Diagnostics, error) {
+	observe := func(h *Histogram, from time.Time) { h.Observe(time.Since(from).Seconds()) }
+
+	t0 := time.Now()
+	traces := spec.traces
+	if spec.study != nil {
+		var err error
+		traces, err = mpisim.SimulateSeriesContext(ctx, spec.study.Runs)
+		if err != nil {
+			return nil, nil, err
+		}
+		if spec.study.Windows > 1 {
+			if len(traces) != 1 {
+				return nil, nil, fmt.Errorf("windowed study needs exactly one run, got %d", len(traces))
+			}
+			traces = traces[0].SplitWindows(spec.study.Windows)
+		}
+	} else if spec.windows > 1 {
+		traces = traces[0].SplitWindows(spec.windows)
+	}
+	observe(s.m.stagePrepare, t0)
+
+	t1 := time.Now()
+	frames, err := core.BuildFramesContext(ctx, traces, spec.cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	observe(s.m.stageCluster, t1)
+
+	t2 := time.Now()
+	res, err := core.NewTracker(spec.cfg).TrackContext(ctx, frames)
+	if err != nil {
+		return nil, nil, err
+	}
+	observe(s.m.stageTrack, t2)
+	res.Diagnostics.AddDecode(spec.linesSkipped)
+
+	t3 := time.Now()
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf, spec.ms); err != nil {
+		return nil, nil, err
+	}
+	observe(s.m.stageExport, t3)
+
+	d := res.Diagnostics
+	return buf.Bytes(), &d, nil
+}
+
+// noteDiagnosticsLocked folds one job's degraded-mode accounting into the
+// health aggregation; callers hold s.mu.
+func (s *Server) noteDiagnosticsLocked(d *core.Diagnostics) {
+	if d == nil || d.Clean() {
+		return
+	}
+	s.health.jobsWithDiagnostics++
+	s.health.burstsQuarantined += d.BurstsQuarantined
+	s.health.linesSkipped += d.LinesSkipped
+	s.health.framesDegraded += d.FramesDegraded
+	s.health.framesBridged += d.FramesBridged
+	s.health.lastSummary = d.Summary()
+}
+
+// Shutdown stops accepting jobs, cancels queued and running ones, and
+// waits for the workers to exit (bounded by ctx). In-flight pipeline
+// stages observe the cancellation via their contexts, so workers return
+// promptly instead of finishing doomed analyses.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	// Cancel running pipelines, then mark every queued job canceled.
+	s.cancel()
+	for {
+		var j *Job
+		select {
+		case j = <-s.queue:
+		default:
+		}
+		if j == nil {
+			break
+		}
+		s.mu.Lock()
+		if !j.state.Terminal() {
+			j.state = StateCanceled
+			j.errMsg = "daemon shutting down"
+			j.finished = time.Now()
+			delete(s.inflight, j.Key)
+			s.m.jobsCanceled.Inc()
+			close(j.done)
+		}
+		s.mu.Unlock()
+	}
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ---- HTTP layer ----
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/studies", s.handleStudies)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req JobRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	j, coalesced, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		writeError(w, http.StatusTooManyRequests, "job queue is full, retry later")
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	v := s.View(j)
+	w.Header().Set("Location", "/v1/jobs/"+j.ID)
+	switch {
+	case v.CacheHit:
+		w.Header().Set("X-Cache", "hit")
+		writeJSON(w, http.StatusOK, v)
+	case coalesced:
+		w.Header().Set("X-Cache", "coalesced")
+		writeJSON(w, http.StatusAccepted, v)
+	default:
+		w.Header().Set("X-Cache", "miss")
+		writeJSON(w, http.StatusAccepted, v)
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].view())
+	}
+	s.mu.Unlock()
+	sortViews(views)
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.View(j))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	result, state, errMsg := s.Result(j)
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		if j.cacheHit {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		w.Write(result)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, errMsg)
+	case StateCanceled:
+		writeError(w, http.StatusGone, errMsg)
+	default:
+		// Not finished yet: 202 tells pollers to come back.
+		writeJSON(w, http.StatusAccepted, s.View(j))
+	}
+}
+
+func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
+	type studyView struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+		Frames      int    `json:"frames"`
+		Param       string `json:"param"`
+	}
+	var out []studyView
+	for _, st := range apps.All() {
+		frames := len(st.Runs)
+		if st.Windows > 1 {
+			frames = st.Windows
+		}
+		out = append(out, studyView{Name: st.Name, Description: st.Description, Frames: frames, Param: st.ParamName})
+	}
+	syn, err := apps.ByName("Synthetic")
+	if err == nil {
+		out = append(out, studyView{Name: syn.Name, Description: syn.Description, Frames: len(syn.Runs), Param: syn.ParamName})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"studies": out})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// Health is the /healthz document.
+type Health struct {
+	Status        string `json:"status"`
+	Workers       int    `json:"workers"`
+	WorkersBusy   int64  `json:"workersBusy"`
+	QueueDepth    int    `json:"queueDepth"`
+	QueueCapacity int    `json:"queueCapacity"`
+	CacheEntries  int    `json:"cacheEntries"`
+	CacheBytes    int64  `json:"cacheBytes"`
+	Jobs          struct {
+		Accepted  uint64 `json:"accepted"`
+		Executed  uint64 `json:"executed"`
+		Completed uint64 `json:"completed"`
+		Failed    uint64 `json:"failed"`
+		Canceled  uint64 `json:"canceled"`
+		Rejected  uint64 `json:"rejected"`
+	} `json:"jobs"`
+	DegradedMode struct {
+		JobsWithDiagnostics int    `json:"jobsWithDiagnostics"`
+		BurstsQuarantined   int    `json:"burstsQuarantined"`
+		LinesSkipped        int    `json:"linesSkipped"`
+		FramesDegraded      int    `json:"framesDegraded"`
+		FramesBridged       int    `json:"framesBridged"`
+		LastSummary         string `json:"lastSummary,omitempty"`
+	} `json:"degradedMode"`
+}
+
+// Healthz snapshots the daemon state for /healthz.
+func (s *Server) Healthz() Health {
+	var h Health
+	s.mu.Lock()
+	closed := s.closed
+	acc := s.health
+	s.mu.Unlock()
+
+	h.Status = "ok"
+	if closed {
+		h.Status = "shutting-down"
+	} else if acc.jobsWithDiagnostics > 0 {
+		// Results are still served, but some came from the degraded-mode
+		// pipeline: coarsened, not wrong. Surface it.
+		h.Status = "degraded"
+	}
+	h.Workers = s.cfg.Workers
+	h.WorkersBusy = s.m.workersBusy.Value()
+	h.QueueDepth = len(s.queue)
+	h.QueueCapacity = s.cfg.QueueDepth
+	h.CacheEntries = s.cache.Len()
+	h.CacheBytes = s.cache.Bytes()
+	h.Jobs.Accepted = s.m.jobsAccepted.Value()
+	h.Jobs.Executed = s.m.jobsExecuted.Value()
+	h.Jobs.Completed = s.m.jobsCompleted.Value()
+	h.Jobs.Failed = s.m.jobsFailed.Value()
+	h.Jobs.Canceled = s.m.jobsCanceled.Value()
+	h.Jobs.Rejected = s.m.jobsRejected.Value()
+	h.DegradedMode.JobsWithDiagnostics = acc.jobsWithDiagnostics
+	h.DegradedMode.BurstsQuarantined = acc.burstsQuarantined
+	h.DegradedMode.LinesSkipped = acc.linesSkipped
+	h.DegradedMode.FramesDegraded = acc.framesDegraded
+	h.DegradedMode.FramesBridged = acc.framesBridged
+	h.DegradedMode.LastSummary = acc.lastSummary
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Healthz())
+}
+
+// Hash re-exports the canonical trace hash for clients that want to
+// predict cache keys.
+func Hash(ts []*trace.Trace) [32]byte { return trace.HashSequence(ts) }

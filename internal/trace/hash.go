@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+	"sort"
+)
+
+// Content addressing: every trace has a canonical SHA-256 fingerprint
+// covering exactly the information the analysis pipeline consumes — the
+// metadata fields, the sorted parameter map and the burst sequence in its
+// stored order. Two traces with equal hashes produce bit-identical
+// pipeline results (the pipeline is deterministic in burst order), which
+// is what makes the service's result cache sound: a cached result can be
+// returned for any submission whose inputs hash to the same key.
+//
+// The encoding is length-prefixed and type-tagged so field values can
+// never alias across boundaries ("ab"+"c" vs "a"+"bc"), and floats are
+// hashed by their IEEE-754 bit patterns so -0, NaN payloads and subnormal
+// values all distinguish.
+
+// hashWriter accumulates canonical encodings into a hash.Hash.
+type hashWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (hw *hashWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(hw.buf[:], v)
+	hw.h.Write(hw.buf[:])
+}
+
+func (hw *hashWriter) i64(v int64)   { hw.u64(uint64(v)) }
+func (hw *hashWriter) f64(v float64) { hw.u64(math.Float64bits(v)) }
+func (hw *hashWriter) str(s string)  { hw.u64(uint64(len(s))); hw.h.Write([]byte(s)) }
+func (hw *hashWriter) tag(b byte)    { hw.h.Write([]byte{b}) }
+func (hw *hashWriter) sum() [32]byte { var out [32]byte; hw.h.Sum(out[:0]); return out }
+
+// CanonicalHash returns the SHA-256 fingerprint of the trace's canonical
+// encoding. The hash is stable across processes and platforms and changes
+// whenever any field the pipeline can observe changes.
+func (t *Trace) CanonicalHash() [32]byte {
+	hw := &hashWriter{h: sha256.New()}
+	hw.tag('T')
+	hw.str(t.Meta.App)
+	hw.str(t.Meta.Label)
+	hw.i64(int64(t.Meta.Ranks))
+	hw.i64(int64(t.Meta.TasksPerNode))
+	hw.str(t.Meta.Machine)
+	hw.str(t.Meta.Compiler)
+	keys := make([]string, 0, len(t.Meta.Params))
+	for k := range t.Meta.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	hw.u64(uint64(len(keys)))
+	for _, k := range keys {
+		hw.str(k)
+		hw.str(t.Meta.Params[k])
+	}
+	hw.u64(uint64(len(t.Bursts)))
+	for _, b := range t.Bursts {
+		hw.tag('B')
+		hw.i64(int64(b.Task))
+		hw.i64(int64(b.Thread))
+		hw.i64(b.StartNS)
+		hw.i64(b.DurationNS)
+		hw.str(b.Stack.Function)
+		hw.str(b.Stack.File)
+		hw.i64(int64(b.Stack.Line))
+		hw.i64(int64(b.Phase))
+		for _, v := range b.Counters {
+			hw.f64(v)
+		}
+	}
+	return hw.sum()
+}
+
+// HashSequence combines the canonical hashes of a trace sequence into one
+// fingerprint. Order matters: the pipeline's frame sequence is ordered,
+// so [a, b] and [b, a] are different studies.
+func HashSequence(ts []*Trace) [32]byte {
+	hw := &hashWriter{h: sha256.New()}
+	hw.tag('S')
+	hw.u64(uint64(len(ts)))
+	for _, t := range ts {
+		h := t.CanonicalHash()
+		hw.h.Write(h[:])
+	}
+	return hw.sum()
+}

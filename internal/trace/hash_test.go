@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"testing"
+
+	"perftrack/internal/metrics"
+)
+
+func hashFixture() *Trace {
+	return &Trace{
+		Meta: Metadata{
+			App: "app", Label: "run-1", Ranks: 4, TasksPerNode: 2,
+			Machine: "m", Compiler: "c",
+			Params: map[string]string{"class": "B", "seed": "7"},
+		},
+		Bursts: []Burst{
+			{Task: 0, StartNS: 10, DurationNS: 100,
+				Stack:    CallstackRef{Function: "f", File: "f.c", Line: 3},
+				Counters: metrics.CounterVector{1000, 2000, 10, 5, 1, 300}},
+			{Task: 1, StartNS: 12, DurationNS: 90,
+				Stack:    CallstackRef{Function: "g", File: "g.c", Line: 9},
+				Counters: metrics.CounterVector{900, 1800, 12, 4, 2, 280}},
+		},
+	}
+}
+
+// TestCanonicalHashStable asserts the hash is a pure function of the trace
+// content, independent of map iteration order.
+func TestCanonicalHashStable(t *testing.T) {
+	a, b := hashFixture(), hashFixture()
+	for i := 0; i < 16; i++ {
+		if a.CanonicalHash() != b.CanonicalHash() {
+			t.Fatal("equal traces hash differently")
+		}
+	}
+	if a.CanonicalHash() != a.Clone().CanonicalHash() {
+		t.Fatal("clone hashes differently")
+	}
+}
+
+// TestCanonicalHashSensitivity asserts every observable field perturbs the
+// hash: the cache must never serve a result computed from different input.
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := hashFixture().CanonicalHash()
+	mutations := map[string]func(*Trace){
+		"app":          func(t *Trace) { t.Meta.App = "other" },
+		"label":        func(t *Trace) { t.Meta.Label = "run-2" },
+		"ranks":        func(t *Trace) { t.Meta.Ranks = 8 },
+		"param-value":  func(t *Trace) { t.Meta.Params["class"] = "C" },
+		"param-added":  func(t *Trace) { t.Meta.Params["extra"] = "1" },
+		"burst-task":   func(t *Trace) { t.Bursts[0].Task = 3 },
+		"burst-start":  func(t *Trace) { t.Bursts[0].StartNS = 11 },
+		"burst-dur":    func(t *Trace) { t.Bursts[1].DurationNS = 91 },
+		"burst-stack":  func(t *Trace) { t.Bursts[0].Stack.Line = 4 },
+		"burst-phase":  func(t *Trace) { t.Bursts[0].Phase = 2 },
+		"counter":      func(t *Trace) { t.Bursts[0].Counters[metrics.CtrCycles] = 2001 },
+		"burst-order":  func(t *Trace) { t.Bursts[0], t.Bursts[1] = t.Bursts[1], t.Bursts[0] },
+		"burst-gone":   func(t *Trace) { t.Bursts = t.Bursts[:1] },
+		"empty-fields": func(t *Trace) { t.Bursts[0].Stack.Function, t.Bursts[0].Stack.File = "ff.c", "" },
+	}
+	for name, mutate := range mutations {
+		tr := hashFixture()
+		mutate(tr)
+		if tr.CanonicalHash() == base {
+			t.Errorf("mutation %q did not change the hash", name)
+		}
+	}
+}
+
+// TestHashSequenceOrder asserts sequence hashing is order-sensitive and
+// differs from any single member's hash.
+func TestHashSequenceOrder(t *testing.T) {
+	a := hashFixture()
+	b := hashFixture()
+	b.Meta.Label = "run-2"
+	ab := HashSequence([]*Trace{a, b})
+	ba := HashSequence([]*Trace{b, a})
+	if ab == ba {
+		t.Error("sequence hash is order-insensitive")
+	}
+	if ab == a.CanonicalHash() || ab == HashSequence([]*Trace{a}) {
+		t.Error("sequence hash collides with shorter sequences")
+	}
+}

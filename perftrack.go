@@ -27,6 +27,7 @@
 package perftrack
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -101,7 +102,47 @@ func CatalogStudies() []Study { return apps.All() }
 // of the single run (the paper's "evolution along time intervals within
 // the same experiment" mode).
 func SimulateStudy(st Study) ([]*Trace, error) {
-	traces, err := mpisim.SimulateSeries(st.Runs)
+	return SimulateStudyContext(context.Background(), st)
+}
+
+// Track runs the full pipeline over a trace sequence: frame construction
+// (filtering, metric evaluation, per-frame clustering), cross-experiment
+// scale normalisation and tracking.
+func Track(traces []*Trace, cfg Config) (*Result, error) {
+	return TrackContext(context.Background(), traces, cfg)
+}
+
+// TrackContext is Track with cancellation: frame building, clustering and
+// the tracker's evaluator stages poll ctx, so a cancelled or timed-out
+// analysis stops burning CPU mid-pipeline. This is what lets a serving
+// layer enforce per-job timeouts and cancel abandoned work.
+func TrackContext(ctx context.Context, traces []*Trace, cfg Config) (*Result, error) {
+	frames, err := core.BuildFramesContext(ctx, traces, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewTracker(cfg).TrackContext(ctx, frames)
+}
+
+// RunStudy simulates a catalog study and tracks its frames with the
+// study's configuration.
+func RunStudy(st Study) (*Result, error) {
+	return RunStudyContext(context.Background(), st)
+}
+
+// RunStudyContext is RunStudy with cancellation threaded through the
+// simulation and the whole tracking pipeline.
+func RunStudyContext(ctx context.Context, st Study) (*Result, error) {
+	traces, err := SimulateStudyContext(ctx, st)
+	if err != nil {
+		return nil, err
+	}
+	return TrackContext(ctx, traces, st.Track)
+}
+
+// SimulateStudyContext is SimulateStudy with cancellation between runs.
+func SimulateStudyContext(ctx context.Context, st Study) ([]*Trace, error) {
+	traces, err := mpisim.SimulateSeriesContext(ctx, st.Runs)
 	if err != nil {
 		return nil, err
 	}
@@ -112,27 +153,6 @@ func SimulateStudy(st Study) ([]*Trace, error) {
 		return traces[0].SplitWindows(st.Windows), nil
 	}
 	return traces, nil
-}
-
-// Track runs the full pipeline over a trace sequence: frame construction
-// (filtering, metric evaluation, per-frame clustering), cross-experiment
-// scale normalisation and tracking.
-func Track(traces []*Trace, cfg Config) (*Result, error) {
-	frames, err := core.BuildFrames(traces, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewTracker(cfg).Track(frames)
-}
-
-// RunStudy simulates a catalog study and tracks its frames with the
-// study's configuration.
-func RunStudy(st Study) (*Result, error) {
-	traces, err := SimulateStudy(st)
-	if err != nil {
-		return nil, err
-	}
-	return Track(traces, st.Track)
 }
 
 // Simulate runs a synthetic application under a scenario — the entry
