@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race serve-smoke check fuzz clean
+.PHONY: all build test vet race serve-smoke store-smoke check fuzz clean
 
 all: build
 
@@ -22,9 +22,16 @@ race:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 ./cmd/trackd
 
+# store-smoke proves perfdb durability end to end: boot trackd with a
+# persistent store, compute a result, SIGTERM the daemon, boot a fresh
+# one over the same directory, and assert the resubmission is served as
+# a hit from disk without re-running the pipeline.
+store-smoke:
+	$(GO) test -run TestStoreSmoke -count=1 ./cmd/trackd
+
 # check is the pre-merge gate: static analysis, the full suite under the
-# race detector, and the daemon end-to-end smoke.
-check: vet race serve-smoke
+# race detector, and the daemon end-to-end smokes.
+check: vet race serve-smoke store-smoke
 
 # A short fuzzing pass over the trace decoders (lenient + strict + CSV).
 fuzz:

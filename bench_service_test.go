@@ -24,6 +24,15 @@ func coldReq(i int) service.JobRequest {
 	}
 }
 
+func newBench(b *testing.B, cfg service.Config) *service.Server {
+	b.Helper()
+	s, err := service.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
 func submitWait(b *testing.B, s *service.Server, req service.JobRequest) {
 	b.Helper()
 	j, _, err := s.Submit(req)
@@ -44,7 +53,7 @@ func submitWait(b *testing.B, s *service.Server, req service.JobRequest) {
 // submission that misses the cache: queue wait, simulation, clustering,
 // tracking and export.
 func BenchmarkServiceSubmitCold(b *testing.B) {
-	s := service.New(service.Config{Workers: 2, QueueDepth: 8, CacheMaxEntries: 4})
+	s := newBench(b, service.Config{Workers: 2, QueueDepth: 8, CacheMaxEntries: 4})
 	defer s.Shutdown(context.Background())
 	submitWait(b, s, coldReq(-1)) // warm code paths, not the cache
 	b.ResetTimer()
@@ -56,7 +65,7 @@ func BenchmarkServiceSubmitCold(b *testing.B) {
 // BenchmarkServiceSubmitCached measures the same submission when the
 // result cache answers: resolve + fingerprint + lookup, no pipeline.
 func BenchmarkServiceSubmitCached(b *testing.B) {
-	s := service.New(service.Config{Workers: 2, QueueDepth: 8})
+	s := newBench(b, service.Config{Workers: 2, QueueDepth: 8})
 	defer s.Shutdown(context.Background())
 	req := service.JobRequest{Study: "Synthetic"}
 	submitWait(b, s, req) // populate the cache
@@ -71,7 +80,7 @@ func BenchmarkServiceSubmitCached(b *testing.B) {
 // honouring backpressure the way a polite client would, and reports
 // sustained jobs per second.
 func BenchmarkServiceThroughput(b *testing.B) {
-	s := service.New(service.Config{Workers: 8, QueueDepth: 64, CacheMaxEntries: 16})
+	s := newBench(b, service.Config{Workers: 8, QueueDepth: 64, CacheMaxEntries: 16})
 	defer s.Shutdown(context.Background())
 	submitWait(b, s, coldReq(-1))
 	b.ResetTimer()

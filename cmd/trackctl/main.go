@@ -11,7 +11,10 @@
 //	trackctl profile TRACE...
 //	trackctl animate [-o FILE] [-seconds S] TRACE...
 //	trackctl export  [-o FILE] TRACE...
-//	trackctl submit  [-addr URL] [-study NAME] [-o FILE] [TRACE...]
+//	trackctl submit  [-addr URL] [-study NAME] [-series S] [-run L] [-o FILE] [TRACE...]
+//	trackctl history [-addr URL] [-series S]
+//	trackctl diff    [-addr URL] [-metric M] KEYA KEYB
+//	trackctl regressions [-addr URL] -series S [-metric M] [-window N] [-mads X] [-minrel X]
 //	trackctl info    TRACE...
 //
 // cluster renders the frame of a single experiment; track correlates a
@@ -67,6 +70,12 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "submit":
 		err = cmdSubmit(os.Args[2:])
+	case "history":
+		err = cmdHistory(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "regressions":
+		err = cmdRegressions(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -87,11 +96,18 @@ func usage() {
   trackctl report  [-windows N] TRACE...
   trackctl animate [-o FILE] [-seconds S] TRACE...
   trackctl export  [-o FILE] TRACE...
-  trackctl submit  [-addr URL] [-study NAME] [-o FILE] [TRACE...]
+  trackctl submit  [-addr URL] [-study NAME] [-series S] [-run L] [-o FILE] [TRACE...]
+  trackctl history [-addr URL] [-series S]
+  trackctl diff    [-addr URL] [-metric M] KEYA KEYB
+  trackctl regressions [-addr URL] -series S [-metric M] [-window N] [-mads X] [-minrel X]
   trackctl info    TRACE...
 
 submit sends the analysis to a running trackd daemon instead of
-executing it locally, and honours the daemon's queue backpressure.
+executing it locally, and honours the daemon's queue backpressure;
+with -series the stored result joins a named run history. history,
+diff and regressions read the daemon's persistent store: the result
+listing, an object-level diff of two stored runs, and the trajectory
+engine's changepoint verdicts over a series.
 
 every subcommand accepts -lenient: tolerate malformed trace lines by
 quarantining them (diagnostics go to stderr) instead of failing.`)

@@ -1,0 +1,221 @@
+package main
+
+// Subcommands over trackd's perfdb surface: the stored result history,
+// run-to-run diffs, and series regression reports. These are thin HTTP
+// clients — the store and the trajectory engine live in the daemon; the
+// CLI renders their answers.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"perftrack/internal/trajectory"
+)
+
+// getJSON fetches u and decodes the JSON body into v, surfacing the
+// daemon's error message on non-200s.
+func getJSON(client *http.Client, u string, v any) error {
+	resp, err := client.Get(u)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, v)
+}
+
+// storedMeta mirrors store.Meta for decoding listings.
+type storedMeta struct {
+	Key      string `json:"key"`
+	Series   string `json:"series"`
+	Label    string `json:"label"`
+	UnixNano int64  `json:"unixNano"`
+	Seq      uint64 `json:"seq"`
+	Size     int    `json:"size"`
+}
+
+// cmdHistory lists the daemon's stored results, optionally one series.
+func cmdHistory(args []string) error {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7077", "trackd base URL")
+	series := fs.String("series", "", "list only this run series")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("history takes no positional arguments")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := strings.TrimRight(*addr, "/")
+	u := base + "/v1/results"
+	if *series != "" {
+		u += "?series=" + url.QueryEscape(*series)
+	}
+	var listing struct {
+		Results []storedMeta `json:"results"`
+	}
+	if err := getJSON(client, u, &listing); err != nil {
+		return err
+	}
+	if len(listing.Results) == 0 {
+		fmt.Println("no stored results")
+		return nil
+	}
+	fmt.Printf("%-12s  %-16s  %-24s  %-20s  %9s\n", "KEY", "SERIES", "LABEL", "STORED", "BYTES")
+	for _, m := range listing.Results {
+		series := m.Series
+		if series == "" {
+			series = "-"
+		}
+		fmt.Printf("%-12s  %-16s  %-24s  %-20s  %9d\n",
+			m.Key[:min(12, len(m.Key))], series, m.Label,
+			time.Unix(0, m.UnixNano).UTC().Format("2006-01-02 15:04:05"), m.Size)
+	}
+	return nil
+}
+
+// fetchRun downloads one stored result (by abbreviable key) and reduces
+// it to its tracked objects.
+func fetchRun(client *http.Client, base, key string) (trajectory.Run, error) {
+	resp, err := client.Get(base + "/v1/results/" + url.PathEscape(key))
+	if err != nil {
+		return trajectory.Run{}, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	full := resp.Header.Get("X-Store-Key")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return trajectory.Run{}, fmt.Errorf("fetching %s: %s: %s", key, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if full == "" {
+		full = key
+	}
+	return trajectory.ParseRun(body, full, key, 0)
+}
+
+// cmdDiff links the tracked objects of two stored runs and prints how
+// each behaviour moved between them.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7077", "trackd base URL")
+	metricName := fs.String("metric", "IPC", "metric to report per linked behaviour")
+	maxDist := fs.Float64("maxdist", 0, "link distance bound (0 = default)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff needs exactly two stored-result keys (prefixes allowed)")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := strings.TrimRight(*addr, "/")
+
+	runA, err := fetchRun(client, base, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	runB, err := fetchRun(client, base, fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	trajs := trajectory.Chain([]trajectory.Run{runA, runB}, trajectory.LinkConfig{MaxDist: *maxDist})
+
+	fmt.Printf("diff %s -> %s (%d vs %d tracked objects)\n",
+		runA.Key[:min(12, len(runA.Key))], runB.Key[:min(12, len(runB.Key))],
+		len(runA.Objects), len(runB.Objects))
+	for _, tr := range trajs {
+		switch {
+		case len(tr.Points) == 2:
+			a, b := tr.Points[0].State, tr.Points[1].State
+			va, okA := a.Metrics[*metricName]
+			vb, okB := b.Metrics[*metricName]
+			if !okA || !okB {
+				fmt.Printf("  region %d -> %d: linked (no %s values)\n", a.Region, b.Region, *metricName)
+				continue
+			}
+			rel := 0.0
+			if va != 0 {
+				rel = (vb - va) / va
+			}
+			fmt.Printf("  region %d -> %d: %s %.4g -> %.4g (%+.1f%%, share %.1f%%)\n",
+				a.Region, b.Region, *metricName, va, vb, 100*rel, 100*b.DurationShare)
+		case tr.Points[0].RunIndex == 0:
+			st := tr.Points[0].State
+			fmt.Printf("  region %d: only in first run (share %.1f%%)\n", st.Region, 100*st.DurationShare)
+		default:
+			st := tr.Points[0].State
+			fmt.Printf("  region %d: only in second run (share %.1f%%)\n", st.Region, 100*st.DurationShare)
+		}
+	}
+	return nil
+}
+
+// cmdRegressions asks the daemon to judge a series' trajectories and
+// prints the verdicts, notable first.
+func cmdRegressions(args []string) error {
+	fs := flag.NewFlagSet("regressions", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7077", "trackd base URL")
+	series := fs.String("series", "", "run series to judge (required)")
+	metricName := fs.String("metric", "", "metric to judge (default IPC)")
+	window := fs.Int("window", 0, "baseline window in runs (0 = default)")
+	mads := fs.Float64("mads", 0, "deviation threshold in MADs (0 = default)")
+	minRel := fs.Float64("minrel", 0, "minimum relative change (0 = default)")
+	all := fs.Bool("all", false, "print steady/insufficient verdicts too")
+	fs.Parse(args)
+	if *series == "" {
+		return fmt.Errorf("regressions needs -series NAME")
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("regressions takes no positional arguments")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := strings.TrimRight(*addr, "/")
+
+	q := url.Values{}
+	if *metricName != "" {
+		q.Set("metric", *metricName)
+	}
+	if *window > 0 {
+		q.Set("window", fmt.Sprint(*window))
+	}
+	if *mads > 0 {
+		q.Set("mads", fmt.Sprint(*mads))
+	}
+	if *minRel > 0 {
+		q.Set("minRel", fmt.Sprint(*minRel))
+	}
+	u := base + "/v1/series/" + url.PathEscape(*series) + "/regressions"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var res struct {
+		Runs     []map[string]any     `json:"runs"`
+		Verdicts []trajectory.Verdict `json:"verdicts"`
+		Notable  int                  `json:"notable"`
+	}
+	if err := getJSON(client, u, &res); err != nil {
+		return err
+	}
+	fmt.Printf("series %s: %d runs, %d trajectories judged, %d notable\n",
+		*series, len(res.Runs), len(res.Verdicts), res.Notable)
+	for _, v := range res.Verdicts {
+		if !v.Notable() && !*all {
+			continue
+		}
+		fmt.Println(" ", v.String())
+	}
+	if res.Notable == 0 {
+		fmt.Println("  no regressions detected")
+	}
+	return nil
+}

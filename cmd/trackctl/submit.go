@@ -2,14 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"perftrack/internal/service"
@@ -31,13 +35,23 @@ func cmdSubmit(args []string) error {
 	timeout := fs.Duration("timeout", 5*time.Minute, "overall submit+poll deadline")
 	eps := fs.Float64("eps", 0, "DBSCAN radius override (0 = server default)")
 	minPts := fs.Int("minpts", 0, "DBSCAN density override (0 = server default)")
+	series := fs.String("series", "", "file the stored result under this run series (perfdb history)")
+	runLabel := fs.String("run", "", "label of this run inside -series")
 	lenientFlag(fs)
 	fs.Parse(args)
 
+	// A polled submission should die promptly on Ctrl-C instead of
+	// sleeping through it: every request and every backoff below runs
+	// under this context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	req := service.JobRequest{
-		Study:   *study,
-		Windows: *windows,
-		Lenient: lenientMode,
+		Study:    *study,
+		Windows:  *windows,
+		Lenient:  lenientMode,
+		Series:   *series,
+		RunLabel: *runLabel,
 	}
 	if *metricNames != "" {
 		for _, name := range strings.Split(*metricNames, ",") {
@@ -75,8 +89,16 @@ func cmdSubmit(args []string) error {
 	// Submit, honouring 429 backpressure with the server's Retry-After.
 	var view service.JobView
 	for {
-		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
 		if err != nil {
+			return err
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(httpReq)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("interrupted")
+			}
 			return fmt.Errorf("submitting to %s: %w", base, err)
 		}
 		respBody, _ := io.ReadAll(resp.Body)
@@ -88,11 +110,16 @@ func cmdSubmit(args []string) error {
 					wait = time.Duration(secs) * time.Second
 				}
 			}
+			// Jitter the backoff so a herd of clients rejected together
+			// does not stampede the daemon again in lockstep.
+			wait += time.Duration(rand.Int63n(int64(wait/4) + 1))
 			if time.Now().Add(wait).After(deadline) {
 				return fmt.Errorf("queue full at %s and deadline exceeded", base)
 			}
-			fmt.Fprintf(os.Stderr, "trackctl: queue full, retrying in %s\n", wait)
-			time.Sleep(wait)
+			fmt.Fprintf(os.Stderr, "trackctl: queue full, retrying in %s\n", wait.Round(time.Millisecond))
+			if err := sleepCtx(ctx, wait); err != nil {
+				return err
+			}
 			continue
 		}
 		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
@@ -109,8 +136,11 @@ func cmdSubmit(args []string) error {
 
 	// Poll the result endpoint until the job is terminal.
 	for {
-		resp, err := client.Get(base + "/v1/jobs/" + view.ID + "/result")
+		resp, err := getCtx(ctx, client, base+"/v1/jobs/"+view.ID+"/result")
 		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("interrupted while polling job %s", view.ID)
+			}
 			return err
 		}
 		respBody, _ := io.ReadAll(resp.Body)
@@ -119,7 +149,7 @@ func cmdSubmit(args []string) error {
 		case http.StatusOK:
 			// Fetch the final view so degraded-mode diagnostics reach
 			// stderr even when the result was ready on the first poll.
-			if r2, err := client.Get(base + "/v1/jobs/" + view.ID); err == nil {
+			if r2, err := getCtx(ctx, client, base+"/v1/jobs/"+view.ID); err == nil {
 				var final service.JobView
 				if b2, _ := io.ReadAll(r2.Body); json.Unmarshal(b2, &final) == nil {
 					view = final
@@ -142,9 +172,33 @@ func cmdSubmit(args []string) error {
 			if time.Now().After(deadline) {
 				return fmt.Errorf("job %s still %s after %s", view.ID, view.State, *timeout)
 			}
-			time.Sleep(100 * time.Millisecond)
+			if err := sleepCtx(ctx, 100*time.Millisecond); err != nil {
+				return fmt.Errorf("interrupted while polling job %s", view.ID)
+			}
 		default:
 			return fmt.Errorf("job %s: %s: %s", view.ID, resp.Status, strings.TrimSpace(string(respBody)))
 		}
 	}
+}
+
+// sleepCtx waits d, returning early when the context is canceled (the
+// user hit Ctrl-C).
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("interrupted")
+	}
+}
+
+// getCtx is client.Get bound to a cancelable context.
+func getCtx(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return client.Do(req)
 }

@@ -6,6 +6,13 @@
 //
 //	trackd [-addr HOST:PORT] [-workers N] [-queue N] [-timeout D]
 //	       [-cache-entries N] [-cache-bytes N]
+//	       [-store DIR] [-store-segment-bytes N] [-store-sync-every N]
+//
+// With -store, every completed analysis is also appended to the perfdb
+// persistent store in DIR: results survive daemon restarts (cache misses
+// read through the store), and the /v1/results and /v1/series endpoints
+// expose the stored history, trajectory chaining, and regression
+// detection.
 //
 // The daemon prints "trackd: listening on ADDR" once the socket is bound
 // (with the resolved port when :0 was requested), and shuts down
@@ -38,6 +45,9 @@ func main() {
 		cacheEntries = flag.Int("cache-entries", 256, "result cache entry bound")
 		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "result cache byte bound")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		storeDir     = flag.String("store", "", "perfdb directory; empty disables the persistent result store")
+		storeSegment = flag.Int64("store-segment-bytes", 0, "perfdb segment size bound (0 = default 64 MiB)")
+		storeSync    = flag.Int("store-sync-every", 0, "perfdb fsync batch size (0 = default 8, 1 = every append)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -45,14 +55,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		JobTimeout:      *timeout,
-		CacheMaxEntries: *cacheEntries,
-		CacheMaxBytes:   *cacheBytes,
-		RetryAfter:      *retryAfter,
+	srv, err := service.New(service.Config{
+		Workers:              *workers,
+		QueueDepth:           *queueDepth,
+		JobTimeout:           *timeout,
+		CacheMaxEntries:      *cacheEntries,
+		CacheMaxBytes:        *cacheBytes,
+		RetryAfter:           *retryAfter,
+		StoreDir:             *storeDir,
+		StoreMaxSegmentBytes: *storeSegment,
+		StoreSyncEvery:       *storeSync,
 	})
+	if err != nil {
+		log.Fatalf("trackd: %v", err)
+	}
+	if *storeDir != "" {
+		st := srv.Store().Stats()
+		log.Printf("trackd: perfdb open at %s: %d records, %d segments, %d bytes", *storeDir, st.Records, st.Segments, st.Bytes)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

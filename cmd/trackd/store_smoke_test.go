@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestStoreSmoke is the end-to-end gate behind `make store-smoke`: it
+// boots trackd with a perfdb store, computes one result, kills the
+// daemon with SIGTERM, boots a second daemon over the same directory,
+// and asserts the resubmission is served as a hit — byte-identical,
+// without re-running the pipeline. This is the durability contract that
+// in-memory caching alone cannot provide.
+func TestStoreSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec-based smoke test")
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "trackd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building trackd: %v", err)
+	}
+	storeDir := filepath.Join(tmp, "perfdb")
+
+	// start boots the daemon against storeDir and returns its base URL
+	// plus the running command.
+	start := func() (*exec.Cmd, string) {
+		t.Helper()
+		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2",
+			"-store", storeDir, "-store-sync-every", "1")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting trackd: %v", err)
+		}
+		var addr string
+		lines := bufio.NewScanner(stdout)
+		for lines.Scan() {
+			if rest, ok := strings.CutPrefix(lines.Text(), "trackd: listening on "); ok {
+				addr = rest
+				break
+			}
+		}
+		if addr == "" {
+			cmd.Process.Kill()
+			t.Fatalf("never saw the listening line (scan err %v)", lines.Err())
+		}
+		go io.Copy(io.Discard, stdout)
+		return cmd, "http://" + addr
+	}
+
+	stop := func(cmd *exec.Cmd) {
+		t.Helper()
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		waitc := make(chan error, 1)
+		go func() { waitc <- cmd.Wait() }()
+		select {
+		case err := <-waitc:
+			if err != nil {
+				t.Fatalf("trackd exited uncleanly: %v", err)
+			}
+		case <-time.After(20 * time.Second):
+			cmd.Process.Kill()
+			t.Fatal("trackd did not exit after SIGTERM")
+		}
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	submit := func(base string) (int, string, bool, string) {
+		t.Helper()
+		resp, err := client.Post(base+"/v1/jobs", "application/json",
+			strings.NewReader(`{"study":"Synthetic","series":"smoke","runLabel":"r1"}`))
+		if err != nil {
+			t.Fatalf("POST /v1/jobs: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var view struct {
+			ID       string `json:"id"`
+			CacheHit bool   `json:"cacheHit"`
+		}
+		if err := json.Unmarshal(body, &view); err != nil {
+			t.Fatalf("decoding job view from %s: %v", body, err)
+		}
+		return resp.StatusCode, view.ID, view.CacheHit, resp.Header.Get("X-Cache")
+	}
+	fetchResult := func(base, id string) []byte {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			resp, err := client.Get(base + "/v1/jobs/" + id + "/result")
+			if err != nil {
+				t.Fatalf("GET result: %v", err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				return body
+			case http.StatusAccepted:
+				if time.Now().After(deadline) {
+					t.Fatal("job did not finish within 60s")
+				}
+				time.Sleep(50 * time.Millisecond)
+			default:
+				t.Fatalf("result poll: status %d body %s", resp.StatusCode, body)
+			}
+		}
+	}
+	metricsBody := func(base string) string {
+		t.Helper()
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return string(b)
+	}
+
+	// First life: execute the pipeline once and persist the result.
+	cmd, base := start()
+	code, id, _, _ := submit(base)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	result1 := fetchResult(base, id)
+	if !json.Valid(result1) {
+		t.Fatal("result is not valid JSON")
+	}
+	if m := metricsBody(base); !strings.Contains(m, "trackd_store_records 1") {
+		t.Fatalf("store did not persist the result before shutdown:\n%s", m)
+	}
+	stop(cmd)
+
+	// Second life: fresh process, cold cache, same store directory. The
+	// resubmission must be a hit served from disk with zero executions.
+	cmd, base = start()
+	defer cmd.Process.Kill()
+	code, id, hit, xcache := submit(base)
+	if code != http.StatusOK || !hit || xcache != "hit" {
+		t.Fatalf("post-restart submit: status %d cacheHit %v X-Cache %q, want an immediate hit", code, hit, xcache)
+	}
+	result2 := fetchResult(base, id)
+	if !bytes.Equal(result1, result2) {
+		t.Fatal("result served after restart differs from the original bytes")
+	}
+	m := metricsBody(base)
+	for _, want := range []string{
+		"trackd_jobs_executed_total 0",
+		"trackd_store_hits_total 1",
+		"trackd_store_records 1",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("post-restart /metrics missing %q", want)
+		}
+	}
+
+	// The stored history survives too.
+	resp, err := client.Get(base + "/v1/series/smoke/trajectories")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trajectories after restart: status %d body %s", resp.StatusCode, body)
+	}
+	stop(cmd)
+}

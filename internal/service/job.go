@@ -55,6 +55,14 @@ type JobRequest struct {
 	Config *ConfigSpec `json:"config,omitempty"`
 	// Lenient decodes uploaded traces tolerating malformed lines.
 	Lenient bool `json:"lenient,omitempty"`
+	// Series, when set, files the stored result under a named run
+	// series in the persistent store — the history the trajectory and
+	// regression endpoints mine. RunLabel names this run inside the
+	// series (defaults to the input description). Neither influences
+	// the cache key: the result bytes are a pure function of the
+	// inputs; the series only says where they are filed.
+	Series   string `json:"series,omitempty"`
+	RunLabel string `json:"runLabel,omitempty"`
 }
 
 // ConfigSpec is the JSON-friendly subset of core.Config a client may
@@ -130,6 +138,8 @@ type jobSpec struct {
 	linesSkipped int
 	key          string
 	label        string // human-readable input description
+	series       string // perfdb series name ("" = unfiled)
+	runLabel     string // this run's name inside the series
 }
 
 // resolve validates the request and computes its cache key.
@@ -196,8 +206,34 @@ func resolve(req JobRequest) (*jobSpec, error) {
 		spec.ms = metrics.DefaultSpace()
 	}
 
+	if err := validSeries(req.Series); err != nil {
+		return nil, err
+	}
+	spec.series = req.Series
+	spec.runLabel = req.RunLabel
+	if spec.runLabel == "" {
+		spec.runLabel = spec.label
+	}
+
 	spec.key = spec.fingerprint()
 	return spec, nil
+}
+
+// validSeries keeps series names short and URL-path-safe, since they
+// appear as a path segment in /v1/series/{name}/....
+func validSeries(name string) error {
+	if len(name) > 128 {
+		return fmt.Errorf("series name longer than 128 bytes")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("series name %q: only [A-Za-z0-9._-] allowed", name)
+		}
+	}
+	return nil
 }
 
 // fingerprint derives the content-addressed cache key: SHA-256 over the

@@ -8,6 +8,11 @@
 //	GET  /v1/jobs/{id}        job status
 //	GET  /v1/jobs/{id}/result the result JSON (byte-deterministic export)
 //	GET  /v1/studies          the catalog
+//	GET  /v1/results          the persistent store's record listing
+//	GET  /v1/results/{key}    a stored result by (abbreviable) key
+//	GET  /v1/series           the named run series present in the store
+//	GET  /v1/series/{name}/trajectories  cross-run trajectory chaining
+//	GET  /v1/series/{name}/regressions   changepoint verdicts per trajectory
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness + degraded-mode diagnostics
 //
@@ -33,6 +38,7 @@ import (
 	"perftrack/internal/apps"
 	"perftrack/internal/core"
 	"perftrack/internal/mpisim"
+	"perftrack/internal/store"
 	"perftrack/internal/trace"
 )
 
@@ -54,6 +60,15 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds the request body (default 64 MiB).
 	MaxBodyBytes int64
+	// StoreDir, when set, enables perfdb: every completed analysis is
+	// appended to the persistent store there, cache misses read through
+	// it, and the series/trajectory endpoints come alive.
+	StoreDir string
+	// StoreMaxSegmentBytes / StoreSyncEvery pass through to the store
+	// (zero means the store's own defaults: 64 MiB segments, fsync
+	// every 8 appends).
+	StoreMaxSegmentBytes int64
+	StoreSyncEvery       int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,9 +107,11 @@ var ErrShuttingDown = errors.New("service: shutting down")
 type Server struct {
 	cfg   Config
 	cache *Cache
+	store *store.Store
 
 	reg *Registry
 	m   serverMetrics
+	sm  storeMetrics
 
 	rootCtx context.Context
 	cancel  context.CancelFunc
@@ -154,7 +171,9 @@ type serverMetrics struct {
 }
 
 // New starts a server: the worker pool begins consuming immediately.
-func New(cfg Config) *Server {
+// When cfg.StoreDir is set, the persistent store is opened (and its
+// history recovered) before the first job can complete.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -192,11 +211,18 @@ func New(cfg Config) *Server {
 	}
 	s.cache.onEvict = func() { s.m.cacheEvictions.Inc() }
 
+	if cfg.StoreDir != "" {
+		if err := s.openStore(); err != nil {
+			s.cancel()
+			return nil, err
+		}
+	}
+
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Registry exposes the metrics registry (for embedding hosts).
@@ -221,21 +247,20 @@ func (s *Server) Submit(req JobRequest) (job *Job, coalesced bool, err error) {
 
 	if val, ok := s.cache.Get(spec.key); ok {
 		s.m.cacheHits.Inc()
-		j := s.newJobLocked(spec)
-		j.state = StateDone
-		j.cacheHit = true
-		j.result = val
-		j.finished = time.Now()
-		close(j.done)
-		s.m.jobsCompleted.Inc()
-		s.m.jobLatency.Observe(j.finished.Sub(j.submitted).Seconds())
-		return j, false, nil
+		s.refileLocked(spec, val)
+		return s.finishedJobLocked(spec, val), false, nil
 	}
 	s.m.cacheMisses.Inc()
 
 	if running, ok := s.inflight[spec.key]; ok {
 		s.m.jobsCoalesced.Inc()
 		return running, true, nil
+	}
+
+	// Read-through: a result computed before the last restart lives in
+	// the persistent store even though the in-memory cache lost it.
+	if val, ok := s.storeGetLocked(spec); ok {
+		return s.finishedJobLocked(spec, val), false, nil
 	}
 
 	j := s.newJobLocked(spec)
@@ -250,6 +275,20 @@ func (s *Server) Submit(req JobRequest) (job *Job, coalesced bool, err error) {
 	}
 	s.inflight[spec.key] = j
 	return j, false, nil
+}
+
+// finishedJobLocked registers a job born done (cache or store hit);
+// callers hold s.mu.
+func (s *Server) finishedJobLocked(spec *jobSpec, val []byte) *Job {
+	j := s.newJobLocked(spec)
+	j.state = StateDone
+	j.cacheHit = true
+	j.result = val
+	j.finished = time.Now()
+	close(j.done)
+	s.m.jobsCompleted.Inc()
+	s.m.jobLatency.Observe(j.finished.Sub(j.submitted).Seconds())
+	return j
 }
 
 // newJobLocked allocates and registers a job; callers hold s.mu.
@@ -351,6 +390,9 @@ func (s *Server) run(j *Job) {
 		j.result = result
 		j.diagnostics = diags
 		s.cache.Put(j.Key, result)
+		if s.store != nil {
+			s.appendLocked(j.spec, result)
+		}
 		s.m.jobsCompleted.Inc()
 		s.noteDiagnosticsLocked(diags)
 	case s.rootCtx.Err() != nil && ctx.Err() == context.Canceled:
@@ -471,12 +513,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Close the store last: a straggling worker's append after this
+	// point fails cleanly (counted, not crashed).
+	if s.store != nil {
+		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // ---- HTTP layer ----
@@ -489,6 +539,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/studies", s.handleStudies)
+	mux.HandleFunc("GET /v1/results", s.handleResults)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResultPayload)
+	mux.HandleFunc("GET /v1/series", s.handleSeriesList)
+	mux.HandleFunc("GET /v1/series/{name}/trajectories", s.handleTrajectories)
+	mux.HandleFunc("GET /v1/series/{name}/regressions", s.handleRegressions)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -639,6 +694,13 @@ type Health struct {
 		FramesBridged       int    `json:"framesBridged"`
 		LastSummary         string `json:"lastSummary,omitempty"`
 	} `json:"degradedMode"`
+	Store struct {
+		Enabled    bool   `json:"enabled"`
+		Records    int    `json:"records"`
+		Segments   int    `json:"segments"`
+		Bytes      int64  `json:"bytes"`
+		Superseded uint64 `json:"superseded"`
+	} `json:"store"`
 }
 
 // Healthz snapshots the daemon state for /healthz.
@@ -675,6 +737,14 @@ func (s *Server) Healthz() Health {
 	h.DegradedMode.FramesDegraded = acc.framesDegraded
 	h.DegradedMode.FramesBridged = acc.framesBridged
 	h.DegradedMode.LastSummary = acc.lastSummary
+	if s.store != nil {
+		st := s.store.Stats()
+		h.Store.Enabled = true
+		h.Store.Records = st.Records
+		h.Store.Segments = st.Segments
+		h.Store.Bytes = st.Bytes
+		h.Store.Superseded = st.Superseded
+	}
 	return h
 }
 

@@ -22,6 +22,16 @@ import (
 // synthetic robustness study (16 ranks, 4 frames).
 func syntheticReq() JobRequest { return JobRequest{Study: "Synthetic"} }
 
+// newTest starts a server, failing the test on store-open errors.
+func newTest(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 func waitDone(t *testing.T, s *Server, j *Job) {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -45,7 +55,7 @@ func shutdown(t *testing.T, s *Server) {
 // second submission served from the content-addressed cache without a
 // second pipeline execution.
 func TestSubmitTwiceServesSecondFromCache(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := newTest(t, Config{Workers: 2})
 	defer shutdown(t, s)
 
 	j1, coalesced, err := s.Submit(syntheticReq())
@@ -120,7 +130,7 @@ func TestConfigChangesCacheKey(t *testing.T) {
 // submissions while the first is still executing must all attach to one
 // job — the pipeline runs exactly once.
 func TestSingleflightConcurrentSubmissions(t *testing.T) {
-	s := New(Config{Workers: 2, QueueDepth: 16})
+	s := newTest(t, Config{Workers: 2, QueueDepth: 16})
 	s.testGate = make(chan struct{})
 	defer shutdown(t, s)
 
@@ -170,7 +180,7 @@ func TestSingleflightConcurrentSubmissions(t *testing.T) {
 // reject new work with ErrQueueFull while every admitted job still runs
 // to completion.
 func TestQueueFullRejectsWithoutDroppingInflight(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	s := newTest(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
 	s.testGate = make(chan struct{})
 	defer shutdown(t, s)
 
@@ -216,7 +226,7 @@ func TestQueueFullRejectsWithoutDroppingInflight(t *testing.T) {
 // TestShutdownCancelsInflight: Shutdown must cancel the running job and
 // mark queued jobs canceled, never leaving a waiter hanging.
 func TestShutdownCancelsInflight(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 4})
+	s := newTest(t, Config{Workers: 1, QueueDepth: 4})
 	s.testGate = make(chan struct{}) // never closed: jobs block until ctx cancel
 
 	running, _, err := s.Submit(JobRequest{Study: "Synthetic"})
@@ -307,7 +317,7 @@ func TestUploadTraces(t *testing.T) {
 	// Corrupt one line of the first trace.
 	texts[0] += "B this line is garbage\n"
 
-	s := New(Config{Workers: 2})
+	s := newTest(t, Config{Workers: 2})
 	defer shutdown(t, s)
 
 	// Strict decoding rejects the corruption outright.
@@ -339,7 +349,7 @@ func TestUploadTraces(t *testing.T) {
 // TestHTTPEndToEnd drives the whole API surface over HTTP: submit, poll,
 // fetch, resubmit for a hit, and scrape /metrics and /healthz.
 func TestHTTPEndToEnd(t *testing.T) {
-	s := New(Config{Workers: 2})
+	s := newTest(t, Config{Workers: 2})
 	defer shutdown(t, s)
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
@@ -481,7 +491,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 // TestHTTPQueueFull429 exercises the backpressure path over HTTP: 429
 // with a Retry-After hint.
 func TestHTTPQueueFull429(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1, RetryAfter: 3 * time.Second})
+	s := newTest(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: 3 * time.Second})
 	s.testGate = make(chan struct{})
 	defer shutdown(t, s)
 	srv := httptest.NewServer(s.Handler())

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchPayload approximates a small study's export JSON (~4 KiB).
+func benchPayload() []byte {
+	p := make([]byte, 4096)
+	for i := range p {
+		p[i] = byte('a' + i%26)
+	}
+	return p
+}
+
+// BenchmarkAppend measures the append path with the default fsync batch.
+func BenchmarkAppend(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	payload := benchPayload()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Record{
+			Key:      fmt.Sprintf("bench-%09d", i),
+			Series:   "bench",
+			Label:    "run",
+			UnixNano: int64(i),
+			Payload:  payload,
+		}
+		if err := s.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendSyncEvery1 measures the worst-case durable append:
+// fsync on every record.
+func BenchmarkAppendSyncEvery1(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{SyncEvery: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	payload := benchPayload()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Record{Key: fmt.Sprintf("bench-%09d", i), Payload: payload}
+		if err := s.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReopenIndex measures rebuilding the index by scanning
+// segments at open, for a store of 1000 records.
+func BenchmarkReopenIndex(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := benchPayload()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		r := Record{Key: fmt.Sprintf("bench-%09d", i), Series: "bench", Payload: payload}
+		if err := s.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(s.index); got != n {
+			b.Fatalf("index has %d records, want %d", got, n)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkGet measures random payload reads through the lazy segment
+// readers.
+func BenchmarkGet(b *testing.B) {
+	s, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	payload := benchPayload()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		r := Record{Key: fmt.Sprintf("bench-%09d", i), Payload: payload}
+		if err := s.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := s.Get(fmt.Sprintf("bench-%09d", i%n))
+		if !ok || err != nil {
+			b.Fatalf("get: ok=%v err=%v", ok, err)
+		}
+	}
+}

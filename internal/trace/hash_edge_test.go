@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/hex"
+	"math"
+	"testing"
+
+	"perftrack/internal/metrics"
+)
+
+// Edge-case pinning for the canonical hash. The perfdb store keys results
+// by this fingerprint across daemon restarts and releases, so the hash is
+// a persistent on-disk format: any encoding change silently orphans every
+// stored result. These goldens freeze the exact bytes for the float
+// encodings most likely to drift (NaN payloads, signed zero, subnormals)
+// and the empty-input degenerate cases. If one of these tests fails, the
+// hash changed — that needs a key-version bump, not a golden update.
+
+// edgeTrace is a minimal fixture whose first counter carries the edge
+// value under test.
+func edgeTrace(c0 float64) *Trace {
+	return &Trace{
+		Meta: Metadata{App: "edge", Label: "e1", Ranks: 1},
+		Bursts: []Burst{{Task: 0, StartNS: 1, DurationNS: 2,
+			Stack:    CallstackRef{Function: "f", File: "f.c", Line: 1},
+			Counters: metrics.CounterVector{c0, 2, 3, 4, 5, 6}}},
+	}
+}
+
+// TestCanonicalHashGoldenEdgeValues pins the hash for IEEE-754 edge
+// values. Floats are hashed by bit pattern, so every one of these is a
+// distinct input: the two NaNs differ only in payload bits, the zeros
+// only in sign, and the subnormal is the smallest representable double.
+func TestCanonicalHashGoldenEdgeValues(t *testing.T) {
+	cases := []struct {
+		name string
+		c0   float64
+		want string
+	}{
+		{"one", 1.0, "66d95a7aec48c68510cdbe3ead0b0d7b9c6ecba7353a89bf3c89e30ef114cde0"},
+		{"qnan", math.NaN(), "aae0a2e9dd654486c24441627532aed7b530c18acf1fa51600d202326545cdb9"},
+		{"nan-payload", math.Float64frombits(0x7ff8000000000000 | 0xbeef), "067f5ebefdc5d2fe6978a6f32d74c8f069da2354b090985f93977dd0bac209c2"},
+		{"pos-zero", 0.0, "20dac07746deeac342a0d4d4264a33e6c553dfb0f28e0332d9707877da1b99f6"},
+		{"neg-zero", math.Copysign(0, -1), "35688c56fb5470a80ee33794d35db78c98f55f3c76d78e1439029dc3d51d9bb5"},
+		{"subnormal-min", math.Float64frombits(1), "93b77896b16700f5bc81e443c5765db88983cf82c58927993b3fb90d554db2ac"},
+		{"normal-min", math.Float64frombits(0x0010000000000000), "c9a49598c128150cfca8dbc15b6875e47021d10a2aa7aaee70f8a238e3fece7d"},
+	}
+	seen := map[string]string{}
+	for _, tc := range cases {
+		h := edgeTrace(tc.c0).CanonicalHash()
+		got := hex.EncodeToString(h[:])
+		if got != tc.want {
+			t.Errorf("%s: hash %s, want pinned %s", tc.name, got, tc.want)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s collides with %s", tc.name, prev)
+		}
+		seen[got] = tc.name
+	}
+}
+
+// TestCanonicalHashNaNPayloadsDistinguish: two NaNs with different
+// payload bits are different inputs (bit-pattern hashing), while the
+// same NaN hashes identically across calls.
+func TestCanonicalHashNaNPayloadsDistinguish(t *testing.T) {
+	a := edgeTrace(math.Float64frombits(0x7ff8000000000001))
+	b := edgeTrace(math.Float64frombits(0x7ff8000000000002))
+	if a.CanonicalHash() == b.CanonicalHash() {
+		t.Error("NaNs with distinct payloads hash equal")
+	}
+	if a.CanonicalHash() != edgeTrace(math.Float64frombits(0x7ff8000000000001)).CanonicalHash() {
+		t.Error("identical NaN payload hashes unstable")
+	}
+}
+
+// TestCanonicalHashEmptyVsMissingBursts: a nil burst slice and an empty
+// one are the same canonical input (both encode a zero count) — pinned,
+// because store keys must not depend on which of the two a decoder
+// happens to produce.
+func TestCanonicalHashEmptyVsMissingBursts(t *testing.T) {
+	const want = "154b57f4d4788ef0fbc189c284b7a479c6d84b8e2b22e21ab790ee6dc178641f"
+	nilBursts := &Trace{Meta: Metadata{App: "edge", Label: "e1", Ranks: 1}}
+	emptyBursts := &Trace{Meta: Metadata{App: "edge", Label: "e1", Ranks: 1}, Bursts: []Burst{}}
+	hn := nilBursts.CanonicalHash()
+	he := emptyBursts.CanonicalHash()
+	if hn != he {
+		t.Error("nil and empty burst slices hash differently")
+	}
+	if got := hex.EncodeToString(hn[:]); got != want {
+		t.Errorf("empty-trace hash %s, want pinned %s", got, want)
+	}
+}
+
+// TestHashSequenceEmptyPinned: the empty sequence has its own pinned
+// fingerprint, identical for nil and empty slices and distinct from any
+// member hash.
+func TestHashSequenceEmptyPinned(t *testing.T) {
+	const want = "4e14be57bfa62caae977154a9154842726cc261aa226e50063720a30928b00a8"
+	hn := HashSequence(nil)
+	he := HashSequence([]*Trace{})
+	if hn != he {
+		t.Error("nil and empty sequences hash differently")
+	}
+	if got := hex.EncodeToString(hn[:]); got != want {
+		t.Errorf("empty-sequence hash %s, want pinned %s", got, want)
+	}
+	one := HashSequence([]*Trace{edgeTrace(1)})
+	if one == hn {
+		t.Error("one-trace sequence collides with the empty sequence")
+	}
+}

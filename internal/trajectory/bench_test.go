@@ -1,0 +1,58 @@
+package trajectory
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchRuns fabricates a series of nRuns runs, each with nObjs stable
+// behaviours whose metrics drift deterministically a little run to run —
+// the chain-friendly shape a healthy nightly series produces.
+func benchRuns(nRuns, nObjs int) []Run {
+	runs := make([]Run, nRuns)
+	for r := range runs {
+		runs[r] = Run{Key: fmt.Sprintf("key-%04d", r), Label: fmt.Sprintf("run-%d", r)}
+		for o := 0; o < nObjs; o++ {
+			drift := 0.01 * float64((r*7+o*3)%5-2) // ±2% deterministic wobble
+			ipc := (0.6 + 0.14*float64(o%5)) * (1 + drift)
+			runs[r].Objects = append(runs[r].Objects, ObjectState{
+				Region:        o + 1,
+				Spanning:      true,
+				Metrics:       map[string]float64{"IPC": ipc, "Instructions": 1e7 * float64(o+1)},
+				DurationShare: 1 / float64(nObjs),
+				BurstShare:    1 / float64(nObjs),
+			})
+		}
+	}
+	return runs
+}
+
+// BenchmarkChain measures trajectory chaining over a long series — the
+// cost of answering /v1/series/{name}/trajectories once the runs are
+// parsed.
+func BenchmarkChain(b *testing.B) {
+	for _, size := range []struct{ runs, objs int }{{100, 8}, {1000, 8}} {
+		b.Run(fmt.Sprintf("runs=%d/objs=%d", size.runs, size.objs), func(b *testing.B) {
+			runs := benchRuns(size.runs, size.objs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := Chain(runs, LinkConfig{}); len(got) == 0 {
+					b.Fatal("no trajectories")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChainDetect is the full judgment path: chain the series and
+// run the regression detector over every trajectory.
+func BenchmarkChainDetect(b *testing.B) {
+	runs := benchRuns(1000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trajs := Chain(runs, LinkConfig{})
+		if got := Detect(runs, trajs, DetectorConfig{}); len(got) == 0 {
+			b.Fatal("no verdicts")
+		}
+	}
+}

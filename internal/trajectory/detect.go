@@ -1,0 +1,246 @@
+package trajectory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Changepoint/regression detection over trajectory metric series.
+//
+// The detector is deliberately simple and robust: the newest point of
+// each trajectory is compared against the rolling median of the window
+// preceding it, with the spread estimated by the scaled median absolute
+// deviation (MAD). Median+MAD tolerate the occasional outlier run that
+// mean+stddev would chase, which matters when the baseline window holds
+// a handful of noisy nightly runs. A point is flagged only when it is
+// BOTH many MADs out (statistically surprising) and far in relative
+// terms (practically meaningful) — either gate alone misfires: pure MAD
+// flags microscopic moves of ultra-stable series, pure relative change
+// flags ordinary noise of jittery ones.
+
+// Kind classifies a trajectory's verdict at the newest run.
+type Kind string
+
+const (
+	// KindSteady: the newest value sits inside the baseline band.
+	KindSteady Kind = "steady"
+	// KindImproved / KindRegressed: the newest value broke out of the
+	// band in the direction that is better / worse for the metric.
+	KindImproved  Kind = "improved"
+	KindRegressed Kind = "regressed"
+	// KindVanished: the trajectory has an established history but no
+	// point in the newest run.
+	KindVanished Kind = "vanished"
+	// KindNew: the trajectory appears for the first time in the newest
+	// run.
+	KindNew Kind = "new"
+	// KindInsufficient: too few baseline points to judge.
+	KindInsufficient Kind = "insufficient-history"
+)
+
+// DetectorConfig tunes the changepoint detector.
+type DetectorConfig struct {
+	// Metric is the series to watch (default "IPC").
+	Metric string
+	// LowerIsWorse states the metric's direction: true means a drop is a
+	// regression (IPC, bandwidth); false means a rise is (duration,
+	// misses). Default true, which is correct for IPC.
+	LowerIsWorse *bool
+	// Window is the rolling baseline length in runs (default 5).
+	Window int
+	// MinPoints is the minimum baseline size to judge at all (default 3).
+	MinPoints int
+	// MADs is the deviation threshold in scaled MADs (default 4).
+	MADs float64
+	// MinRel is the minimum relative change against the baseline median
+	// (default 0.05): statistical surprise alone does not page anyone.
+	MinRel float64
+	// MinShare ignores trajectories whose mean duration share is below
+	// this (default 0.01): a regression in 0.3% of the time is noise.
+	MinShare float64
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Metric == "" {
+		c.Metric = "IPC"
+	}
+	if c.LowerIsWorse == nil {
+		t := true
+		c.LowerIsWorse = &t
+	}
+	if c.Window <= 0 {
+		c.Window = 5
+	}
+	if c.MinPoints <= 0 {
+		c.MinPoints = 3
+	}
+	if c.MADs <= 0 {
+		c.MADs = 4
+	}
+	if c.MinRel <= 0 {
+		c.MinRel = 0.05
+	}
+	if c.MinShare <= 0 {
+		c.MinShare = 0.01
+	}
+	return c
+}
+
+// Verdict is the detector's structured output for one trajectory.
+type Verdict struct {
+	// TrajectoryID references the chained trajectory.
+	TrajectoryID int `json:"trajectoryId"`
+	// Metric is the series judged.
+	Metric string `json:"metric"`
+	// Kind is the classification.
+	Kind Kind `json:"kind"`
+	// Last is the newest value; Baseline the rolling median it was
+	// compared against; MAD the scaled spread estimate; Deviation the
+	// distance in MADs (signed, positive = above baseline); RelChange
+	// the relative change against the baseline.
+	Last      float64 `json:"last"`
+	Baseline  float64 `json:"baseline"`
+	MAD       float64 `json:"mad"`
+	Deviation float64 `json:"deviation"`
+	RelChange float64 `json:"relChange"`
+	// Share is the trajectory's mean duration share: how much of the
+	// computation the verdict is about.
+	Share float64 `json:"share"`
+	// Runs is the number of runs the trajectory appears in.
+	Runs int `json:"runs"`
+}
+
+// Notable reports whether the verdict should surface in a regression
+// report (everything except steady and insufficient-history).
+func (v Verdict) Notable() bool {
+	return v.Kind != KindSteady && v.Kind != KindInsufficient
+}
+
+// String renders a one-line human-readable verdict.
+func (v Verdict) String() string {
+	switch v.Kind {
+	case KindVanished, KindNew:
+		return fmt.Sprintf("trajectory %d: %s (share %.1f%%, %d runs)",
+			v.TrajectoryID, v.Kind, 100*v.Share, v.Runs)
+	default:
+		return fmt.Sprintf("trajectory %d: %s %s %.4g vs baseline %.4g (%+.1f%%, %.1f MADs, share %.1f%%)",
+			v.TrajectoryID, v.Metric, v.Kind, v.Last, v.Baseline,
+			100*v.RelChange, v.Deviation, 100*v.Share)
+	}
+}
+
+// median over a copy of xs; NaNs must be filtered by the caller.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	mid := len(c) / 2
+	if len(c)%2 == 1 {
+		return c[mid]
+	}
+	return (c[mid-1] + c[mid]) / 2
+}
+
+// scaledMAD is the median absolute deviation scaled to be comparable to
+// a standard deviation under normality (×1.4826).
+func scaledMAD(xs []float64, med float64) float64 {
+	devs := make([]float64, len(xs))
+	for i, x := range xs {
+		devs[i] = math.Abs(x - med)
+	}
+	return 1.4826 * median(devs)
+}
+
+// Detect judges every trajectory of the chained series at the newest
+// run (index len(runs)-1). Verdicts are ordered: regressions first, then
+// improvements, vanished, new, then the rest, each by decreasing share.
+func Detect(runs []Run, trajectories []Trajectory, cfg DetectorConfig) []Verdict {
+	cfg = cfg.withDefaults()
+	if len(runs) == 0 {
+		return nil
+	}
+	newest := len(runs) - 1
+	var out []Verdict
+	for _, tr := range trajectories {
+		share := tr.meanShare()
+		if share < cfg.MinShare {
+			continue
+		}
+		v := Verdict{
+			TrajectoryID: tr.ID,
+			Metric:       cfg.Metric,
+			Share:        share,
+			Runs:         len(tr.Points),
+		}
+		switch {
+		case tr.LastRun() != newest:
+			// Established history, gone now. A one-point wonder that
+			// disappeared is not an event worth paging about.
+			if len(tr.Points) >= cfg.MinPoints {
+				v.Kind = KindVanished
+			} else {
+				v.Kind = KindInsufficient
+			}
+		case tr.FirstRun() == newest:
+			v.Kind = KindNew
+		default:
+			series := tr.Series(cfg.Metric)
+			last := series[len(series)-1]
+			var baseline []float64
+			for _, x := range series[:len(series)-1] {
+				if !math.IsNaN(x) {
+					baseline = append(baseline, x)
+				}
+			}
+			if len(baseline) > cfg.Window {
+				baseline = baseline[len(baseline)-cfg.Window:]
+			}
+			if math.IsNaN(last) || len(baseline) < cfg.MinPoints {
+				v.Kind = KindInsufficient
+				break
+			}
+			med := median(baseline)
+			mad := scaledMAD(baseline, med)
+			// Floor the spread so a perfectly flat baseline does not
+			// divide by zero and declare every wiggle infinite: treat
+			// the baseline as at least MinRel/MADs relative noise.
+			floor := math.Abs(med) * cfg.MinRel / cfg.MADs
+			if mad < floor {
+				mad = floor
+			}
+			v.Last, v.Baseline, v.MAD = last, med, mad
+			if med != 0 {
+				v.RelChange = (last - med) / math.Abs(med)
+			}
+			if mad > 0 {
+				v.Deviation = (last - med) / mad
+			}
+			switch {
+			case math.Abs(v.Deviation) < cfg.MADs || math.Abs(v.RelChange) < cfg.MinRel:
+				v.Kind = KindSteady
+			case (v.Deviation < 0) == *cfg.LowerIsWorse:
+				v.Kind = KindRegressed
+			default:
+				v.Kind = KindImproved
+			}
+		}
+		out = append(out, v)
+	}
+	rank := map[Kind]int{
+		KindRegressed: 0, KindImproved: 1, KindVanished: 2,
+		KindNew: 3, KindSteady: 4, KindInsufficient: 5,
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if rank[out[i].Kind] != rank[out[j].Kind] {
+			return rank[out[i].Kind] < rank[out[j].Kind]
+		}
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].TrajectoryID < out[j].TrajectoryID
+	})
+	return out
+}

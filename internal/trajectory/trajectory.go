@@ -1,0 +1,342 @@
+// Package trajectory links tracked objects across stored runs.
+//
+// The tracking pipeline (internal/core) follows an application's
+// behavioural clusters across the frames of ONE study; its export
+// document is what trackd persists in the perfdb store. This package is
+// the next level up: given a named series of stored results — say, the
+// nightly run of the same benchmark over months — it chains each run's
+// tracked regions into cross-run trajectories, computes per-trajectory
+// metric series (centroid IPC/instructions, burst share, duration
+// share), and runs a changepoint detector over them (see detect.go).
+// That turns a pile of independent analyses into the thing the paper
+// argues for: following a code region's behaviour across experiments,
+// here across the whole stored history.
+//
+// Linking reuses the tracker's correlation output: a region's signature
+// (its per-metric centroid over the frames it spans, plus its share of
+// the run's computation time) is exactly what the in-run tracker
+// produced; consecutive runs are matched greedily by relative centroid
+// distance, nearest pair first, the same density-is-identity intuition
+// the paper applies between frames.
+package trajectory
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// exportDoc mirrors the subset of core's export schema the trajectory
+// engine consumes. It is decoded structurally (not via core's types) so
+// stored documents from older daemons parse as long as these fields
+// exist.
+type exportDoc struct {
+	Frames []struct {
+		Bursts   int `json:"bursts"`
+		Clusters []struct {
+			ID         int     `json:"id"`
+			Size       int     `json:"size"`
+			DurationNS float64 `json:"durationNs"`
+			Region     int     `json:"region"`
+		} `json:"clusters"`
+	} `json:"frames"`
+	Regions []struct {
+		ID         int                  `json:"id"`
+		Spanning   bool                 `json:"spanning"`
+		DurationNS float64              `json:"durationNs"`
+		Members    [][]int              `json:"members"`
+		Trends     map[string][]float64 `json:"trends"`
+	} `json:"regions"`
+}
+
+// ObjectState summarises one tracked region of one stored run: the
+// region's time-averaged position in the metric space plus how much of
+// the run's computation it explains.
+type ObjectState struct {
+	// Region is the region id inside its run's result.
+	Region int `json:"region"`
+	// Spanning reports whether the region covered every frame of its run.
+	Spanning bool `json:"spanning"`
+	// Metrics maps metric name to the mean of the region's per-frame
+	// means over the frames where it is present.
+	Metrics map[string]float64 `json:"metrics"`
+	// DurationShare is the region's fraction of the summed region time.
+	DurationShare float64 `json:"durationShare"`
+	// BurstShare is the region's fraction of all clustered bursts.
+	BurstShare float64 `json:"burstShare"`
+}
+
+// Run is one stored result reduced to its tracked objects.
+type Run struct {
+	// Key is the store key of the result, Label its run label.
+	Key   string `json:"key"`
+	Label string `json:"label"`
+	// UnixNano is the submission time recorded in the store.
+	UnixNano int64 `json:"unixNano"`
+	// Objects are the run's tracked regions, ordered by id.
+	Objects []ObjectState `json:"objects"`
+}
+
+// ParseRun reduces a stored export document to its tracked objects.
+func ParseRun(payload []byte, key, label string, unixNano int64) (Run, error) {
+	var doc exportDoc
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return Run{}, fmt.Errorf("trajectory: parsing result %s: %w", key, err)
+	}
+	run := Run{Key: key, Label: label, UnixNano: unixNano}
+
+	// Region totals for the share denominators.
+	var totalDur float64
+	regionBursts := map[int]int{}
+	totalBursts := 0
+	for _, f := range doc.Frames {
+		for _, c := range f.Clusters {
+			if c.Region >= 0 {
+				regionBursts[c.Region] += c.Size
+				totalBursts += c.Size
+			}
+		}
+	}
+	for _, r := range doc.Regions {
+		totalDur += r.DurationNS
+	}
+
+	for _, r := range doc.Regions {
+		obj := ObjectState{
+			Region:   r.ID,
+			Spanning: r.Spanning,
+			Metrics:  map[string]float64{},
+		}
+		// Present frames are the ones with members; the trends arrays
+		// carry 0 for absent frames, so average only over present ones.
+		present := make([]bool, len(r.Members))
+		np := 0
+		for i, ms := range r.Members {
+			if len(ms) > 0 {
+				present[i] = true
+				np++
+			}
+		}
+		for name, vals := range r.Trends {
+			var sum float64
+			n := 0
+			for i, v := range vals {
+				if i < len(present) && present[i] {
+					sum += v
+					n++
+				}
+			}
+			if n > 0 {
+				obj.Metrics[name] = sum / float64(n)
+			}
+		}
+		if np == 0 && len(r.Trends) > 0 {
+			// Degenerate document (no membership info): fall back to the
+			// plain mean so the object still has a position.
+			for name, vals := range r.Trends {
+				var sum float64
+				for _, v := range vals {
+					sum += v
+				}
+				if len(vals) > 0 {
+					obj.Metrics[name] = sum / float64(len(vals))
+				}
+			}
+		}
+		if totalDur > 0 {
+			obj.DurationShare = r.DurationNS / totalDur
+		}
+		if totalBursts > 0 {
+			obj.BurstShare = float64(regionBursts[r.ID]) / float64(totalBursts)
+		}
+		run.Objects = append(run.Objects, obj)
+	}
+	sort.Slice(run.Objects, func(i, j int) bool { return run.Objects[i].Region < run.Objects[j].Region })
+	return run, nil
+}
+
+// LinkConfig tunes the cross-run matcher.
+type LinkConfig struct {
+	// MaxDist is the maximum link distance (mean relative difference
+	// over the shared metric axes plus the duration-share axis) for two
+	// objects in consecutive runs to be the same trajectory (default
+	// 0.35 — a 25% single-metric move still links, a different
+	// behaviour does not).
+	MaxDist float64
+	// MinShare drops objects below this duration share before linking:
+	// sub-percent clusters flicker in and out and would litter the
+	// history with one-point trajectories (default 0.005).
+	MinShare float64
+}
+
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.MaxDist <= 0 {
+		c.MaxDist = 0.35
+	}
+	if c.MinShare <= 0 {
+		c.MinShare = 0.005
+	}
+	return c
+}
+
+// Point is one trajectory's state in one run.
+type Point struct {
+	// RunIndex indexes into the Runs slice the trajectory was chained
+	// over.
+	RunIndex int `json:"runIndex"`
+	// State is the object's summary in that run.
+	State ObjectState `json:"state"`
+}
+
+// Trajectory is one behaviour followed across runs.
+type Trajectory struct {
+	// ID numbers trajectories by decreasing total duration share.
+	ID int `json:"id"`
+	// Points are the per-run states, run index strictly increasing.
+	// Absent runs (the behaviour vanished and reappeared) simply have no
+	// point.
+	Points []Point `json:"points"`
+}
+
+// FirstRun and LastRun bound the runs the trajectory appears in.
+func (tr *Trajectory) FirstRun() int { return tr.Points[0].RunIndex }
+func (tr *Trajectory) LastRun() int  { return tr.Points[len(tr.Points)-1].RunIndex }
+
+// Series extracts the trajectory's per-point values of one metric
+// (NaN when the metric is missing from a point).
+func (tr *Trajectory) Series(metric string) []float64 {
+	out := make([]float64, len(tr.Points))
+	for i, p := range tr.Points {
+		if v, ok := p.State.Metrics[metric]; ok {
+			out[i] = v
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// meanShare is the trajectory's average duration share (ranking key).
+func (tr *Trajectory) meanShare() float64 {
+	var sum float64
+	for _, p := range tr.Points {
+		sum += p.State.DurationShare
+	}
+	return sum / float64(len(tr.Points))
+}
+
+// linkDist is the distance two object states must clear to link: the
+// mean relative difference over the metric axes both sides share, plus
+// the duration-share axis. Relative differences make IPC (≈1) and
+// instruction counts (≈1e9) commensurable without normalising passes.
+func linkDist(a, b ObjectState) float64 {
+	var sum float64
+	n := 0
+	for name, av := range a.Metrics {
+		bv, ok := b.Metrics[name]
+		if !ok {
+			continue
+		}
+		sum += relDiff(av, bv)
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	sum += relDiff(a.DurationShare, b.DurationShare)
+	return sum / float64(n+1)
+}
+
+// relDiff is |a-b| scaled by the larger magnitude (0 when both are 0).
+func relDiff(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// Chain links the runs' objects into trajectories. Matching between
+// consecutive runs is greedy nearest-pair-first under cfg.MaxDist; each
+// object joins at most one trajectory per run. Unmatched objects start
+// new trajectories. The result is ordered by decreasing mean duration
+// share and IDs follow that order, so trajectory 0 is the dominant
+// behaviour of the series.
+func Chain(runs []Run, cfg LinkConfig) []Trajectory {
+	cfg = cfg.withDefaults()
+	var open []*Trajectory // trajectories whose last point is in some prior run
+
+	for ri, run := range runs {
+		objs := make([]ObjectState, 0, len(run.Objects))
+		for _, o := range run.Objects {
+			if o.DurationShare >= cfg.MinShare {
+				objs = append(objs, o)
+			}
+		}
+
+		// Candidate links: open trajectories ending at the previous run
+		// versus this run's objects.
+		type cand struct {
+			dist    float64
+			trajIdx int // into open
+			objIdx  int // into objs
+		}
+		var cands []cand
+		for ti, tr := range open {
+			last := tr.Points[len(tr.Points)-1]
+			if last.RunIndex != ri-1 {
+				continue // only consecutive runs link; gaps end trajectories
+			}
+			for oi, o := range objs {
+				if d := linkDist(last.State, o); d <= cfg.MaxDist {
+					cands = append(cands, cand{d, ti, oi})
+				}
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			a, b := cands[i], cands[j]
+			if a.dist != b.dist {
+				return a.dist < b.dist
+			}
+			if a.trajIdx != b.trajIdx {
+				return a.trajIdx < b.trajIdx
+			}
+			return a.objIdx < b.objIdx
+		})
+		usedTraj := map[int]bool{}
+		usedObj := map[int]bool{}
+		for _, c := range cands {
+			if usedTraj[c.trajIdx] || usedObj[c.objIdx] {
+				continue
+			}
+			usedTraj[c.trajIdx] = true
+			usedObj[c.objIdx] = true
+			open[c.trajIdx].Points = append(open[c.trajIdx].Points, Point{RunIndex: ri, State: objs[c.objIdx]})
+		}
+		for oi, o := range objs {
+			if !usedObj[oi] {
+				open = append(open, &Trajectory{Points: []Point{{RunIndex: ri, State: o}}})
+			}
+		}
+	}
+
+	out := make([]Trajectory, len(open))
+	for i, tr := range open {
+		out[i] = *tr
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].meanShare(), out[j].meanShare()
+		if a != b {
+			return a > b
+		}
+		if out[i].FirstRun() != out[j].FirstRun() {
+			return out[i].FirstRun() < out[j].FirstRun()
+		}
+		return out[i].Points[0].State.Region < out[j].Points[0].State.Region
+	})
+	for i := range out {
+		out[i].ID = i
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package trajectory
+
+import (
+	"math"
+	"testing"
+)
+
+// obj builds an ObjectState with an IPC/Instructions position and a
+// duration share.
+func obj(region int, ipc, instr, share float64) ObjectState {
+	return ObjectState{
+		Region:        region,
+		Spanning:      true,
+		Metrics:       map[string]float64{"IPC": ipc, "Instructions": instr},
+		DurationShare: share,
+		BurstShare:    share,
+	}
+}
+
+// runOf wraps objects into a Run.
+func runOf(label string, objs ...ObjectState) Run {
+	return Run{Key: label, Label: label, Objects: objs}
+}
+
+// TestChainStableSeries: the same three behaviours in every run must
+// produce exactly three trajectories, each spanning every run, ranked by
+// share.
+func TestChainStableSeries(t *testing.T) {
+	var runs []Run
+	for i := 0; i < 6; i++ {
+		runs = append(runs, runOf("r",
+			obj(0, 1.2, 1e9, 0.5),
+			obj(1, 0.6, 4e9, 0.3),
+			obj(2, 2.0, 2e8, 0.2),
+		))
+	}
+	trajs := Chain(runs, LinkConfig{})
+	if len(trajs) != 3 {
+		t.Fatalf("got %d trajectories, want 3", len(trajs))
+	}
+	for i, tr := range trajs {
+		if len(tr.Points) != len(runs) {
+			t.Fatalf("trajectory %d spans %d runs, want %d", i, len(tr.Points), len(runs))
+		}
+		if tr.ID != i {
+			t.Fatalf("trajectory %d has ID %d", i, tr.ID)
+		}
+	}
+	// Ranked by share: the 0.5 behaviour first.
+	if got := trajs[0].Points[0].State.DurationShare; got != 0.5 {
+		t.Fatalf("dominant trajectory share %g, want 0.5", got)
+	}
+}
+
+// TestChainDriftLinks: a behaviour moving a little each run stays one
+// trajectory; a jump beyond MaxDist breaks the chain in two.
+func TestChainDriftLinks(t *testing.T) {
+	var drift []Run
+	for i := 0; i < 5; i++ {
+		drift = append(drift, runOf("r", obj(0, 1.0+0.03*float64(i), 1e9, 0.9)))
+	}
+	if got := Chain(drift, LinkConfig{}); len(got) != 1 {
+		t.Fatalf("smooth drift split into %d trajectories, want 1", len(got))
+	}
+
+	jump := []Run{
+		runOf("a", obj(0, 1.0, 1e9, 0.9)),
+		runOf("b", obj(0, 1.0, 1e9, 0.9)),
+		runOf("c", obj(0, 4.0, 9e9, 0.9)), // different behaviour entirely
+	}
+	if got := Chain(jump, LinkConfig{}); len(got) != 2 {
+		t.Fatalf("behaviour jump chained into %d trajectories, want 2", len(got))
+	}
+}
+
+// TestChainVanishAndAppear: an object missing from later runs ends its
+// trajectory; a new object starts a fresh one; a gap does not re-link.
+func TestChainVanishAndAppear(t *testing.T) {
+	runs := []Run{
+		runOf("1", obj(0, 1.0, 1e9, 0.6), obj(1, 0.5, 5e9, 0.4)),
+		runOf("2", obj(0, 1.0, 1e9, 0.6), obj(1, 0.5, 5e9, 0.4)),
+		runOf("3", obj(0, 1.0, 1e9, 1.0)),                        // behaviour 1 vanished
+		runOf("4", obj(0, 1.0, 1e9, 0.6), obj(9, 0.5, 5e9, 0.4)), // behaviour 1's twin returns
+	}
+	trajs := Chain(runs, LinkConfig{})
+	if len(trajs) != 3 {
+		t.Fatalf("got %d trajectories, want 3 (stable, vanished, reappeared-as-new)", len(trajs))
+	}
+	var spans []int
+	for _, tr := range trajs {
+		spans = append(spans, len(tr.Points))
+	}
+	if spans[0] != 4 {
+		t.Fatalf("stable trajectory spans %d runs, want 4", spans[0])
+	}
+}
+
+// TestChainMinShareFilter: sub-threshold objects never enter the chain.
+func TestChainMinShareFilter(t *testing.T) {
+	runs := []Run{
+		runOf("1", obj(0, 1.0, 1e9, 0.999), obj(1, 9.0, 1e5, 0.001)),
+		runOf("2", obj(0, 1.0, 1e9, 0.999), obj(1, 9.0, 1e5, 0.001)),
+	}
+	trajs := Chain(runs, LinkConfig{MinShare: 0.01})
+	if len(trajs) != 1 {
+		t.Fatalf("noise object entered the chain: %d trajectories", len(trajs))
+	}
+}
+
+// boolp returns a *bool (DetectorConfig.LowerIsWorse).
+func boolp(b bool) *bool { return &b }
+
+// detSeries builds a one-trajectory series with the given IPC values.
+func detSeries(ipcs ...float64) ([]Run, []Trajectory) {
+	var runs []Run
+	for _, v := range ipcs {
+		runs = append(runs, runOf("r", obj(0, v, 1e9, 1.0)))
+	}
+	return runs, Chain(runs, LinkConfig{})
+}
+
+// TestDetectRegression: a clear IPC drop at the newest run is flagged
+// regressed; the same rise is improved; noise-level movement is steady.
+func TestDetectRegression(t *testing.T) {
+	cases := []struct {
+		name string
+		ipcs []float64
+		want Kind
+	}{
+		{"drop", []float64{1.0, 1.01, 0.99, 1.0, 1.0, 0.70}, KindRegressed},
+		{"rise", []float64{1.0, 1.01, 0.99, 1.0, 1.0, 1.30}, KindImproved},
+		{"steady", []float64{1.0, 1.01, 0.99, 1.0, 1.0, 1.01}, KindSteady},
+		{"tiny-but-surprising", []float64{1.0, 1.0, 1.0, 1.0, 1.0, 1.01}, KindSteady},
+	}
+	for _, tc := range cases {
+		runs, trajs := detSeries(tc.ipcs...)
+		vs := Detect(runs, trajs, DetectorConfig{})
+		if len(vs) != 1 {
+			t.Fatalf("%s: %d verdicts, want 1", tc.name, len(vs))
+		}
+		if vs[0].Kind != tc.want {
+			t.Fatalf("%s: verdict %s, want %s (%+v)", tc.name, vs[0].Kind, tc.want, vs[0])
+		}
+	}
+}
+
+// TestDetectHigherIsWorse: with LowerIsWorse=false (e.g. a duration
+// metric), a rise regresses and a drop improves.
+func TestDetectHigherIsWorse(t *testing.T) {
+	runs, trajs := detSeries(1.0, 1.0, 1.0, 1.0, 1.3)
+	vs := Detect(runs, trajs, DetectorConfig{LowerIsWorse: boolp(false)})
+	if vs[0].Kind != KindRegressed {
+		t.Fatalf("rise with LowerIsWorse=false: %s, want regressed", vs[0].Kind)
+	}
+	runs, trajs = detSeries(1.0, 1.0, 1.0, 1.0, 0.7)
+	vs = Detect(runs, trajs, DetectorConfig{LowerIsWorse: boolp(false)})
+	if vs[0].Kind != KindImproved {
+		t.Fatalf("drop with LowerIsWorse=false: %s, want improved", vs[0].Kind)
+	}
+}
+
+// TestDetectVanishedAndNew: established trajectories missing from the
+// newest run report vanished; first-seen ones report new; flicker (too
+// short a history) reports insufficient.
+func TestDetectVanishedAndNew(t *testing.T) {
+	runs := []Run{
+		runOf("1", obj(0, 1.0, 1e9, 0.5), obj(1, 0.5, 5e9, 0.5)),
+		runOf("2", obj(0, 1.0, 1e9, 0.5), obj(1, 0.5, 5e9, 0.5)),
+		runOf("3", obj(0, 1.0, 1e9, 0.5), obj(1, 0.5, 5e9, 0.5)),
+		runOf("4", obj(0, 1.0, 1e9, 0.5), obj(9, 3.0, 2e7, 0.5)), // 1 vanished, 9 new
+	}
+	vs := Detect(runs, Chain(runs, LinkConfig{}), DetectorConfig{})
+	kinds := map[Kind]int{}
+	for _, v := range vs {
+		kinds[v.Kind]++
+	}
+	if kinds[KindVanished] != 1 || kinds[KindNew] != 1 {
+		t.Fatalf("kinds %v, want one vanished and one new", kinds)
+	}
+	// The stable trajectory has only 3 baseline points: still judged.
+	if kinds[KindSteady] != 1 {
+		t.Fatalf("kinds %v, want the stable trajectory steady", kinds)
+	}
+}
+
+// TestDetectInsufficientHistory: two runs are not enough to judge.
+func TestDetectInsufficientHistory(t *testing.T) {
+	runs, trajs := detSeries(1.0, 0.5)
+	vs := Detect(runs, trajs, DetectorConfig{})
+	if len(vs) != 1 || vs[0].Kind != KindInsufficient {
+		t.Fatalf("verdicts %+v, want one insufficient-history", vs)
+	}
+	if vs[0].Notable() {
+		t.Fatal("insufficient-history must not be notable")
+	}
+}
+
+// TestDetectMinShare: a regression in a trajectory below MinShare is not
+// reported at all.
+func TestDetectMinShare(t *testing.T) {
+	var runs []Run
+	for i := 0; i < 6; i++ {
+		ipc := 1.0
+		if i == 5 {
+			ipc = 0.5
+		}
+		runs = append(runs, runOf("r",
+			obj(0, 2.0, 1e9, 0.995),
+			obj(1, ipc, 1e6, 0.005),
+		))
+	}
+	trajs := Chain(runs, LinkConfig{MinShare: 0.001})
+	vs := Detect(runs, trajs, DetectorConfig{MinShare: 0.01})
+	for _, v := range vs {
+		if v.TrajectoryID != 0 {
+			t.Fatalf("sub-share trajectory judged: %+v", v)
+		}
+	}
+}
+
+// TestSeriesNaN: missing metrics surface as NaN in Series and do not
+// poison the baseline.
+func TestSeriesNaN(t *testing.T) {
+	tr := Trajectory{Points: []Point{
+		{RunIndex: 0, State: ObjectState{Metrics: map[string]float64{"IPC": 1}}},
+		{RunIndex: 1, State: ObjectState{Metrics: map[string]float64{}}},
+	}}
+	s := tr.Series("IPC")
+	if s[0] != 1 || !math.IsNaN(s[1]) {
+		t.Fatalf("Series = %v", s)
+	}
+}
