@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race serve-smoke store-smoke check fuzz clean
+.PHONY: all build test vet race oracle sim fuzz-short cover serve-smoke store-smoke check fuzz clean
 
 all: build
 
@@ -29,9 +29,39 @@ serve-smoke:
 store-smoke:
 	$(GO) test -run TestStoreSmoke -count=1 ./cmd/trackd
 
+# oracle runs the differential / metamorphic harness: every optimized
+# path (grid DBSCAN, grid NN, parallel displacement, Needleman–Wunsch)
+# checked for exact agreement with the brute-force references in
+# internal/oracle across hundreds of seeded scenarios, plus the
+# golden-file rendering tests and the seed-sweep determinism check.
+oracle:
+	$(GO) test -count=1 ./internal/oracle/
+	$(GO) test -count=1 -run 'Oracle|Golden|Differential' ./...
+
+# sim replays the seeded whole-schedule simulation of trackd + perfdb
+# (submit / duplicate-burst / crash / restart interleavings) under the
+# race detector: >=1000 schedules, no result lost, no key computed twice.
+sim:
+	$(GO) test -race -count=1 -run TestDeterministicSimulationSchedules ./internal/service/
+
+# fuzz-short gives each differential fuzz target a brief budget — enough
+# to shake the seeded corpus and mutate around it on every check run.
+fuzz-short:
+	$(GO) test -run=^$$ -fuzz=FuzzDBSCANDifferential -fuzztime=5s ./internal/cluster/
+	$(GO) test -run=^$$ -fuzz=FuzzNNDifferential -fuzztime=5s ./internal/cluster/
+	$(GO) test -run=^$$ -fuzz=FuzzDisplacementDifferential -fuzztime=5s ./internal/core/
+	$(GO) test -run=^$$ -fuzz=FuzzAlignDifferential -fuzztime=5s ./internal/align/
+
+# cover writes the aggregate statement-coverage profile; the ratchet in
+# scripts/check_coverage.sh enforces the floor in CI.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
 # check is the pre-merge gate: static analysis, the full suite under the
-# race detector, and the daemon end-to-end smokes.
-check: vet race serve-smoke store-smoke
+# race detector, the oracle harness, a short fuzz pass, and the daemon
+# end-to-end smokes.
+check: vet race oracle fuzz-short serve-smoke store-smoke
 
 # A short fuzzing pass over the trace decoders (lenient + strict + CSV).
 fuzz:

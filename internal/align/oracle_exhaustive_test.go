@@ -1,0 +1,111 @@
+package align
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"perftrack/internal/oracle"
+)
+
+// Differential check of the Needleman–Wunsch dynamic program against the
+// exhaustive O(3^(n+m)) alignment search in internal/oracle. Sequences
+// are kept to ≤6 symbols so the oracle stays fast; with the integer
+// default scoring every optimal score is an exact float, so equality is
+// exact. Beyond the score, the returned alignment itself is validated:
+// stripping gaps must reproduce the inputs, and re-scoring the aligned
+// pair must reproduce the reported score.
+
+func randSeq(rng *rand.Rand, maxLen int) []int {
+	n := rng.IntN(maxLen + 1)
+	s := make([]int, n)
+	for i := range s {
+		s[i] = 1 + rng.IntN(4)
+	}
+	return s
+}
+
+func checkAlignment(t *testing.T, seed uint64, a, b []int, sc Scoring) {
+	t.Helper()
+	ra, rb, score := Pairwise(a, b, sc)
+	want := oracle.AlignScore(a, b, sc.Match, sc.Mismatch, sc.GapOpen)
+	if score != want {
+		t.Fatalf("seed %d: Pairwise(%v, %v) score = %v, exhaustive optimum is %v",
+			seed, a, b, score, want)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("seed %d: aligned lengths differ: %d vs %d", seed, len(ra), len(rb))
+	}
+	var strippedA, strippedB []int
+	var rescore float64
+	for i := range ra {
+		switch {
+		case ra[i] == Gap && rb[i] == Gap:
+			t.Fatalf("seed %d: column %d is gap-gap", seed, i)
+		case ra[i] == Gap || rb[i] == Gap:
+			rescore += sc.GapOpen
+		case ra[i] == rb[i]:
+			rescore += sc.Match
+		default:
+			rescore += sc.Mismatch
+		}
+		if ra[i] != Gap {
+			strippedA = append(strippedA, ra[i])
+		}
+		if rb[i] != Gap {
+			strippedB = append(strippedB, rb[i])
+		}
+	}
+	if !equalSeq(strippedA, a) || !equalSeq(strippedB, b) {
+		t.Fatalf("seed %d: alignment does not reproduce inputs: %v/%v from %v/%v",
+			seed, strippedA, strippedB, a, b)
+	}
+	if rescore != score {
+		t.Fatalf("seed %d: alignment re-scores to %v, reported %v", seed, rescore, score)
+	}
+}
+
+func equalSeq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOracleAlignExhaustive(t *testing.T) {
+	sc := DefaultScoring()
+	for seed := uint64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0xa119))
+		checkAlignment(t, seed, randSeq(rng, 6), randSeq(rng, 6), sc)
+	}
+}
+
+// TestOracleAlignExhaustiveAltScoring varies the (integer) scoring
+// parameters so the dynamic program is not only right for the defaults.
+func TestOracleAlignExhaustiveAltScoring(t *testing.T) {
+	scorings := []Scoring{
+		{Match: 1, Mismatch: -2, GapOpen: -3},
+		{Match: 3, Mismatch: 0, GapOpen: -1},
+		{Match: 2, Mismatch: -2, GapOpen: -2},
+	}
+	for si, sc := range scorings {
+		for seed := uint64(0); seed < 10; seed++ {
+			rng := rand.New(rand.NewPCG(seed, 0xa11a+uint64(si)))
+			checkAlignment(t, seed, randSeq(rng, 5), randSeq(rng, 5), sc)
+		}
+	}
+}
+
+func FuzzAlignDifferential(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		rng := rand.New(rand.NewPCG(seed, 0xa11b))
+		checkAlignment(t, seed, randSeq(rng, 6), randSeq(rng, 6), DefaultScoring())
+	})
+}

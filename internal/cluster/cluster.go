@@ -145,6 +145,10 @@ type gridIndex struct {
 	dims   int
 	cells  map[string][]int
 	points [][]float64
+	// cellMin/cellMax bound the populated cell coordinates per dimension;
+	// the NN ring search uses them to cap its sweep at the ring that
+	// covers the whole index instead of guessing with a magic radius.
+	cellMin, cellMax []int
 }
 
 func newGridIndex(points [][]float64, eps float64) *gridIndex {
@@ -152,8 +156,19 @@ func newGridIndex(points [][]float64, eps float64) *gridIndex {
 	if len(points) > 0 {
 		g.dims = len(points[0])
 	}
+	g.cellMin = make([]int, g.dims)
+	g.cellMax = make([]int, g.dims)
 	for i, p := range points {
-		k := g.key(p)
+		c := g.coord(p)
+		for d, v := range c {
+			if i == 0 || v < g.cellMin[d] {
+				g.cellMin[d] = v
+			}
+			if i == 0 || v > g.cellMax[d] {
+				g.cellMax[d] = v
+			}
+		}
+		k := g.keyOf(c)
 		g.cells[k] = append(g.cells[k], i)
 	}
 	return g

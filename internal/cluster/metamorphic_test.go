@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"perftrack/internal/oracle"
+)
+
+// Metamorphic properties: transformations of the input that must not
+// change the clustering answer. They run on planted, well-separated
+// scenarios (margins ≫ eps) so the assertions are robust to floating-
+// point noise — a violated property here is an ordering or indexing bug,
+// never an ulp.
+
+// TestOracleDBSCANPermutationInvariance: the recovered partition must not
+// depend on the order the points are presented in. (Cluster *numbers*
+// legitimately change with discovery order; the partition itself — which
+// points group together, which are noise — must not. On separated data
+// there are no contested border points, so this is exact.)
+func TestOracleDBSCANPermutationInvariance(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		sc, _ := oracle.GenSeparated(seed)
+		base := DBSCAN(sc.Points, sc.Eps, sc.MinPts)
+
+		rng := rand.New(rand.NewPCG(seed, 0x9e37))
+		perm := rng.Perm(len(sc.Points))
+		shuffled := make([][]float64, len(sc.Points))
+		for i, src := range perm {
+			shuffled[i] = sc.Points[src]
+		}
+		permLabels := DBSCAN(shuffled, sc.Eps, sc.MinPts)
+		// Map the permuted labels back onto original point positions.
+		back := make([]int, len(base))
+		for i, src := range perm {
+			back[src] = permLabels[i]
+		}
+		if ari := oracle.ARI(base, back); ari != 1 {
+			t.Errorf("seed %d: partition changed under permutation, ARI = %v", seed, ari)
+		}
+	}
+}
+
+// TestOracleDBSCANDuplicateStability: exactly duplicating points that are
+// already cluster members must not change the partition of the original
+// points (density only increases inside existing clusters) and each
+// duplicate must join its source's cluster.
+func TestOracleDBSCANDuplicateStability(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		sc, truth := oracle.GenSeparated(seed)
+		base := DBSCAN(sc.Points, sc.Eps, sc.MinPts)
+
+		rng := rand.New(rand.NewPCG(seed, 0x9e38))
+		pts := append([][]float64(nil), sc.Points...)
+		var sources []int
+		for n := 0; n < 5; n++ {
+			i := rng.IntN(len(sc.Points))
+			if truth[i] == 0 {
+				continue // duplicating noise could promote it to a cluster
+			}
+			pts = append(pts, sc.Points[i])
+			sources = append(sources, i)
+		}
+		got := DBSCAN(pts, sc.Eps, sc.MinPts)
+		if ari := oracle.ARI(base, got[:len(sc.Points)]); ari != 1 {
+			t.Errorf("seed %d: original points repartitioned after duplication, ARI = %v", seed, ari)
+		}
+		for k, src := range sources {
+			if got[len(sc.Points)+k] != got[src] {
+				t.Errorf("seed %d: duplicate of point %d labeled %d, source labeled %d",
+					seed, src, got[len(sc.Points)+k], got[src])
+			}
+		}
+	}
+}
+
+// TestOracleNNDuplicateStability: appending exact duplicates (which get
+// higher indices) must never change any Nearest answer — the canonical
+// tie-break prefers the lowest index, and every duplicate ties with its
+// source.
+func TestOracleNNDuplicateStability(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		sc, _ := oracle.GenSeparated(seed)
+		rng := rand.New(rand.NewPCG(seed, 0x9e39))
+		pts := append([][]float64(nil), sc.Points...)
+		for n := 0; n < 6; n++ {
+			pts = append(pts, sc.Points[rng.IntN(len(sc.Points))])
+		}
+		before := NewNN(sc.Points, 0.05)
+		after := NewNN(pts, 0.05)
+		for qi := 0; qi < 15; qi++ {
+			q := oracle.GenQuery(seed, qi, len(sc.Points[0]))
+			bi, bd := before.Nearest(q)
+			ai, ad := after.Nearest(q)
+			if bi != ai || bd != ad {
+				t.Errorf("seed %d query %d: answer changed after duplication: (%d, %v) vs (%d, %v)",
+					seed, qi, bi, bd, ai, ad)
+			}
+		}
+	}
+}

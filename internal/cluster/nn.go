@@ -26,46 +26,77 @@ func NewNN(points [][]float64, cell float64) *NN {
 // Len returns the number of indexed points.
 func (nn *NN) Len() int { return len(nn.points) }
 
+// maxRingSweep caps how many Chebyshev rings the grid search will walk.
+// Queries whose bounding ring exceeds it (far outside the indexed range,
+// or a degenerate cell size) fall back to a linear scan, which is cheaper
+// than enumerating huge empty rings and trivially implements the spec.
+const maxRingSweep = 64
+
 // Nearest returns the index of the point closest to q and its Euclidean
-// distance. It returns (-1, +Inf) for an empty index. Ties resolve to the
-// lowest index, making results deterministic.
+// distance. It returns (-1, +Inf) for an empty index.
+//
+// Canonical tie-break specification (the contract the differential
+// harness in oracle_differential_test.go enforces against the brute-force
+// reference in internal/oracle):
+//
+//	The nearest neighbour of q is the point with the minimal squared
+//	Euclidean distance to q, computed as Σ(p[d]-q[d])² in dimension
+//	order. Among points at exactly equal squared distance, the one with
+//	the LOWEST index in the input slice wins — globally, regardless of
+//	which grid cell or ring the candidates occupy. This is precisely
+//	the result of a left-to-right linear scan keeping the first
+//	strictly-better candidate.
+//
+// Three details of the ring search make it honour the spec:
+//
+//   - a candidate in a later ring displaces the incumbent only when
+//     strictly closer OR equal-and-lower-index (see visitRing);
+//   - the sweep stops before ring r only when bestSq is strictly below
+//     ((r-1)·cell)², the minimum possible squared distance of any point
+//     in an unexplored ring. In exact arithmetic equality at the bound is
+//     unreachable (a point that close would sit in a nearer ring), but
+//     after floating-point rounding of coordinates it is not; strictness
+//     costs at most one extra ring and removes the edge;
+//   - the sweep runs to the ring covering the whole populated bounding
+//     box instead of a magic cutoff radius. The historical
+//     "r·cell > 4 and we have *a* candidate" break returned a non-nearest
+//     point for sparse data spread beyond the unit range (see
+//     TestOracleNNSparseOutlierRegression).
 func (nn *NN) Nearest(q []float64) (int, float64) {
 	if len(nn.points) == 0 {
 		return -1, math.Inf(1)
 	}
 	g := nn.grid
 	base := g.coord(q)
-	best := -1
-	bestSq := math.Inf(1)
-	// Expand Chebyshev rings of cells around q's cell. Once the best
-	// distance found is no greater than the minimum possible distance to
-	// the next unexplored ring, the search is complete.
-	for r := 0; ; r++ {
-		minPossible := float64(r-1) * g.eps // points in ring r are at least this far
-		if r > 0 && best >= 0 && bestSq <= minPossible*minPossible {
-			break
+	// rMax is the Chebyshev cell distance from q's cell to the farthest
+	// populated cell: the ring beyond which the index holds nothing.
+	rMax := 0
+	for d := 0; d < g.dims; d++ {
+		if dd := base[d] - g.cellMin[d]; dd > rMax {
+			rMax = dd
 		}
-		visited := nn.visitRing(base, r, q, &best, &bestSq)
-		if !visited && best >= 0 {
-			// Ring had no populated cells; keep expanding until the bound
-			// proves we are done (handled above on the next iteration).
-		}
-		// Safety: after the rings exceed the grid span, fall back to done.
-		if float64(r)*g.eps > 4 && best >= 0 {
-			break
-		}
-		if float64(r)*g.eps > 64 {
-			break
+		if dd := g.cellMax[d] - base[d]; dd > rMax {
+			rMax = dd
 		}
 	}
-	if best < 0 {
-		// Degenerate fallback: linear scan (can happen with extreme
-		// outliers far outside the indexed range).
+	best := -1
+	bestSq := math.Inf(1)
+	if rMax > maxRingSweep {
 		for i, p := range nn.points {
 			if d := sqDist(p, q); d < bestSq {
 				best, bestSq = i, d
 			}
 		}
+		return best, math.Sqrt(bestSq)
+	}
+	for r := 0; r <= rMax; r++ {
+		if best >= 0 {
+			minPossible := float64(r-1) * g.eps // points in ring r are at least this far
+			if minPossible > 0 && bestSq < minPossible*minPossible {
+				break
+			}
+		}
+		nn.visitRing(base, r, q, &best, &bestSq)
 	}
 	return best, math.Sqrt(bestSq)
 }

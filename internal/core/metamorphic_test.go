@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"perftrack/internal/metrics"
+	"perftrack/internal/oracle"
+	"perftrack/internal/trace"
+)
+
+// Metamorphic properties of the full pipeline (frames → clustering →
+// tracking), driven by the seeded planted-phase generator in
+// internal/oracle. The generator's phases are far apart in performance
+// space while its jitter is ±1%, so every property below must hold
+// exactly — any failure is a real ordering/indexing bug, not noise.
+
+// TestOracleKnownTruthRecovery: frames built from traces with planted
+// phase annotations must recover the planted partition; the paper's
+// validation score (ARI over tracked regions vs. ground-truth phases)
+// must be near-perfect on this easy, well-separated data.
+func TestOracleKnownTruthRecovery(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		phases := 3 + int(seed%3)
+		tr := oracle.GenTraces(seed, "truth", 8, 4, phases)
+		res, err := buildAndTrack(testConfig(), tr)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		vs := res.Validate()
+		if vs.Annotated == 0 {
+			t.Fatalf("seed %d: no annotated bursts scored", seed)
+		}
+		if vs.ARI < 0.95 {
+			t.Errorf("seed %d (%d phases): planted truth recovered with ARI %v, want >= 0.95",
+				seed, phases, vs.ARI)
+		}
+	}
+}
+
+// scaleCounters returns a deep copy of the trace with both hardware
+// counters multiplied by f. With f a power of two, IPC
+// (instructions/cycles) is bit-identical in the copy while the
+// instructions axis is rigidly shifted in log space.
+func scaleCounters(t *trace.Trace, f float64) *trace.Trace {
+	out := t.Clone()
+	for i := range out.Bursts {
+		out.Bursts[i].Counters[metrics.CtrInstructions] *= f
+		out.Bursts[i].Counters[metrics.CtrCycles] *= f
+	}
+	return out
+}
+
+// relationsOf flattens the per-pair relations for comparison.
+func relationsOf(res *Result) [][]Relation {
+	out := make([][]Relation, len(res.Pairs))
+	for i, p := range res.Pairs {
+		out[i] = p.Relations
+	}
+	return out
+}
+
+// TestOracleAxisScalingInvariance: multiplying both counters of every
+// burst by 4 leaves IPC untouched and shifts log(instructions) by a
+// constant, which the per-axis min–max normalisation removes. Cluster
+// labels and tracking relations must be unchanged. (The planted phases
+// are ≫ eps apart in normalised space, so the ≤1-ulp wobble the log
+// transform can introduce cannot flip any neighbourhood.)
+func TestOracleAxisScalingInvariance(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		t1 := oracle.GenTraces(seed, "a", 6, 3, 3)
+		t2 := oracle.GenTraces(seed+100, "b", 6, 3, 3)
+		base, err := buildAndTrack(testConfig(), t1, t2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		scaled, err := buildAndTrack(testConfig(), scaleCounters(t1, 4), scaleCounters(t2, 4))
+		if err != nil {
+			t.Fatalf("seed %d (scaled): %v", seed, err)
+		}
+		for fi := range base.Frames {
+			if !reflect.DeepEqual(base.Frames[fi].Labels, scaled.Frames[fi].Labels) {
+				t.Errorf("seed %d frame %d: labels changed under ×4 counter scaling", seed, fi)
+			}
+		}
+		if !reflect.DeepEqual(relationsOf(base), relationsOf(scaled)) {
+			t.Errorf("seed %d: tracking relations changed under ×4 counter scaling:\n%v\nvs\n%v",
+				seed, relationsOf(base), relationsOf(scaled))
+		}
+	}
+}
+
+// TestOracleReciprocity: the combiner searches reciprocally (A→B and
+// B→A), so tracking the two-frame sequence in reverse order must yield
+// the mirrored relation set.
+func TestOracleReciprocity(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		t1 := oracle.GenTraces(seed, "a", 6, 3, 3)
+		t2 := oracle.GenTraces(seed+100, "b", 6, 3, 3)
+		fwd, err := buildAndTrack(testConfig(), t1, t2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rev, err := buildAndTrack(testConfig(), t2, t1)
+		if err != nil {
+			t.Fatalf("seed %d (reversed): %v", seed, err)
+		}
+		if len(fwd.Pairs) != 1 || len(rev.Pairs) != 1 {
+			t.Fatalf("seed %d: expected exactly one pair, got %d and %d",
+				seed, len(fwd.Pairs), len(rev.Pairs))
+		}
+		mirrored := make([]Relation, len(rev.Pairs[0].Relations))
+		for i, r := range rev.Pairs[0].Relations {
+			mirrored[i] = Relation{A: r.B, B: r.A}
+		}
+		if !sameRelationSet(fwd.Pairs[0].Relations, mirrored) {
+			t.Errorf("seed %d: relations not reciprocal:\nA→B: %v\nB→A mirrored: %v",
+				seed, fwd.Pairs[0].Relations, mirrored)
+		}
+	}
+}
+
+// sameRelationSet compares two relation lists ignoring order.
+func sameRelationSet(a, b []Relation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+outer:
+	for _, ra := range a {
+		for j, rb := range b {
+			if !used[j] && reflect.DeepEqual(ra, rb) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// TestOracleBurstPermutationInvariance: the order bursts appear in the
+// trace file must not matter. Labels are compared through the
+// (task, start-time) burst identity because frames preserve their input
+// trace's burst order; relations are compared directly (cluster
+// numbering is canonical — by decreasing weight — hence order-free).
+func TestOracleBurstPermutationInvariance(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		t1 := oracle.GenTraces(seed, "a", 6, 3, 3)
+		base, err := buildAndTrack(testConfig(), t1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		shuf := t1.Clone()
+		rng := rand.New(rand.NewPCG(seed, 0x5ffe))
+		rng.Shuffle(len(shuf.Bursts), func(i, j int) {
+			shuf.Bursts[i], shuf.Bursts[j] = shuf.Bursts[j], shuf.Bursts[i]
+		})
+		perm, err := buildAndTrack(testConfig(), shuf)
+		if err != nil {
+			t.Fatalf("seed %d (shuffled): %v", seed, err)
+		}
+
+		type burstID struct {
+			task  int
+			start int64
+		}
+		labelsByID := func(f *Frame) map[burstID]int {
+			m := make(map[burstID]int, len(f.Labels))
+			for i, b := range f.Trace.Bursts {
+				m[burstID{b.Task, b.StartNS}] = f.Labels[i]
+			}
+			return m
+		}
+		for fi := range base.Frames {
+			bm, pm := labelsByID(base.Frames[fi]), labelsByID(perm.Frames[fi])
+			if !reflect.DeepEqual(bm, pm) {
+				t.Errorf("seed %d frame %d: labels changed under burst permutation", seed, fi)
+			}
+		}
+		if !reflect.DeepEqual(relationsOf(base), relationsOf(perm)) {
+			t.Errorf("seed %d: relations changed under burst permutation", seed)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"perftrack/internal/cluster"
+	"perftrack/internal/oracle"
+)
+
+// Differential harness for the displacement evaluator: the parallel,
+// grid-accelerated cross-classification must be bit-identical to the
+// sequential linear-scan reference in internal/oracle. The per-worker
+// tallies are integer-valued floats merged before the single division per
+// row, so exact equality is the contract, not an approximation.
+
+// frameFromScenario wraps a seeded point scenario as a minimal Frame: the
+// displacement evaluator only consumes Norm, Labels and NumClusters.
+func frameFromScenario(idx int, sc oracle.Scenario) *Frame {
+	labels := cluster.DBSCAN(sc.Points, sc.Eps, sc.MinPts)
+	k := 0
+	for _, l := range labels {
+		if l > k {
+			k = l
+		}
+	}
+	return &Frame{Index: idx, Norm: sc.Points, Labels: labels, NumClusters: k}
+}
+
+// scenarioWithDims returns the first scenario at or after seed whose
+// points have the wanted dimensionality (frames of one pair must share a
+// metric space).
+func scenarioWithDims(seed uint64, dims int) oracle.Scenario {
+	for {
+		sc := oracle.GenScenario(seed)
+		if len(sc.Points[0]) == dims {
+			return sc
+		}
+		seed++
+	}
+}
+
+func TestOracleDisplacementDifferential(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		scA := oracle.GenScenario(seed)
+		dims := len(scA.Points[0])
+		scB := scenarioWithDims(seed+1000, dims)
+		a := frameFromScenario(0, scA)
+		b := frameFromScenario(1, scB)
+
+		got := Displacement(a, b, Config{})
+		want := oracle.Displacement(a.Norm, a.Labels, a.NumClusters,
+			b.Norm, b.Labels, b.NumClusters, 0.05)
+
+		if len(got.P) != len(want) {
+			t.Fatalf("seed %d: matrix has %d rows, oracle %d", seed, len(got.P), len(want))
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got.P[i][j] != want[i][j] {
+					t.Fatalf("seed %d: P[%d][%d] = %v, oracle says %v (aK=%d bK=%d)",
+						seed, i, j, got.P[i][j], want[i][j], a.NumClusters, b.NumClusters)
+				}
+			}
+		}
+	}
+}
+
+func FuzzDisplacementDifferential(f *testing.F) {
+	for seed := uint64(0); seed < 6; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		scA := oracle.GenScenario(seed)
+		scB := scenarioWithDims(seed+1000, len(scA.Points[0]))
+		a := frameFromScenario(0, scA)
+		b := frameFromScenario(1, scB)
+		got := Displacement(a, b, Config{})
+		want := oracle.Displacement(a.Norm, a.Labels, a.NumClusters,
+			b.Norm, b.Labels, b.NumClusters, 0.05)
+		for i := range want {
+			for j := range want[i] {
+				if got.P[i][j] != want[i][j] {
+					t.Fatalf("seed %d: P[%d][%d] = %v, oracle says %v",
+						seed, i, j, got.P[i][j], want[i][j])
+				}
+			}
+		}
+	})
+}

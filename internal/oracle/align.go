@@ -1,0 +1,36 @@
+package oracle
+
+import "math"
+
+// AlignScore computes the optimal global-alignment score of two integer
+// sequences by exhaustive recursion over the full alignment space: at
+// every position try match/mismatch, gap-in-a, gap-in-b, and take the max.
+// It is O(3^(len(a)+len(b))) and therefore only usable for sequences of a
+// handful of symbols — exactly why it cannot share a bug with the
+// dynamic-programming implementation in internal/align, whose score it
+// certifies. Scoring parameters are passed explicitly so this package
+// needs no import of the package under test.
+func AlignScore(a, b []int, match, mismatch, gap float64) float64 {
+	var rec func(i, j int) float64
+	rec = func(i, j int) float64 {
+		if i == len(a) && j == len(b) {
+			return 0
+		}
+		best := math.Inf(-1)
+		if i < len(a) && j < len(b) {
+			s := mismatch
+			if a[i] == b[j] {
+				s = match
+			}
+			best = math.Max(best, s+rec(i+1, j+1))
+		}
+		if i < len(a) {
+			best = math.Max(best, gap+rec(i+1, j))
+		}
+		if j < len(b) {
+			best = math.Max(best, gap+rec(i, j+1))
+		}
+		return best
+	}
+	return rec(0, 0)
+}

@@ -1,0 +1,39 @@
+package oracle
+
+// ARI computes the adjusted Rand index between two labelings of the same
+// point set, directly from the pair-counting contingency table. 1 means
+// identical partitions (up to renaming), 0 is chance-level agreement.
+// Labels are opaque ints; noise (0) is treated as its own class, so two
+// labelings must also agree on what is noise to score 1.
+func ARI(a, b []int) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	type pair struct{ x, y int }
+	cont := map[pair]float64{}
+	rowSum := map[int]float64{}
+	colSum := map[int]float64{}
+	for i := range a {
+		cont[pair{a[i], b[i]}]++
+		rowSum[a[i]]++
+		colSum[b[i]]++
+	}
+	choose2 := func(n float64) float64 { return n * (n - 1) / 2 }
+	var sumCont, sumRow, sumCol float64
+	for _, n := range cont {
+		sumCont += choose2(n)
+	}
+	for _, n := range rowSum {
+		sumRow += choose2(n)
+	}
+	for _, n := range colSum {
+		sumCol += choose2(n)
+	}
+	total := choose2(float64(len(a)))
+	expected := sumRow * sumCol / total
+	maxIdx := (sumRow + sumCol) / 2
+	if maxIdx == expected {
+		return 1 // both partitions trivial (all-one-cluster or all-singletons)
+	}
+	return (sumCont - expected) / (maxIdx - expected)
+}

@@ -1,0 +1,179 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"perftrack/internal/metrics"
+	"perftrack/internal/trace"
+)
+
+// Distinct PCG stream constants so the three generators draw independent
+// sequences even when fed the same seed.
+const (
+	streamScenario  = 0x5ce7a210
+	streamSeparated = 0x5e9a7a7e
+	streamTraces    = 0x77ace5
+)
+
+// quantum is the coordinate lattice spacing for free-form scenarios. All
+// coordinates (and the eps radii) are exact multiples of 1/32, which is
+// exactly representable in binary floating point. That makes exact
+// distance ties and points sitting exactly on the eps boundary *common*
+// rather than measure-zero — precisely the inputs that flush out tie-break
+// and boundary (< vs <=) divergences between optimized and oracle paths.
+const quantum = 1.0 / 32
+
+// Scenario is one seeded clustering problem for the differential harness.
+type Scenario struct {
+	Points [][]float64
+	Eps    float64
+	MinPts int
+}
+
+// GenScenario derives a free-form scenario from seed: 10–129 points on the
+// quantised unit lattice (about 15% exact duplicates), 2 or 3 dimensions,
+// lattice-aligned eps and a small MinPts. The same seed always produces
+// the same scenario.
+func GenScenario(seed uint64) Scenario {
+	rng := rand.New(rand.NewPCG(seed, streamScenario))
+	dims := 2 + rng.IntN(2)
+	n := 10 + rng.IntN(120)
+	pts := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if len(pts) > 0 && rng.Float64() < 0.15 {
+			// Exact duplicate of an earlier point.
+			dup := pts[rng.IntN(len(pts))]
+			pts = append(pts, append([]float64(nil), dup...))
+			continue
+		}
+		p := make([]float64, dims)
+		for d := range p {
+			p[d] = float64(rng.IntN(33)) * quantum
+		}
+		pts = append(pts, p)
+	}
+	return Scenario{
+		Points: pts,
+		Eps:    float64(2+rng.IntN(8)) * quantum,
+		MinPts: 2 + rng.IntN(4),
+	}
+}
+
+// GenQuery draws one quantised query point for nearest-neighbour
+// differential tests; qi decorrelates successive queries of one scenario.
+// Queries may fall outside [0,1] to exercise the out-of-bbox fallback.
+func GenQuery(seed uint64, qi int, dims int) []float64 {
+	rng := rand.New(rand.NewPCG(seed+uint64(qi)*0x9e3779b97f4a7c15, streamScenario^1))
+	q := make([]float64, dims)
+	for d := range q {
+		q[d] = float64(rng.IntN(49)-8) * quantum // [-0.25, 1.25]
+	}
+	return q
+}
+
+// GenSeparated derives a planted-truth scenario: 2–5 compact clusters
+// whose centres sit at least 0.33 apart (≫ eps) with every member within
+// 0.025 of its centre, plus up to 3 isolated noise points. It returns the
+// scenario and the ground-truth labels (cluster ids in generation order,
+// 0 for noise). Because inter-cluster gaps dwarf eps and intra-cluster
+// spreads fit inside it, any correct density clusterer must recover the
+// planted partition exactly — the margin is what makes the metamorphic
+// assertions (permutation, duplication, scaling) robust to floating-point
+// noise.
+func GenSeparated(seed uint64) (Scenario, []int) {
+	rng := rand.New(rand.NewPCG(seed, streamSeparated))
+	k := 2 + rng.IntN(4)
+	noise := rng.IntN(4)
+	// Pick k+noise distinct cells of a 4×4 grid with 0.33 spacing.
+	perm := rng.Perm(16)
+	center := func(cell int) (float64, float64) {
+		return 0.05 + float64(cell%4)*0.33, 0.05 + float64(cell/4)*0.33
+	}
+	var pts [][]float64
+	var truth []int
+	for c := 0; c < k; c++ {
+		cx, cy := center(perm[c])
+		m := 8 + rng.IntN(12)
+		for i := 0; i < m; i++ {
+			pts = append(pts, []float64{
+				cx + (rng.Float64()-0.5)*0.05,
+				cy + (rng.Float64()-0.5)*0.05,
+			})
+			truth = append(truth, c+1)
+		}
+	}
+	for o := 0; o < noise; o++ {
+		cx, cy := center(perm[k+o])
+		pts = append(pts, []float64{cx, cy})
+		truth = append(truth, 0)
+	}
+	return Scenario{Points: pts, Eps: 0.07, MinPts: 3}, truth
+}
+
+// GenTraces builds a seeded synthetic SPMD trace with planted phases, in
+// the style of the core test helpers: every iteration runs the phases in
+// order with all ranks synchronising after each one (barrier semantics, 1
+// cycle/ns), and each burst is annotated with its ground-truth Phase. The
+// phases occupy well-separated positions of the (IPC, log instructions)
+// performance space — IPC levels 0.6 apart, instruction counts a factor 8
+// apart — while a ±1% per-burst jitter keeps every point distinct. Per-
+// task start times are strictly increasing, so the per-task sequence
+// extraction has a unique order regardless of burst permutations.
+func GenTraces(seed uint64, label string, ranks, iters, phases int) *trace.Trace {
+	rng := rand.New(rand.NewPCG(seed, streamTraces))
+	if phases < 1 {
+		phases = 1
+	}
+	type phaseDef struct{ ipc, instr float64 }
+	defs := make([]phaseDef, phases)
+	for p := range defs {
+		defs[p] = phaseDef{
+			ipc:   0.8 + 0.6*float64(p),
+			instr: 1e6 * pow(8, p),
+		}
+	}
+	t := &trace.Trace{Meta: trace.Metadata{App: "oracle", Label: label, Ranks: ranks}}
+	clock := make([]int64, ranks)
+	for it := 0; it < iters; it++ {
+		for pi, ph := range defs {
+			var maxEnd int64
+			for r := 0; r < ranks; r++ {
+				ipc := ph.ipc * (1 + (rng.Float64()-0.5)*0.02)
+				instr := ph.instr * (1 + (rng.Float64()-0.5)*0.02)
+				cycles := instr / ipc
+				b := trace.Burst{
+					Task:       r,
+					StartNS:    clock[r],
+					DurationNS: int64(cycles),
+					Stack: trace.CallstackRef{
+						Function: fmt.Sprintf("phase_%d", pi+1),
+						File:     "oracle.f90",
+						Line:     100 * (pi + 1),
+					},
+					Phase: pi + 1,
+				}
+				b.Counters[metrics.CtrInstructions] = instr
+				b.Counters[metrics.CtrCycles] = cycles
+				t.Bursts = append(t.Bursts, b)
+				clock[r] += int64(cycles)
+				if clock[r] > maxEnd {
+					maxEnd = clock[r]
+				}
+			}
+			for r := range clock {
+				clock[r] = maxEnd + 1000
+			}
+		}
+	}
+	t.SortByTaskTime()
+	return t
+}
+
+func pow(base float64, exp int) float64 {
+	out := 1.0
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+// Package oracle holds naive, obviously-correct reference implementations
+// of the pipeline's optimized hot paths, plus seeded scenario generators
+// and partition-agreement scoring. It exists only to be imported by tests:
+// every grid-accelerated, parallelised or otherwise clever code path in
+// internal/cluster, internal/core and internal/align is required (by the
+// differential harness, `make oracle`) to produce answers identical to the
+// transparent O(n²)/exhaustive versions here.
+//
+// The implementations are deliberately the dumbest thing that can be
+// right: linear scans, full pairwise distance tables, textbook DBSCAN with
+// an explicit region query, exponential-time alignment search. Nothing in
+// this package may import the packages it checks (no import cycles, no
+// shared bugs); the only shared convention is the tie-break specification
+// pinned in internal/cluster/nn.go, which both sides implement
+// independently.
+package oracle
+
+import "math"
+
+// sqDist returns the squared Euclidean distance between a and b, with the
+// exact same operation order as the optimized implementations so results
+// are bit-identical, not merely close.
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Nearest is the brute-force nearest-neighbour reference: a left-to-right
+// linear scan over all points. It returns the index of the closest point
+// to q and the Euclidean distance, or (-1, +Inf) for an empty set. Ties
+// resolve to the lowest index because only a strictly smaller distance
+// displaces the incumbent — this IS the canonical tie-break rule the grid
+// index must reproduce.
+func Nearest(points [][]float64, q []float64) (int, float64) {
+	best, bestSq := -1, math.Inf(1)
+	for i, p := range points {
+		if d := sqDist(p, q); d < bestSq {
+			best, bestSq = i, d
+		}
+	}
+	return best, math.Sqrt(bestSq)
+}
+
+// DBSCAN is the textbook O(n²) reference implementation: the region query
+// is an explicit linear scan, so there is no index structure to get wrong.
+// Labels are 1-based cluster ids in discovery order with 0 for noise,
+// matching the semantics documented in internal/cluster:
+//
+//   - seeds are examined in point-index order, so cluster c is the one
+//     whose lowest-index core point precedes every core point of c+1;
+//   - a border point reachable from several clusters is adopted by the
+//     earliest-discovered (lowest-numbered) one;
+//   - neighbourhoods use sqDist(p, q) <= eps², inclusive.
+func DBSCAN(points [][]float64, eps float64, minPts int) []int {
+	n := len(points)
+	labels := make([]int, n)
+	if n == 0 {
+		return labels
+	}
+	const (
+		unvisited = 0
+		noiseMark = -1
+	)
+	state := make([]int, n)
+	eps2 := eps * eps
+	query := func(q []float64) []int {
+		var out []int
+		for j, p := range points {
+			if sqDist(p, q) <= eps2 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if state[i] != unvisited {
+			continue
+		}
+		neigh := query(points[i])
+		if len(neigh) < minPts {
+			state[i] = noiseMark
+			continue
+		}
+		next++
+		state[i] = next
+		queue := append([]int(nil), neigh...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if state[j] == noiseMark {
+				state[j] = next // border point adopted by the cluster
+				continue
+			}
+			if state[j] != unvisited {
+				continue
+			}
+			state[j] = next
+			jn := query(points[j])
+			if len(jn) >= minPts {
+				queue = append(queue, jn...)
+			}
+		}
+	}
+	for i, s := range state {
+		if s == noiseMark {
+			labels[i] = 0
+		} else {
+			labels[i] = s
+		}
+	}
+	return labels
+}
+
+// Displacement is the brute-force reference for the cross-classification
+// evaluator (core.Displacement): every clustered point of frame A is
+// classified onto the nearest clustered point of frame B by linear scan,
+// the per-cluster tallies are row-normalised, and cells strictly below
+// minCorr are zeroed. The returned matrix is (aK+1)×(bK+1), 1-based like
+// core.Matrix.P, and must match the optimized version bit for bit.
+func Displacement(aNorm [][]float64, aLabels []int, aK int,
+	bNorm [][]float64, bLabels []int, bK int, minCorr float64) [][]float64 {
+	m := make([][]float64, aK+1)
+	for i := range m {
+		m[i] = make([]float64, bK+1)
+	}
+	// Index only the clustered points of b, in index order — the same
+	// subset the optimized path feeds its grid.
+	var pts [][]float64
+	var lbl []int
+	for i, l := range bLabels {
+		if l > 0 {
+			pts = append(pts, bNorm[i])
+			lbl = append(lbl, l)
+		}
+	}
+	if len(pts) == 0 || aK == 0 {
+		return m
+	}
+	counts := make([]float64, aK+1)
+	for i, la := range aLabels {
+		if la <= 0 {
+			continue
+		}
+		j, _ := Nearest(pts, aNorm[i])
+		if j < 0 {
+			continue
+		}
+		m[la][lbl[j]]++
+		counts[la]++
+	}
+	for i := 1; i <= aK; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		for j := 1; j <= bK; j++ {
+			m[i][j] /= counts[i]
+		}
+	}
+	for i := 1; i <= aK; i++ {
+		for j := 1; j <= bK; j++ {
+			if m[i][j] < minCorr {
+				m[i][j] = 0
+			}
+		}
+	}
+	return m
+}

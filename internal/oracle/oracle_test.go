@@ -1,0 +1,151 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+)
+
+// The oracle must itself be trustworthy: these tests check it against
+// hand-computed answers on cases small enough to verify on paper.
+
+func TestNearestHandCases(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 0}}
+	if i, d := Nearest(pts, []float64{0.9, 0}); i != 1 || math.Abs(d-0.1) > 1e-12 {
+		t.Fatalf("Nearest = (%d, %v), want (1, ~0.1)", i, d)
+	}
+	// Exact tie between index 1 and its duplicate at index 3: lowest wins.
+	if i, _ := Nearest(pts, []float64{1, 0}); i != 1 {
+		t.Fatalf("tie resolved to %d, want 1", i)
+	}
+	if i, d := Nearest(nil, []float64{0, 0}); i != -1 || !math.IsInf(d, 1) {
+		t.Fatalf("empty set = (%d, %v), want (-1, +Inf)", i, d)
+	}
+}
+
+func TestDBSCANHandCase(t *testing.T) {
+	// Two tight triples far apart plus one isolated point.
+	pts := [][]float64{
+		{0, 0}, {0.05, 0}, {0, 0.05}, // cluster 1
+		{1, 1}, {0.95, 1}, {1, 0.95}, // cluster 2
+		{0.5, 0.5}, // noise
+	}
+	got := DBSCAN(pts, 0.1, 3)
+	want := []int{1, 1, 1, 2, 2, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDBSCANBorderAdoption(t *testing.T) {
+	// The point at x=2 is within eps of cores of both clusters but is not
+	// core itself (only 3 neighbours, minPts=4). Visited first, it is
+	// marked noise; the earlier-discovered cluster must then adopt it.
+	pts := [][]float64{
+		{2, 0},                             // border point, seen first
+		{0, 0}, {0.4, 0}, {0.8, 0}, {1, 0}, // cluster 1
+		{3, 0}, {3.4, 0}, {3.8, 0}, {4, 0}, // cluster 2
+	}
+	got := DBSCAN(pts, 1.1, 4)
+	want := []int{1, 1, 1, 1, 1, 2, 2, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestARIProperties(t *testing.T) {
+	a := []int{1, 1, 1, 2, 2, 0}
+	if got := ARI(a, a); got != 1 {
+		t.Errorf("ARI(a, a) = %v, want 1", got)
+	}
+	// Renaming clusters must not change the score.
+	b := []int{7, 7, 7, 3, 3, 9}
+	if got := ARI(a, b); got != 1 {
+		t.Errorf("ARI under relabeling = %v, want 1", got)
+	}
+	// Splitting a cluster must lower it below 1.
+	c := []int{1, 1, 4, 2, 2, 0}
+	if got := ARI(a, c); got >= 1 || got <= 0 {
+		t.Errorf("ARI(a, split) = %v, want in (0, 1)", got)
+	}
+	if got := ARI([]int{1, 2}, []int{1}); got != 0 {
+		t.Errorf("ARI on mismatched lengths = %v, want 0", got)
+	}
+}
+
+func TestAlignScoreHandCases(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want float64
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 6},       // 3 matches
+		{[]int{1, 2, 3}, []int{1, 3}, 3},          // 2 matches + 1 gap
+		{[]int{1}, []int{2}, -1},                  // single mismatch
+		{nil, []int{5, 5}, -2},                    // all gaps
+		{[]int{1, 2}, []int{2, 1}, 0},              // gap+match+gap beats 2 mismatches
+		{[]int{1, 2, 3, 4}, []int{4, 3, 2, 1}, -2}, // gap, mis, match, mis, gap
+	}
+	for _, c := range cases {
+		if got := AlignScore(c.a, c.b, 2, -1, -1); got != c.want {
+			t.Errorf("AlignScore(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGenScenarioDeterministicAndQuantised(t *testing.T) {
+	s1, s2 := GenScenario(42), GenScenario(42)
+	if len(s1.Points) != len(s2.Points) || s1.Eps != s2.Eps || s1.MinPts != s2.MinPts {
+		t.Fatal("GenScenario is not deterministic")
+	}
+	for i := range s1.Points {
+		for d := range s1.Points[i] {
+			if s1.Points[i][d] != s2.Points[i][d] {
+				t.Fatal("GenScenario points differ across calls")
+			}
+			if q := s1.Points[i][d] / quantum; q != math.Trunc(q) {
+				t.Fatalf("coordinate %v is not on the lattice", s1.Points[i][d])
+			}
+		}
+	}
+}
+
+func TestGenSeparatedTruthRecoverable(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		sc, truth := GenSeparated(seed)
+		got := DBSCAN(sc.Points, sc.Eps, sc.MinPts)
+		if ari := ARI(got, truth); ari < 1 {
+			t.Errorf("seed %d: oracle DBSCAN recovers planted truth with ARI %v, want 1", seed, ari)
+		}
+	}
+}
+
+func TestGenTracesShape(t *testing.T) {
+	tr := GenTraces(7, "a", 4, 3, 3)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tr.Bursts), 4*3*3; got != want {
+		t.Fatalf("bursts = %d, want %d", got, want)
+	}
+	// Strictly increasing per-task start times (permutation-invariance
+	// of the sequence extraction depends on this).
+	last := map[int]int64{}
+	for _, b := range tr.Bursts {
+		if prev, ok := last[b.Task]; ok && b.StartNS <= prev {
+			t.Fatalf("task %d start times not strictly increasing", b.Task)
+		}
+		last[b.Task] = b.StartNS
+		if b.Phase < 1 || b.Phase > 3 {
+			t.Fatalf("burst has phase %d outside [1,3]", b.Phase)
+		}
+	}
+	tr2 := GenTraces(7, "a", 4, 3, 3)
+	for i := range tr.Bursts {
+		if tr.Bursts[i] != tr2.Bursts[i] {
+			t.Fatal("GenTraces is not deterministic")
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package plot
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Golden-file tests pin the exact rendered bytes of every plot kind, SVG
+// and ASCII. The renderers sort all map-derived collections (classes,
+// tasks, cell glyph counts) before emitting, so output is byte-stable; a
+// diff here means the rendering changed, which is worth a deliberate
+// `go test ./internal/plot -run Golden -update` and a review of the new
+// files, never an accident.
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (create with -update): %v", name, err)
+	}
+	if got == string(want) {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			t.Fatalf("%s: first difference at line %d:\n  got:  %q\n  want: %q\n(rerun with -update if the change is intended)",
+				name, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s: output differs from golden (rerun with -update if intended)", name)
+}
+
+// goldenScatter is a tiny hand-built frame: two clusters, noise, log X
+// axis and named legend entries — every scatter feature in one figure.
+func goldenScatter() *Scatter {
+	s := &Scatter{
+		Title:  "golden frame",
+		XLabel: "Instructions",
+		YLabel: "IPC",
+		XLog:   true,
+		ClassNames: map[int]string{
+			1: "compute",
+			2: "halo",
+		},
+	}
+	for i := 0; i < 8; i++ {
+		s.Points = append(s.Points,
+			ScatterPoint{X: 1e6 * (1 + 0.01*float64(i)), Y: 1.4 + 0.005*float64(i), Class: 1},
+			ScatterPoint{X: 4e7 * (1 + 0.01*float64(i)), Y: 0.6 + 0.005*float64(i), Class: 2},
+		)
+	}
+	s.Points = append(s.Points, ScatterPoint{X: 9e6, Y: 1.0, Class: 0})
+	return s
+}
+
+func TestGoldenScatter(t *testing.T) {
+	s := goldenScatter()
+	checkGolden(t, "scatter.svg.golden", s.SVG())
+	checkGolden(t, "scatter.ascii.golden", s.ASCII(60, 16))
+}
+
+func TestGoldenLineChart(t *testing.T) {
+	l := &LineChart{
+		Title:  "golden trend",
+		XLabel: "experiment",
+		YLabel: "IPC",
+		XTicks: []string{"32-tasks", "64-tasks", "128-tasks", "256-tasks"},
+		Series: []Series{
+			{Name: "compute", Class: 1, Y: []float64{1.42, 1.38, 1.31, 1.18}},
+			{Name: "halo", Class: 2, Y: []float64{0.61, 0.58, math.NaN(), 0.44}},
+		},
+	}
+	checkGolden(t, "line.svg.golden", l.SVG())
+	checkGolden(t, "line.ascii.golden", l.ASCII(60, 14))
+}
+
+func TestGoldenTimeline(t *testing.T) {
+	tl := &Timeline{Title: "golden timeline", XLabel: "time (ms)"}
+	for task := 0; task < 4; task++ {
+		off := 0.3 * float64(task)
+		tl.Spans = append(tl.Spans,
+			TimeSpan{Task: task, Start: 0 + off, Class: 1, End: 4 + off},
+			TimeSpan{Task: task, Start: 4 + off, Class: 2, End: 6 + off},
+			TimeSpan{Task: task, Start: 6 + off, Class: 1, End: 10 + off},
+		)
+	}
+	checkGolden(t, "timeline.svg.golden", tl.SVG())
+	checkGolden(t, "timeline.ascii.golden", tl.ASCII(60, 8))
+}
+
+func TestGoldenFilmstrip(t *testing.T) {
+	fs := &Filmstrip{Title: "golden filmstrip", Columns: 2}
+	for f := 0; f < 3; f++ {
+		sc := &Scatter{
+			Title:  fmt.Sprintf("frame %d", f),
+			XLabel: "x",
+			YLabel: "y",
+			Width:  320,
+			Height: 240,
+		}
+		for i := 0; i < 6; i++ {
+			sc.Points = append(sc.Points, ScatterPoint{
+				X:     float64(i) + 0.2*float64(f),
+				Y:     1 + 0.1*float64(i*f),
+				Class: 1 + i%2,
+			})
+		}
+		fs.Frames = append(fs.Frames, sc)
+	}
+	checkGolden(t, "filmstrip.grid.svg.golden", fs.GridSVG())
+	checkGolden(t, "filmstrip.anim.svg.golden", fs.AnimatedSVG())
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perftrack/internal/metrics"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Golden-file tests pin the exact textual artefacts: table rendering and
+// the full study report of a small deterministic catalog study. The
+// simulator and tracker are seed-deterministic and every report builder
+// iterates slices (or sorts map keys) before printing, so the bytes are
+// stable; regenerate deliberately with
+// `go test ./internal/report -run Golden -update` and review the diff.
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (create with -update): %v", name, err)
+	}
+	if got == string(want) {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			t.Fatalf("%s: first difference at line %d:\n  got:  %q\n  want: %q\n(rerun with -update if the change is intended)",
+				name, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s: output differs from golden (rerun with -update if intended)", name)
+}
+
+func goldenTable() *Table {
+	tb := &Table{
+		Title:  "golden demo",
+		Header: []string{"region", "frames", "IPC", "note"},
+	}
+	tb.AddRow("1", "4", "1.42", "compute")
+	tb.AddRow("2", "4", "0.58", "halo exchange")
+	tb.AddRow("3", "2", "0.91")
+	return tb
+}
+
+func TestGoldenTable(t *testing.T) {
+	tb := goldenTable()
+	checkGolden(t, "table.txt.golden", tb.String())
+	checkGolden(t, "table.md.golden", tb.Markdown())
+}
+
+// TestGoldenStudyReport pins the complete report of the shrunken CGPOP
+// study (the same fixture the other report tests use): summary, frame
+// inventory, tracked regions, trend tables, evaluator matrices, relations
+// and the validation score in one artefact.
+func TestGoldenStudyReport(t *testing.T) {
+	sr := miniStudy(t)
+	var sb strings.Builder
+	if err := WriteStudyReport(&sb, sr); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "studyreport.txt.golden", sb.String())
+}
+
+// TestGoldenPaperArtefacts pins the paper-facing builders on the same
+// study: Table 3 (per-frame cluster inventory), the first pair's
+// displacement text, and the IPC trend table rendered as Markdown.
+func TestGoldenPaperArtefacts(t *testing.T) {
+	sr := miniStudy(t)
+	checkGolden(t, "table3.txt.golden", Table3(sr).String())
+	checkGolden(t, "displacement.txt.golden", DisplacementText(sr, 0))
+	checkGolden(t, "trend_ipc.md.golden", TrendTable(sr, metrics.IPC).Markdown())
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Ratcheted coverage gate: fail if aggregate statement coverage drops
+# below the floor. The floor only ever moves up — when coverage rises,
+# raise MIN_COVERAGE to just below the new total so regressions get
+# caught instead of quietly eroding the suite.
+set -eu
+
+MIN_COVERAGE=74.0
+
+cd "$(dirname "$0")/.."
+go test -coverprofile=coverage.out ./... >/dev/null
+total=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+rm -f coverage.out
+
+echo "total statement coverage: ${total}% (floor: ${MIN_COVERAGE}%)"
+ok=$(awk -v t="$total" -v m="$MIN_COVERAGE" 'BEGIN {print (t+0 >= m+0) ? 1 : 0}')
+if [ "$ok" != 1 ]; then
+    echo "coverage ${total}% is below the ratchet floor ${MIN_COVERAGE}%" >&2
+    exit 1
+fi

@@ -1,0 +1,41 @@
+package perftrack
+
+import (
+	"bytes"
+	"testing"
+
+	"perftrack/internal/apps"
+)
+
+// TestOracleSeedSweepDeterminism widens TestStudyDeterminism from one
+// study to a seed sweep: for each of 10 seeds, the full pipeline
+// (simulate → frames → cluster → track → JSON export) runs twice and must
+// produce byte-identical output. Any hidden source of nondeterminism —
+// map iteration reaching the output, scheduling-dependent float merge
+// order, a stray time or rand call — shows up as a diff on some seed.
+func TestOracleSeedSweepDeterminism(t *testing.T) {
+	export := func(seed uint64) []byte {
+		st := apps.Synthetic(apps.SyntheticParams{
+			Seed:       seed,
+			Ranks:      8,
+			Iterations: 3,
+			FrameCount: 3,
+			Phases:     4,
+		})
+		res, err := RunStudy(st)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteResultJSON(&buf, res, DefaultMetrics()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return buf.Bytes()
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		a, b := export(seed), export(seed)
+		if !bytes.Equal(a, b) {
+			t.Errorf("seed %d: two identical runs produced different exports", seed)
+		}
+	}
+}
