@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race oracle sim fuzz-short cover serve-smoke store-smoke check fuzz clean
+.PHONY: all build test vet race oracle sim fuzz-short cover serve-smoke store-smoke check fuzz bench-core bench-compare clean
 
 all: build
 
@@ -62,6 +62,21 @@ cover:
 # race detector, the oracle harness, a short fuzz pass, and the daemon
 # end-to-end smokes.
 check: vet race oracle fuzz-short serve-smoke store-smoke
+
+# bench-core runs the analysis-core microbenchmark suite (clustering, NN,
+# alignment, end-to-end tracking on the largest catalog studies). The
+# committed numbers live in BENCH_core.json.
+bench-core:
+	$(GO) test -run '^$$' -bench BenchmarkCore -benchmem -benchtime 2s ./internal/cluster/ ./internal/align/
+	$(GO) test -run '^$$' -bench BenchmarkCore -benchmem -benchtime 5x -timeout 20m .
+
+# bench-compare reruns the suite briefly and gates on the committed
+# baseline: >15% geometric-mean time regression across the matched
+# benchmarks fails the target (see cmd/benchcmp).
+bench-compare:
+	{ $(GO) test -run '^$$' -bench BenchmarkCore -benchtime 2x ./internal/cluster/ ./internal/align/ && \
+	  $(GO) test -run '^$$' -bench BenchmarkCore -benchtime 2x -timeout 20m .; } | \
+	  $(GO) run ./cmd/benchcmp -baseline BENCH_core.json -tolerance 1.15
 
 # A short fuzzing pass over the trace decoders (lenient + strict + CSV).
 fuzz:

@@ -1,0 +1,131 @@
+// Command benchcmp compares `go test -bench` output on stdin against the
+// committed baseline in a BENCH_*.json file and fails (exit 1) when the
+// geometric-mean time ratio regresses past the tolerance. It is the
+// in-repo replacement for benchstat that `make bench-compare` and CI run:
+// no external dependencies, one deterministic gate.
+//
+//	go test -run '^$' -bench BenchmarkCore ./... | benchcmp -baseline BENCH_core.json
+//
+// Only benchmarks present in the baseline participate; new benchmarks are
+// reported but ignored by the gate. The geomean (rather than a per-bench
+// gate) keeps single-benchmark noise on busy CI machines from tripping the
+// alarm while still catching a real broad regression.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type baselineFile struct {
+	Suite   string `json:"suite"`
+	Results []struct {
+		Name   string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"results"`
+}
+
+// benchLine matches e.g. "BenchmarkCoreNNNearest-8   655   3784987 ns/op ..."
+// (the -N GOMAXPROCS suffix is optional: single-CPU runs omit it).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_core.json", "committed baseline JSON")
+	tolerance := flag.Float64("tolerance", 1.15, "maximum allowed geomean time ratio (current/baseline)")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	baseline := map[string]float64{}
+	for _, r := range base.Results {
+		if r.NsPerOp > 0 {
+			baseline[r.Name] = r.NsPerOp
+		}
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: no usable results in %s\n", *baselinePath)
+		os.Exit(2)
+	}
+
+	current := map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil || ns <= 0 {
+			continue
+		}
+		// Keep the first measurement of each benchmark (later -count runs
+		// of the same name would skew toward warmed caches).
+		if _, seen := current[m[1]]; !seen {
+			current[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var logSum float64
+	matched := 0
+	fmt.Printf("\nbenchcmp vs %s (%s):\n", *baselinePath, base.Suite)
+	for _, name := range names {
+		bn, ok := baseline[name]
+		if !ok {
+			fmt.Printf("  %-40s %12.0f ns/op  (no baseline, ignored)\n", name, current[name])
+			continue
+		}
+		ratio := current[name] / bn
+		logSum += math.Log(ratio)
+		matched++
+		fmt.Printf("  %-40s %12.0f ns/op  baseline %12.0f  ratio %.3f\n", name, current[name], bn, ratio)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmarks matched the baseline")
+		os.Exit(2)
+	}
+	missing := 0
+	for name := range baseline {
+		if _, ok := current[name]; !ok {
+			missing++
+		}
+	}
+	if missing > 0 {
+		fmt.Printf("  (%d baseline benchmark(s) not exercised in this run)\n", missing)
+	}
+	geomean := math.Exp(logSum / float64(matched))
+	fmt.Printf("geomean time ratio over %d benchmarks: %.3f (tolerance %.2f)\n", matched, geomean, *tolerance)
+	if geomean > *tolerance {
+		fmt.Fprintf(os.Stderr, "benchcmp: FAIL — geomean regression %.1f%% exceeds %.1f%%\n",
+			(geomean-1)*100, (*tolerance-1)*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: OK")
+}

@@ -5,9 +5,13 @@
 // Usage:
 //
 //	paperrepro [-out DIR] [-only ID] [-ascii]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // IDs: tab1 tab2 tab3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 // fig11 fig12 (default: everything).
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles covering the
+// whole reproduction run; inspect them with `go tool pprof`.
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"perftrack/internal/metrics"
@@ -27,7 +33,41 @@ func main() {
 	only := flag.String("only", "", "regenerate a single artefact (e.g. fig7, tab2)")
 	ascii := flag.Bool("ascii", false, "also print ASCII renderings of the plots")
 	experiments := flag.String("experiments", "", "write the paper-vs-measured Markdown record to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperrepro: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "paperrepro: cpuprofile:", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperrepro:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the end-of-run live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperrepro: memprofile:", err)
+			}
+		}()
+	}
 
 	if *experiments != "" {
 		if err := writeExperiments(*experiments); err != nil {

@@ -7,6 +7,12 @@
 //	trackd [-addr HOST:PORT] [-workers N] [-queue N] [-timeout D]
 //	       [-cache-entries N] [-cache-bytes N]
 //	       [-store DIR] [-store-segment-bytes N] [-store-sync-every N]
+//	       [-pprof-addr HOST:PORT]
+//
+// -pprof-addr mounts net/http/pprof on a dedicated listener (separate
+// from the service address, so profiling is never exposed to clients);
+// point `go tool pprof` at http://HOST:PORT/debug/pprof/profile or
+// /debug/pprof/heap to profile a live daemon.
 //
 // With -store, every completed analysis is also appended to the perfdb
 // persistent store in DIR: results survive daemon restarts (cache misses
@@ -27,6 +33,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // pprof handlers for the -pprof-addr listener
 	"os"
 	"os/signal"
 	"runtime"
@@ -48,6 +55,7 @@ func main() {
 		storeDir     = flag.String("store", "", "perfdb directory; empty disables the persistent result store")
 		storeSegment = flag.Int64("store-segment-bytes", 0, "perfdb segment size bound (0 = default 64 MiB)")
 		storeSync    = flag.Int("store-sync-every", 0, "perfdb fsync batch size (0 = default 8, 1 = every append)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -72,6 +80,24 @@ func main() {
 	if *storeDir != "" {
 		st := srv.Store().Stats()
 		log.Printf("trackd: perfdb open at %s: %d records, %d segments, %d bytes", *storeDir, st.Records, st.Segments, st.Bytes)
+	}
+
+	// The profiling endpoint lives on its OWN listener, never the service
+	// one: pprof exposes heap contents and must not ride along on an
+	// address that might be reachable by clients.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("trackd: pprof listen %s: %v", *pprofAddr, err)
+		}
+		log.Printf("trackd: pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			// http.DefaultServeMux carries the net/http/pprof handlers
+			// registered by the blank import.
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("trackd: pprof serve: %v", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -7,7 +7,9 @@ package align
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Gap is the symbol used for gaps in aligned sequences.
@@ -23,69 +25,6 @@ type Scoring struct {
 // DefaultScoring rewards identity and mildly penalises mismatch and gaps,
 // which suits highly repetitive SPMD phase sequences.
 func DefaultScoring() Scoring { return Scoring{Match: 2, Mismatch: -1, GapOpen: -1} }
-
-// Pairwise globally aligns a and b, returning the aligned sequences padded
-// with Gap and the alignment score. Symbols are arbitrary non-negative
-// integers (cluster ids).
-func Pairwise(a, b []int, sc Scoring) (alignedA, alignedB []int, score float64) {
-	n, m := len(a), len(b)
-	// Dynamic programming table, (n+1) x (m+1).
-	cols := m + 1
-	dp := make([]float64, (n+1)*cols)
-	// back: 0 diag, 1 up (gap in b), 2 left (gap in a)
-	back := make([]uint8, (n+1)*cols)
-	for i := 1; i <= n; i++ {
-		dp[i*cols] = float64(i) * sc.GapOpen
-		back[i*cols] = 1
-	}
-	for j := 1; j <= m; j++ {
-		dp[j] = float64(j) * sc.GapOpen
-		back[j] = 2
-	}
-	for i := 1; i <= n; i++ {
-		for j := 1; j <= m; j++ {
-			sub := sc.Mismatch
-			if a[i-1] == b[j-1] {
-				sub = sc.Match
-			}
-			diag := dp[(i-1)*cols+j-1] + sub
-			up := dp[(i-1)*cols+j] + sc.GapOpen
-			left := dp[i*cols+j-1] + sc.GapOpen
-			best, dir := diag, uint8(0)
-			if up > best {
-				best, dir = up, 1
-			}
-			if left > best {
-				best, dir = left, 2
-			}
-			dp[i*cols+j] = best
-			back[i*cols+j] = dir
-		}
-	}
-	// Traceback.
-	i, j := n, m
-	var ra, rb []int
-	for i > 0 || j > 0 {
-		switch back[i*cols+j] {
-		case 0:
-			ra = append(ra, a[i-1])
-			rb = append(rb, b[j-1])
-			i--
-			j--
-		case 1:
-			ra = append(ra, a[i-1])
-			rb = append(rb, Gap)
-			i--
-		default:
-			ra = append(ra, Gap)
-			rb = append(rb, b[j-1])
-			j--
-		}
-	}
-	reverse(ra)
-	reverse(rb)
-	return ra, rb, dp[n*cols+m]
-}
 
 func reverse(s []int) {
 	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
@@ -142,7 +81,7 @@ func Star(seqs [][]int, sc Scoring) *Alignment {
 	}
 	all := make([]aligned, len(seqs))
 	maxIns := make([]int, len(c)+1) // insertions before position p (p==len(c): suffix)
-	for k, s := range seqs {
+	alignOne := func(k int) {
 		var a aligned
 		a.atPos = make([][]int, len(c)+1)
 		a.match = make([]int, len(c))
@@ -154,9 +93,9 @@ func Star(seqs [][]int, sc Scoring) *Alignment {
 				a.match[i] = sym
 			}
 			all[k] = a
-			continue
+			return
 		}
-		ra, rb, _ := Pairwise(c, s, sc)
+		ra, rb, _ := Pairwise(c, seqs[k], sc)
 		pos := 0 // next centre position
 		for t := range ra {
 			switch {
@@ -170,6 +109,31 @@ func Star(seqs [][]int, sc Scoring) *Alignment {
 			}
 		}
 		all[k] = a
+	}
+	// The per-sequence alignments are independent and each writes only its
+	// own all[k] slot, so the result is identical regardless of schedule;
+	// run them across a bounded worker pool.
+	if workers := min(runtime.GOMAXPROCS(0), len(seqs)); workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range next {
+					alignOne(k)
+				}
+			}()
+		}
+		for k := range seqs {
+			next <- k
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for k := range seqs {
+			alignOne(k)
+		}
 	}
 	for _, a := range all {
 		for p, ins := range a.atPos {

@@ -1,0 +1,56 @@
+package align
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// Core microbenchmarks for the alignment kernels on SPMD-shaped phase
+// streams: long, highly repetitive sequences with occasional dropped or
+// duplicated phases, which is exactly what the sequence evaluator and the
+// star alignment chew on. Part of the BenchmarkCore suite recorded in
+// BENCH_core.json.
+
+// benchSeq emits a phase stream: iterations of the pattern 1..phases with
+// a small chance of dropping or doubling a phase.
+func benchSeq(length, phases int, seed uint64) []int {
+	rng := rand.New(rand.NewPCG(seed, 0xa119))
+	s := make([]int, 0, length)
+	for len(s) < length {
+		for p := 1; p <= phases && len(s) < length; p++ {
+			r := rng.Float64()
+			switch {
+			case r < 0.03: // dropped phase
+			case r < 0.06: // doubled phase
+				s = append(s, p, p)
+			default:
+				s = append(s, p)
+			}
+		}
+	}
+	return s
+}
+
+func BenchmarkCoreAlignPairwise(b *testing.B) {
+	a := benchSeq(2000, 6, 1)
+	c := benchSeq(2000, 6, 2)
+	sc := DefaultScoring()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pairwise(a, c, sc)
+	}
+}
+
+func BenchmarkCoreAlignStar(b *testing.B) {
+	seqs := make([][]int, 32)
+	for k := range seqs {
+		seqs[k] = benchSeq(300, 6, uint64(k))
+	}
+	sc := DefaultScoring()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Star(seqs, sc)
+	}
+}

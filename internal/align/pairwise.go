@@ -1,0 +1,331 @@
+package align
+
+import "sync"
+
+// Needleman–Wunsch with Hirschberg-style divide-and-conquer traceback.
+//
+// The historical implementation materialised the full (n+1)×(m+1) score
+// matrix plus a byte of back-pointer per cell — ~36 MB for a pair of
+// 2000-symbol task sequences — to recover one alignment path. This version
+// keeps O(n+m) live memory: a two-row forward score pass that also tracks,
+// for every cell of the active row, the column where the back-pointer path
+// from that cell crosses the middle row. That crossing column is the exact
+// cell the historical traceback would have walked through, so splitting
+// there and recursing on the two halves reproduces the historical
+// alignment move for move — not merely *an* optimal alignment, but *the*
+// canonical one — which the golden-byte suites downstream pin.
+//
+// Why the recursion is exact (and not just optimal):
+//
+//   - Back pointers depend only on score-matrix prefixes, so the top
+//     subproblem's matrix is a restriction of the global one and its
+//     traceback from (mid, jc) IS the global path segment.
+//   - For the bottom subproblem, every cell satisfies D'(i',j') ≤
+//     D(i,j) − D(mid,jc), with equality exactly on global-path cells
+//     (any subproblem path extends through (mid,jc) to a global path).
+//     At a path cell the globally chosen predecessor is itself a path
+//     cell (equality), while the other two candidates sit at or below
+//     their global values; the preference order diag > up > left breaks
+//     the only possible tie — on diag — identically in both tables. By
+//     induction from (n,m) the bottom traceback follows the same moves.
+//
+// The returned score is reproduced bit-for-bit by re-walking the final
+// path with the same arithmetic the matrix recurrence used (boundary
+// cells are i·gap products, interior cells left-associated sums), so
+// callers see the exact float the historical dp[n][m] held.
+
+// maxBaseArea bounds the full-matrix base case of the recursion: small
+// enough to stay cache-resident (~128 KiB of scores + 16 KiB of pointers),
+// large enough to amortise recursion overhead.
+const maxBaseArea = 16384
+
+// Row buffers are pooled: Star fires many pairwise alignments in a row
+// (concurrently, see Star), and steady-state none of them should grow the
+// heap.
+var (
+	rowPool  = sync.Pool{New: func() any { return new([]float64) }}
+	intPool  = sync.Pool{New: func() any { return new([]int) }}
+	bytePool = sync.Pool{New: func() any { return new([]uint8) }}
+)
+
+func getRow(n int) (*[]float64, []float64) {
+	p := rowPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	return p, (*p)[:n]
+}
+
+func getInts(n int) (*[]int, []int) {
+	p := intPool.Get().(*[]int)
+	if cap(*p) < n {
+		*p = make([]int, n)
+	}
+	return p, (*p)[:n]
+}
+
+func getBytes(n int) (*[]uint8, []uint8) {
+	p := bytePool.Get().(*[]uint8)
+	if cap(*p) < n {
+		*p = make([]uint8, n)
+	}
+	return p, (*p)[:n]
+}
+
+// Pairwise globally aligns a and b, returning the aligned sequences padded
+// with Gap and the alignment score. Symbols are arbitrary non-negative
+// integers (cluster ids). The alignment and score are identical to the
+// full-matrix reference (see pairwiseFull and the differential test).
+func Pairwise(a, b []int, sc Scoring) (alignedA, alignedB []int, score float64) {
+	n, m := len(a), len(b)
+	ra := make([]int, 0, n+m)
+	rb := make([]int, 0, n+m)
+	ra, rb = alignRec(a, b, sc, ra, rb)
+	return ra, rb, rescore(ra, rb, sc)
+}
+
+// alignRec appends the canonical alignment of a vs b to (ra, rb).
+func alignRec(a, b []int, sc Scoring, ra, rb []int) ([]int, []int) {
+	n, m := len(a), len(b)
+	if n <= 1 || m <= 1 || (n+1)*(m+1) <= maxBaseArea {
+		return alignBase(a, b, sc, ra, rb)
+	}
+	mid := n / 2
+	jc := splitColumn(a, b, sc, mid)
+	ra, rb = alignRec(a[:mid], b[:jc], sc, ra, rb)
+	return alignRec(a[mid:], b[jc:], sc, ra, rb)
+}
+
+// splitColumn runs the two-row forward pass and returns the column where
+// the canonical traceback path of the full problem crosses row mid: for
+// every cell of the active row it tracks the crossing column of the
+// back-pointer path from that cell, seeded with the identity at row mid.
+func splitColumn(a, b []int, sc Scoring, mid int) int {
+	n, m := len(a), len(b)
+	pPrev, prev := getRow(m + 1)
+	pCurr, curr := getRow(m + 1)
+	pXPrev, xPrev := getInts(m + 1)
+	pXCurr, xCurr := getInts(m + 1)
+	defer func() {
+		rowPool.Put(pPrev)
+		rowPool.Put(pCurr)
+		intPool.Put(pXPrev)
+		intPool.Put(pXCurr)
+	}()
+	for j := 0; j <= m; j++ {
+		prev[j] = float64(j) * sc.GapOpen
+	}
+	gap := sc.GapOpen
+	// Rows 1..mid: plain score pass, no crossing bookkeeping yet.
+	for i := 1; i <= mid; i++ {
+		curr[0] = float64(i) * gap
+		ai := a[i-1]
+		for j := 1; j <= m; j++ {
+			sub := sc.Mismatch
+			if ai == b[j-1] {
+				sub = sc.Match
+			}
+			best := prev[j-1] + sub
+			if up := prev[j] + gap; up > best {
+				best = up
+			}
+			if left := curr[j-1] + gap; left > best {
+				best = left
+			}
+			curr[j] = best
+		}
+		prev, curr = curr, prev
+	}
+	for j := 0; j <= m; j++ {
+		xPrev[j] = j // the path crosses row mid where it stands
+	}
+	// Rows mid+1..n: carry the crossing column along the back pointers.
+	for i := mid + 1; i <= n; i++ {
+		curr[0] = float64(i) * gap
+		xCurr[0] = xPrev[0] // boundary cells point up
+		ai := a[i-1]
+		for j := 1; j <= m; j++ {
+			sub := sc.Mismatch
+			if ai == b[j-1] {
+				sub = sc.Match
+			}
+			best, x := prev[j-1]+sub, xPrev[j-1]
+			if up := prev[j] + gap; up > best {
+				best, x = up, xPrev[j]
+			}
+			if left := curr[j-1] + gap; left > best {
+				best, x = left, xCurr[j-1]
+			}
+			curr[j] = best
+			xCurr[j] = x
+		}
+		prev, curr = curr, prev
+		xPrev, xCurr = xCurr, xPrev
+	}
+	return xPrev[m]
+}
+
+// alignBase is the full-matrix base case: the historical algorithm over a
+// pooled matrix, appending its traceback to (ra, rb).
+func alignBase(a, b []int, sc Scoring, ra, rb []int) ([]int, []int) {
+	n, m := len(a), len(b)
+	cols := m + 1
+	pdp, dp := getRow((n + 1) * cols)
+	pback, back := getBytes((n + 1) * cols)
+	defer func() {
+		rowPool.Put(pdp)
+		bytePool.Put(pback)
+	}()
+	dp[0] = 0
+	back[0] = 0
+	for i := 1; i <= n; i++ {
+		dp[i*cols] = float64(i) * sc.GapOpen
+		back[i*cols] = 1
+	}
+	for j := 1; j <= m; j++ {
+		dp[j] = float64(j) * sc.GapOpen
+		back[j] = 2
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			sub := sc.Mismatch
+			if a[i-1] == b[j-1] {
+				sub = sc.Match
+			}
+			diag := dp[(i-1)*cols+j-1] + sub
+			up := dp[(i-1)*cols+j] + sc.GapOpen
+			left := dp[i*cols+j-1] + sc.GapOpen
+			best, dir := diag, uint8(0)
+			if up > best {
+				best, dir = up, 1
+			}
+			if left > best {
+				best, dir = left, 2
+			}
+			dp[i*cols+j] = best
+			back[i*cols+j] = dir
+		}
+	}
+	start := len(ra)
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch back[i*cols+j] {
+		case 0:
+			ra = append(ra, a[i-1])
+			rb = append(rb, b[j-1])
+			i--
+			j--
+		case 1:
+			ra = append(ra, a[i-1])
+			rb = append(rb, Gap)
+			i--
+		default:
+			ra = append(ra, Gap)
+			rb = append(rb, b[j-1])
+			j--
+		}
+	}
+	reverse(ra[start:])
+	reverse(rb[start:])
+	return ra, rb
+}
+
+// rescore walks an alignment forward and reproduces the exact float the
+// full-matrix dp[n][m] would hold: matrix boundary cells are i·gap
+// PRODUCTS while interior cells are left-associated running SUMS, so the
+// walk tracks its (i, j) position and switches arithmetic accordingly.
+// For integer scorings the distinction is moot (both are exact); for
+// fractional ones it is what keeps the score bit-identical.
+func rescore(ra, rb []int, sc Scoring) float64 {
+	var v float64
+	i, j := 0, 0
+	for t := range ra {
+		var inc float64
+		switch {
+		case ra[t] == Gap || rb[t] == Gap:
+			inc = sc.GapOpen
+			if ra[t] == Gap {
+				j++
+			} else {
+				i++
+			}
+		case ra[t] == rb[t]:
+			inc = sc.Match
+			i++
+			j++
+		default:
+			inc = sc.Mismatch
+			i++
+			j++
+		}
+		switch {
+		case j == 0:
+			v = float64(i) * sc.GapOpen
+		case i == 0:
+			v = float64(j) * sc.GapOpen
+		default:
+			v += inc
+		}
+	}
+	return v
+}
+
+// pairwiseFull is the historical full-matrix implementation, retained
+// verbatim as the reference the divide-and-conquer Pairwise is
+// differentially tested against (see pairwise_differential_test.go).
+func pairwiseFull(a, b []int, sc Scoring) (alignedA, alignedB []int, score float64) {
+	n, m := len(a), len(b)
+	cols := m + 1
+	dp := make([]float64, (n+1)*cols)
+	back := make([]uint8, (n+1)*cols)
+	for i := 1; i <= n; i++ {
+		dp[i*cols] = float64(i) * sc.GapOpen
+		back[i*cols] = 1
+	}
+	for j := 1; j <= m; j++ {
+		dp[j] = float64(j) * sc.GapOpen
+		back[j] = 2
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			sub := sc.Mismatch
+			if a[i-1] == b[j-1] {
+				sub = sc.Match
+			}
+			diag := dp[(i-1)*cols+j-1] + sub
+			up := dp[(i-1)*cols+j] + sc.GapOpen
+			left := dp[i*cols+j-1] + sc.GapOpen
+			best, dir := diag, uint8(0)
+			if up > best {
+				best, dir = up, 1
+			}
+			if left > best {
+				best, dir = left, 2
+			}
+			dp[i*cols+j] = best
+			back[i*cols+j] = dir
+		}
+	}
+	i, j := n, m
+	var ra, rb []int
+	for i > 0 || j > 0 {
+		switch back[i*cols+j] {
+		case 0:
+			ra = append(ra, a[i-1])
+			rb = append(rb, b[j-1])
+			i--
+			j--
+		case 1:
+			ra = append(ra, a[i-1])
+			rb = append(rb, Gap)
+			i--
+		default:
+			ra = append(ra, Gap)
+			rb = append(rb, b[j-1])
+			j--
+		}
+	}
+	reverse(ra)
+	reverse(rb)
+	return ra, rb, dp[n*cols+m]
+}

@@ -1,0 +1,137 @@
+package align
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// The divide-and-conquer Pairwise must reproduce the historical
+// full-matrix implementation EXACTLY — the same aligned sequences (not
+// merely equally-scoring ones) and the bit-identical score — because the
+// golden-byte suites downstream (report/plot goldens, seed sweeps) pin
+// artifacts derived from the precise gap placement. pairwiseFull is the
+// historical code retained verbatim; these tests drive both across the
+// kinds of inputs the pipeline produces plus adversarial shapes.
+
+func diffCheck(t *testing.T, a, b []int, sc Scoring) {
+	t.Helper()
+	wantA, wantB, wantScore := pairwiseFull(a, b, sc)
+	gotA, gotB, gotScore := Pairwise(a, b, sc)
+	if math.Float64bits(gotScore) != math.Float64bits(wantScore) {
+		t.Fatalf("score mismatch: got %v want %v (a=%v b=%v sc=%+v)", gotScore, wantScore, a, b, sc)
+	}
+	if !reflect.DeepEqual(pad(gotA), pad(wantA)) || !reflect.DeepEqual(pad(gotB), pad(wantB)) {
+		t.Fatalf("alignment path mismatch:\n got A=%v\nwant A=%v\n got B=%v\nwant B=%v\n(a=%v b=%v sc=%+v)",
+			gotA, wantA, gotB, wantB, a, b, sc)
+	}
+}
+
+// pad maps nil to the empty slice so DeepEqual compares contents.
+func pad(s []int) []int {
+	if s == nil {
+		return []int{}
+	}
+	return s
+}
+
+func diffSeq(rng *rand.Rand, n, alphabet int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = rng.IntN(alphabet)
+	}
+	return s
+}
+
+func TestPairwiseMatchesFullMatrixRandom(t *testing.T) {
+	scorings := []Scoring{
+		DefaultScoring(),
+		{Match: 1, Mismatch: -2, GapOpen: -3},
+		{Match: 3, Mismatch: 0, GapOpen: -1},
+		{Match: 2, Mismatch: -2, GapOpen: -2},
+	}
+	for seed := uint64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0xd1ff))
+		// Lengths straddle the base-case cutoff so recursion depth varies,
+		// small alphabets force dense score ties.
+		n := rng.IntN(220)
+		m := rng.IntN(220)
+		alphabet := 1 + rng.IntN(4)
+		a := diffSeq(rng, n, alphabet)
+		b := diffSeq(rng, m, alphabet)
+		sc := scorings[seed%uint64(len(scorings))]
+		diffCheck(t, a, b, sc)
+	}
+}
+
+func TestPairwiseMatchesFullMatrixRepetitive(t *testing.T) {
+	// SPMD-shaped inputs: near-identical periodic phase streams, the
+	// worst case for tie density (every period offset scores the same).
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0x5e9))
+		period := 1 + rng.IntN(6)
+		n := 150 + rng.IntN(200)
+		mk := func() []int {
+			s := make([]int, 0, n)
+			for len(s) < n {
+				for p := 0; p < period && len(s) < n; p++ {
+					switch r := rng.Float64(); {
+					case r < 0.05: // drop
+					case r < 0.10:
+						s = append(s, p, p) // double
+					default:
+						s = append(s, p)
+					}
+				}
+			}
+			return s
+		}
+		diffCheck(t, mk(), mk(), DefaultScoring())
+	}
+}
+
+func TestPairwiseMatchesFullMatrixEdges(t *testing.T) {
+	sc := DefaultScoring()
+	cases := [][2][]int{
+		{nil, nil},
+		{{1, 2, 3}, nil},
+		{nil, {1, 2, 3}},
+		{{1}, {1}},
+		{{1}, {2}},
+		{{1, 1, 1, 1}, {1, 1}},
+		{{0, 0, 0}, {0, 0, 0, 0, 0, 0, 0}},
+	}
+	for _, c := range cases {
+		diffCheck(t, c[0], c[1], sc)
+	}
+	// All-equal and all-distinct long inputs exercise degenerate
+	// traceback shapes across multiple recursion levels.
+	eq := make([]int, 300)
+	diffCheck(t, eq, eq[:211], sc)
+	asc := make([]int, 300)
+	desc := make([]int, 250)
+	for i := range asc {
+		asc[i] = i
+	}
+	for i := range desc {
+		desc[i] = 10_000 + i
+	}
+	diffCheck(t, asc, desc, sc)
+}
+
+func FuzzPairwiseDifferential(f *testing.F) {
+	f.Add(uint64(1), 50, 60, 3)
+	f.Add(uint64(7), 130, 5, 2)
+	f.Add(uint64(9), 0, 40, 1)
+	f.Fuzz(func(t *testing.T, seed uint64, n, m, alphabet int) {
+		if n < 0 || m < 0 || n > 300 || m > 300 {
+			t.Skip()
+		}
+		if alphabet < 1 || alphabet > 8 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewPCG(seed, 0xf0))
+		diffCheck(t, diffSeq(rng, n, alphabet), diffSeq(rng, m, alphabet), DefaultScoring())
+	})
+}

@@ -138,104 +138,21 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
-// gridIndex buckets points of the unit hypercube into cells of side eps so
-// that an eps-neighbourhood query only inspects the 3^d adjacent cells.
-type gridIndex struct {
-	eps    float64
-	dims   int
-	cells  map[string][]int
-	points [][]float64
-	// cellMin/cellMax bound the populated cell coordinates per dimension;
-	// the NN ring search uses them to cap its sweep at the ring that
-	// covers the whole index instead of guessing with a magic radius.
-	cellMin, cellMax []int
-}
-
-func newGridIndex(points [][]float64, eps float64) *gridIndex {
-	g := &gridIndex{eps: eps, cells: map[string][]int{}, points: points}
-	if len(points) > 0 {
-		g.dims = len(points[0])
-	}
-	g.cellMin = make([]int, g.dims)
-	g.cellMax = make([]int, g.dims)
-	for i, p := range points {
-		c := g.coord(p)
-		for d, v := range c {
-			if i == 0 || v < g.cellMin[d] {
-				g.cellMin[d] = v
-			}
-			if i == 0 || v > g.cellMax[d] {
-				g.cellMax[d] = v
-			}
-		}
-		k := g.keyOf(c)
-		g.cells[k] = append(g.cells[k], i)
-	}
-	return g
-}
-
-func (g *gridIndex) coord(p []float64) []int {
-	c := make([]int, g.dims)
-	for d := 0; d < g.dims; d++ {
-		c[d] = int(math.Floor(p[d] / g.eps))
-	}
-	return c
-}
-
-func (g *gridIndex) keyOf(c []int) string {
-	// Small fixed-size encoding; cells are few (1/eps per dim).
-	b := make([]byte, 0, g.dims*5)
-	for _, v := range c {
-		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v), ':')
-	}
-	return string(b)
-}
-
-func (g *gridIndex) key(p []float64) string { return g.keyOf(g.coord(p)) }
-
-// neighbors returns the indices of all points within eps of q (including q
-// itself when q is an indexed point).
-func (g *gridIndex) neighbors(q []float64) []int {
-	base := g.coord(q)
-	eps2 := g.eps * g.eps
-	var out []int
-	// Enumerate the 3^dims adjacent cells.
-	offsets := make([]int, g.dims)
-	for i := range offsets {
-		offsets[i] = -1
-	}
-	cell := make([]int, g.dims)
-	for {
-		for d := 0; d < g.dims; d++ {
-			cell[d] = base[d] + offsets[d]
-		}
-		for _, idx := range g.cells[g.keyOf(cell)] {
-			if sqDist(g.points[idx], q) <= eps2 {
-				out = append(out, idx)
-			}
-		}
-		// Advance the offset odometer.
-		d := 0
-		for ; d < g.dims; d++ {
-			offsets[d]++
-			if offsets[d] <= 1 {
-				break
-			}
-			offsets[d] = -1
-		}
-		if d == g.dims {
-			break
-		}
-	}
-	return out
-}
-
 // DBSCAN labels points (already normalised to comparable scales) with the
 // classic density-based algorithm. It returns 1-based cluster ids with
 // Noise (0) for outliers. Deterministic: clusters are discovered in point
 // order, so identical input yields identical labels.
 func DBSCAN(points [][]float64, eps float64, minPts int) []int {
-	labels, _ := dbscan(points, eps, minPts, nil)
+	x, dims := flatten(points)
+	labels, _ := dbscanFlat(x, dims, eps, minPts, nil)
+	return labels
+}
+
+// DBSCANFlat is DBSCAN over strided flat storage: point i occupies
+// x[i*dims:(i+1)*dims]. It is the allocation-lean path the pipeline uses
+// so bursts are not re-boxed at package boundaries.
+func DBSCANFlat(x []float64, dims int, eps float64, minPts int) []int {
+	labels, _ := dbscanFlat(x, dims, eps, minPts, nil)
 	return labels
 }
 
@@ -244,11 +161,16 @@ func DBSCAN(points [][]float64, eps float64, minPts int) []int {
 // enough to stay invisible in profiles.
 const interruptEvery = 1024
 
-// dbscan is DBSCAN with an optional interrupt hook polled every
-// interruptEvery neighbourhood expansions, so a cancelled job stops
-// mid-cluster instead of finishing the whole frame.
-func dbscan(points [][]float64, eps float64, minPts int, interrupt func() error) ([]int, error) {
-	n := len(points)
+// dbscanFlat is DBSCAN over strided flat storage with an optional
+// interrupt hook polled every interruptEvery neighbourhood expansions, so
+// a cancelled job stops mid-cluster instead of finishing the whole frame.
+// The neighbour and queue buffers are reused across every expansion of
+// the run, so the steady state allocates nothing per query.
+func dbscanFlat(x []float64, dims int, eps float64, minPts int, interrupt func() error) ([]int, error) {
+	n := 0
+	if dims > 0 {
+		n = len(x) / dims
+	}
 	labels := make([]int, n)
 	if n == 0 {
 		return labels, nil
@@ -258,7 +180,7 @@ func dbscan(points [][]float64, eps float64, minPts int, interrupt func() error)
 		noiseMark = -1
 	)
 	state := make([]int, n) // 0 unvisited, -1 noise, >0 cluster id
-	g := newGridIndex(points, eps)
+	g := newGridIndexFlat(x, dims, eps)
 	next := 0
 	work := 0
 	poll := func() error {
@@ -271,6 +193,7 @@ func dbscan(points [][]float64, eps float64, minPts int, interrupt func() error)
 		}
 		return interrupt()
 	}
+	neigh := make([]int, 0, 64)
 	var queue []int
 	for i := 0; i < n; i++ {
 		if state[i] != unvisited {
@@ -279,19 +202,20 @@ func dbscan(points [][]float64, eps float64, minPts int, interrupt func() error)
 		if err := poll(); err != nil {
 			return nil, err
 		}
-		neigh := g.neighbors(points[i])
+		neigh = g.neighbors(g.point(int32(i)), neigh)
 		if len(neigh) < minPts {
 			state[i] = noiseMark
 			continue
 		}
 		next++
 		state[i] = next
-		queue = append(queue[:0], neigh...)
-		for qi := 0; qi < len(queue); qi++ {
-			if err := poll(); err != nil {
-				return nil, err
-			}
-			j := queue[qi]
+		// Labelling happens at ENQUEUE time so each cluster member enters
+		// the queue at most once; a member queued here is dequeued exactly
+		// once for its own expansion check. Dequeue-time labelling (the
+		// textbook formulation) admits O(members·degree) duplicate queue
+		// entries on dense data — identical labels, far more queue traffic.
+		queue = queue[:0]
+		for _, j := range neigh {
 			if state[j] == noiseMark {
 				state[j] = next // border point adopted by the cluster
 				continue
@@ -300,9 +224,27 @@ func dbscan(points [][]float64, eps float64, minPts int, interrupt func() error)
 				continue
 			}
 			state[j] = next
-			jn := g.neighbors(points[j])
-			if len(jn) >= minPts {
-				queue = append(queue, jn...)
+			queue = append(queue, j)
+		}
+		for qi := 0; qi < len(queue); qi++ {
+			if err := poll(); err != nil {
+				return nil, err
+			}
+			j := queue[qi]
+			neigh = g.neighbors(g.point(int32(j)), neigh)
+			if len(neigh) < minPts {
+				continue // border point: adopted, never expanded
+			}
+			for _, k := range neigh {
+				if state[k] == noiseMark {
+					state[k] = next
+					continue
+				}
+				if state[k] != unvisited {
+					continue
+				}
+				state[k] = next
+				queue = append(queue, k)
 			}
 		}
 	}
@@ -321,7 +263,17 @@ func dbscan(points [][]float64, eps float64, minPts int, interrupt func() error)
 // percentile of that distribution, which approximates the knee of the
 // sorted k-dist curve.
 func EstimateEps(points [][]float64, k int) float64 {
-	n := len(points)
+	x, dims := flatten(points)
+	return estimateEpsFlat(x, dims, k)
+}
+
+// estimateEpsFlat is EstimateEps over strided flat storage, with the same
+// sampling, accumulation order and percentile arithmetic (bit-exact).
+func estimateEpsFlat(x []float64, dims, k int) float64 {
+	n := 0
+	if dims > 0 {
+		n = len(x) / dims
+	}
 	if n == 0 {
 		return 0.05
 	}
@@ -344,11 +296,12 @@ func EstimateEps(points [][]float64, k int) float64 {
 	dists := make([]float64, 0, n)
 	for i := 0; i < n; i += step {
 		dists = dists[:0]
+		pi := x[i*dims : (i+1)*dims]
 		for j := 0; j < n; j++ {
 			if j == i {
 				continue
 			}
-			dists = append(dists, sqDist(points[i], points[j]))
+			dists = append(dists, sqDist(pi, x[j*dims:(j+1)*dims]))
 		}
 		sort.Float64s(dists)
 		kd = append(kd, math.Sqrt(dists[k-1]))
@@ -376,21 +329,36 @@ func Run(points [][]float64, weights []float64, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("cluster: point %d has %d dims, want %d", i, len(p), dims)
 		}
 	}
+	x, _ := flatten(points)
+	return RunFlat(x, dims, weights, cfg)
+}
+
+// RunFlat is Run over strided flat storage: point i occupies
+// x[i*dims:(i+1)*dims]. The pipeline feeds frames through this entry so
+// burst coordinates stay in one cache-friendly backing array end to end.
+func RunFlat(x []float64, dims int, weights []float64, cfg Config) (*Result, error) {
+	if len(x) == 0 {
+		return &Result{}, nil
+	}
+	if dims <= 0 || len(x)%dims != 0 {
+		return nil, fmt.Errorf("cluster: flat storage of %d values is not a multiple of %d dims", len(x), dims)
+	}
+	n := len(x) / dims
 	switch cfg.Algorithm {
 	case "", AlgoDBSCAN:
 		// Fall through to the density-based path below.
 	case AlgoKMeans:
-		return RunKMeans(points, weights, cfg, 1)
+		return RunKMeans(boxRows(x, dims), weights, cfg, 1)
 	default:
 		return nil, fmt.Errorf("cluster: unknown algorithm %q", cfg.Algorithm)
 	}
-	normed, _, _ := Normalize(points)
+	normed := normalizeFlat(x, dims)
 	eps := cfg.Eps
 	if eps <= 0 {
-		eps = EstimateEps(normed, cfg.minPts(len(points)))
+		eps = estimateEpsFlat(normed, dims, cfg.minPts(n))
 	}
-	minPts := cfg.minPts(len(points))
-	labels, err := dbscan(normed, eps, minPts, cfg.Interrupt)
+	minPts := cfg.minPts(n)
+	labels, err := dbscanFlat(normed, dims, eps, minPts, cfg.Interrupt)
 	if err != nil {
 		return nil, err
 	}
@@ -398,6 +366,57 @@ func Run(points [][]float64, weights []float64, cfg Config) (*Result, error) {
 	res := &Result{Labels: labels, Eps: eps, MinPts: minPts}
 	relabelByWeight(res, weights, cfg)
 	return res, nil
+}
+
+// boxRows builds a [][]float64 view whose rows alias the flat backing
+// array — no per-point copying, just slice headers.
+func boxRows(x []float64, dims int) [][]float64 {
+	if dims <= 0 {
+		return nil
+	}
+	n := len(x) / dims
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = x[i*dims : (i+1)*dims : (i+1)*dims]
+	}
+	return rows
+}
+
+// normalizeFlat is Normalize over flat storage, returning a fresh flat
+// array with every dimension min–max-scaled into [0,1] (degenerate
+// dimensions map to 0.5), with the same arithmetic as Normalize.
+func normalizeFlat(x []float64, dims int) []float64 {
+	n := len(x) / dims
+	mins := make([]float64, dims)
+	maxs := make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		mins[d] = math.Inf(1)
+		maxs[d] = math.Inf(-1)
+	}
+	for i := 0; i < n; i++ {
+		for d := 0; d < dims; d++ {
+			v := x[i*dims+d]
+			if v < mins[d] {
+				mins[d] = v
+			}
+			if v > maxs[d] {
+				maxs[d] = v
+			}
+		}
+	}
+	out := make([]float64, len(x))
+	for i := 0; i < n; i++ {
+		for d := 0; d < dims; d++ {
+			v := x[i*dims+d]
+			w := maxs[d] - mins[d]
+			if w <= 0 {
+				out[i*dims+d] = 0.5
+			} else {
+				out[i*dims+d] = (v - mins[d]) / w
+			}
+		}
+	}
+	return out
 }
 
 // relabelByWeight renumbers clusters 1..K by decreasing total weight and

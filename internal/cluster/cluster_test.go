@@ -138,7 +138,7 @@ func TestGridNeighborsMatchBruteForce(t *testing.T) {
 	for qi := 0; qi < 50; qi++ {
 		q := pts[qi*5]
 		got := map[int]bool{}
-		for _, i := range g.neighbors(q) {
+		for _, i := range g.neighbors(q, nil) {
 			got[i] = true
 		}
 		for i, p := range pts {

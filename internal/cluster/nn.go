@@ -6,10 +6,13 @@ import "math"
 // The tracking displacement evaluator cross-classifies every burst of one
 // frame to its nearest clustered burst of the next, which would be O(n²)
 // with linear scans; the ring-expanding grid search keeps it near O(n) for
-// the dense, normalised frames we operate on.
+// the dense, normalised frames we operate on. Points live in one strided
+// []float64 and cells carry packed integer keys, so a query touches no
+// allocator and no string hashing — Nearest is allocation-free for up to
+// maxStackDims dimensions (asserted by testing.AllocsPerRun in
+// alloc_test.go).
 type NN struct {
-	grid   *gridIndex
-	points [][]float64
+	grid *gridIndex
 }
 
 // NewNN builds an index over points (expected to be normalised to roughly
@@ -17,14 +20,22 @@ type NN struct {
 // typical nearest-neighbour distance work well. Non-positive cells default
 // to 0.05.
 func NewNN(points [][]float64, cell float64) *NN {
+	x, dims := flatten(points)
+	return NewNNFlat(x, dims, cell)
+}
+
+// NewNNFlat builds the index directly over strided flat storage: point i
+// occupies x[i*dims:(i+1)*dims]. The index aliases x; do not mutate it
+// while querying.
+func NewNNFlat(x []float64, dims int, cell float64) *NN {
 	if cell <= 0 {
 		cell = 0.05
 	}
-	return &NN{grid: newGridIndex(points, cell), points: points}
+	return &NN{grid: newGridIndexFlat(x, dims, cell)}
 }
 
 // Len returns the number of indexed points.
-func (nn *NN) Len() int { return len(nn.points) }
+func (nn *NN) Len() int { return nn.grid.n }
 
 // maxRingSweep caps how many Chebyshev rings the grid search will walk.
 // Queries whose bounding ring exceeds it (far outside the indexed range,
@@ -63,97 +74,138 @@ const maxRingSweep = 64
 //     point for sparse data spread beyond the unit range (see
 //     TestOracleNNSparseOutlierRegression).
 func (nn *NN) Nearest(q []float64) (int, float64) {
-	if len(nn.points) == 0 {
+	g := nn.grid
+	if g.n == 0 {
 		return -1, math.Inf(1)
 	}
-	g := nn.grid
-	base := g.coord(q)
+	var sc queryScratch
+	base := scratchInts(&sc.base, g.dims)
+	for d := 0; d < g.dims; d++ {
+		base[d] = cellCoord(q[d], g.eps)
+	}
 	// rMax is the Chebyshev cell distance from q's cell to the farthest
 	// populated cell: the ring beyond which the index holds nothing.
-	rMax := 0
+	var rMax int64
 	for d := 0; d < g.dims; d++ {
-		if dd := base[d] - g.cellMin[d]; dd > rMax {
+		if dd := chebGap(base[d], g.cellMin[d]); dd > rMax {
 			rMax = dd
 		}
-		if dd := g.cellMax[d] - base[d]; dd > rMax {
+		if dd := chebGap(g.cellMax[d], base[d]); dd > rMax {
 			rMax = dd
 		}
 	}
 	best := -1
 	bestSq := math.Inf(1)
 	if rMax > maxRingSweep {
-		for i, p := range nn.points {
-			if d := sqDist(p, q); d < bestSq {
+		for i := 0; i < g.n; i++ {
+			if d := g.sqDistTo(int32(i), q); d < bestSq {
 				best, bestSq = i, d
 			}
 		}
 		return best, math.Sqrt(bestSq)
 	}
-	for r := 0; r <= rMax; r++ {
+	for r := int64(0); r <= rMax; r++ {
 		if best >= 0 {
 			minPossible := float64(r-1) * g.eps // points in ring r are at least this far
 			if minPossible > 0 && bestSq < minPossible*minPossible {
 				break
 			}
 		}
-		nn.visitRing(base, r, q, &best, &bestSq)
+		best, bestSq = nn.visitRing(&sc, base, r, q, best, bestSq)
 	}
 	return best, math.Sqrt(bestSq)
 }
 
-// visitRing scans all cells at Chebyshev distance exactly r from base,
-// updating the best candidate. It reports whether any populated cell was
-// seen.
-func (nn *NN) visitRing(base []int, r int, q []float64, best *int, bestSq *float64) bool {
+// chebGap returns max(a-b, 0) saturating instead of overflowing (cell
+// coordinates are clamped to ±2^62, so the raw difference can exceed the
+// int64 range).
+func chebGap(a, b int64) int64 {
+	if a <= b {
+		return 0
+	}
+	d := uint64(a) - uint64(b)
+	if d > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(d)
+}
+
+// visitRing scans all populated cells at Chebyshev distance exactly r from
+// base, returning the updated best candidate. The per-dimension offset
+// range is clamped to the populated bounding box, so empty space costs
+// nothing.
+func (nn *NN) visitRing(sc *queryScratch, base []int64, r int64, q []float64, best int, bestSq float64) (int, float64) {
 	g := nn.grid
 	dims := g.dims
-	found := false
-	// Enumerate offsets in [-r, r]^dims with Chebyshev norm exactly r.
-	offsets := make([]int, dims)
-	for i := range offsets {
-		offsets[i] = -r
+	cell := scratchInts(&sc.cell, dims)
+	off := scratchInts(&sc.off, dims)
+	lo := scratchInts(&sc.lo, dims)
+	hi := scratchInts(&sc.hi, dims)
+	wbuf := g.wideBuf(sc)
+	// Per-dimension clamped offset bounds: intersect [-r, r] with the
+	// populated box, so empty rings outside it cost nothing.
+	for d := 0; d < dims; d++ {
+		lo[d], hi[d] = -r, r
+		if m := g.cellMin[d] - base[d]; m > lo[d] {
+			lo[d] = m
+		}
+		if m := g.cellMax[d] - base[d]; m < hi[d] {
+			hi[d] = m
+		}
+		if lo[d] > hi[d] {
+			return best, bestSq // ring entirely outside the populated box
+		}
+		off[d] = lo[d]
 	}
-	cell := make([]int, dims)
 	for {
-		cheb := 0
-		for _, o := range offsets {
-			if a := abs(o); a > cheb {
-				cheb = a
+		cheb := int64(0)
+		for _, o := range off {
+			if o < 0 {
+				o = -o
+			}
+			if o > cheb {
+				cheb = o
 			}
 		}
 		if cheb == r {
 			for d := 0; d < dims; d++ {
-				cell[d] = base[d] + offsets[d]
+				cell[d] = base[d] + off[d]
 			}
-			if idxs := g.cells[g.keyOf(cell)]; len(idxs) > 0 {
-				found = true
-				for _, idx := range idxs {
-					d := sqDist(nn.points[idx], q)
-					if d < *bestSq || (d == *bestSq && idx < *best) {
-						*best, *bestSq = idx, d
+			bucket := g.bucket(cell, wbuf)
+			if dims == 2 && len(bucket) > 0 {
+				// Unrolled 2-D candidate scan: same left-associated
+				// accumulation as sqDistTo, no per-candidate call.
+				q0, q1 := q[0], q[1]
+				for _, pi := range bucket {
+					b := int(pi) * 2
+					d0 := g.x[b] - q0
+					d1 := g.x[b+1] - q1
+					d := d0*d0 + d1*d1
+					if d < bestSq || (d == bestSq && int(pi) < best) {
+						best, bestSq = int(pi), d
+					}
+				}
+			} else {
+				for _, pi := range bucket {
+					d := g.sqDistTo(pi, q)
+					if d < bestSq || (d == bestSq && int(pi) < best) {
+						best, bestSq = int(pi), d
 					}
 				}
 			}
 		}
-		// Odometer advance.
+		// Odometer advance over the clamped box.
 		d := 0
 		for ; d < dims; d++ {
-			offsets[d]++
-			if offsets[d] <= r {
+			off[d]++
+			if off[d] <= hi[d] {
 				break
 			}
-			offsets[d] = -r
+			off[d] = lo[d]
 		}
 		if d == dims {
 			break
 		}
 	}
-	return found
-}
-
-func abs(v int) int {
-	if v < 0 {
-		return -v
-	}
-	return v
+	return best, bestSq
 }

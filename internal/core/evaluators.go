@@ -23,19 +23,24 @@ import (
 func Displacement(a, b *Frame, cfg Config) *Matrix {
 	cfg = cfg.withDefaults()
 	m := NewMatrix("displacement", a.Index, b.Index, a.NumClusters, b.NumClusters)
-	// Index only the clustered points of b.
-	var pts [][]float64
+	// Index only the clustered points of b, packed into one strided flat
+	// array so the NN index needs no per-point boxing.
+	dims := 0
+	if len(b.Norm) > 0 {
+		dims = len(b.Norm[0])
+	}
+	var x []float64
 	var lbl []int
 	for i, l := range b.Labels {
 		if l > 0 {
-			pts = append(pts, b.Norm[i])
+			x = append(x, b.Norm[i]...)
 			lbl = append(lbl, l)
 		}
 	}
-	if len(pts) == 0 || a.NumClusters == 0 {
+	if len(lbl) == 0 || a.NumClusters == 0 {
 		return m
 	}
-	nn := cluster.NewNN(pts, nnCell)
+	nn := cluster.NewNNFlat(x, dims, nnCell)
 	// Nearest-neighbour classification of every burst is the hottest loop
 	// of the pipeline; the queries are independent, so shard them across
 	// the CPUs. Per-worker tallies keep the result bit-identical to the

@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"perftrack/internal/cluster"
@@ -278,28 +279,41 @@ func BuildFramesContext(ctx context.Context, traces []*trace.Trace, cfg Config) 
 		cfg.Cluster.Interrupt = func() error { return ctx.Err() }
 	}
 	// Frames are independent until the cross-series normalisation, so
-	// they are clustered concurrently. Results are deterministic: each
-	// frame's outcome depends only on its own trace.
+	// they are clustered concurrently — across a GOMAXPROCS-bounded
+	// worker pool, not a goroutine per frame: wide studies (hundreds of
+	// time windows) would otherwise run every frame's clustering at once
+	// and thrash both scheduler and caches. Results are deterministic:
+	// each frame's outcome depends only on its own trace.
 	frames := make([]*Frame, len(traces))
 	errs := make([]error, len(traces))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(traces) {
+		workers = len(traces)
+	}
+	next := make(chan int)
 	var wg sync.WaitGroup
-	for i, t := range traces {
-		i, t := i, t
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-				return
+			for i := range next {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				f, err := buildFrame(ctx, i, traces[i], cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: frame %d (%s): %w", i, traces[i].Meta.Label, err)
+					continue
+				}
+				frames[i] = f
 			}
-			f, err := buildFrame(ctx, i, t, cfg)
-			if err != nil {
-				errs[i] = fmt.Errorf("core: frame %d (%s): %w", i, t.Meta.Label, err)
-				return
-			}
-			frames[i] = f
 		}()
 	}
+	for i := range traces {
+		next <- i
+	}
+	close(next)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -380,20 +394,27 @@ func buildFrame(ctx context.Context, index int, t *trace.Trace, cfg Config) (*Fr
 		f.DegradedReason = "no bursts after quarantine and filtering"
 		return f, nil
 	}
-	points := make([][]float64, len(ft.Bursts))
-	coords := make([][]float64, len(ft.Bursts))
-	weights := make([]float64, len(ft.Bursts))
+	// One flat allocation backs all burst coordinates; Points rows are
+	// full-capacity views into it, so the public [][]float64 shape
+	// survives while the data stays contiguous for the clustering pass.
+	nb := len(ft.Bursts)
+	dims := len(cfg.Metrics)
+	flat := make([]float64, nb*dims)
+	coords := make([]float64, nb*dims)
+	points := make([][]float64, nb)
+	weights := make([]float64, nb)
 	for i, b := range ft.Bursts {
 		if i%8192 == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		points[i] = metrics.Space(cfg.Metrics, b.Sample())
-		coords[i] = transformSpace(cfg.Metrics, points[i], 1)
+		row := flat[i*dims : (i+1)*dims : (i+1)*dims]
+		points[i] = metrics.SpaceInto(row, cfg.Metrics, b.Sample())
+		transformSpaceInto(coords[i*dims:(i+1)*dims], cfg.Metrics, row, 1)
 		weights[i] = float64(b.DurationNS)
 	}
-	res, err := cluster.Run(coords, weights, cfg.Cluster)
+	res, err := cluster.RunFlat(coords, dims, weights, cfg.Cluster)
 	if err != nil {
 		return nil, err
 	}
@@ -412,10 +433,15 @@ func buildFrame(ctx context.Context, index int, t *trace.Trace, cfg Config) (*Fr
 // transformed because they span orders of magnitude across experiments,
 // and rank-scaling metrics are multiplied by ranks first.
 func transformSpace(ms []metrics.Metric, p []float64, ranks float64) []float64 {
+	return transformSpaceInto(make([]float64, len(p)), ms, p, ranks)
+}
+
+// transformSpaceInto is transformSpace writing into q (len(q) == len(p)),
+// for callers that lay whole frames out in one flat allocation.
+func transformSpaceInto(q []float64, ms []metrics.Metric, p []float64, ranks float64) []float64 {
 	if ranks <= 0 {
 		ranks = 1
 	}
-	q := make([]float64, len(p))
 	for d, v := range p {
 		if ms[d].ScalesWithRanks {
 			v *= ranks
@@ -444,10 +470,12 @@ func normalizeSeries(frames []*Frame, ms []metrics.Metric) {
 		ranges[d] = metrics.EmptyRange()
 	}
 	// First pass: rank-weighted, log-transformed values + global ranges.
+	// Each frame's normalised coordinates share one flat backing array.
 	for _, f := range frames {
+		flat := make([]float64, len(f.Points)*dims)
 		f.Norm = make([][]float64, len(f.Points))
 		for i, p := range f.Points {
-			q := transformSpace(ms, p, float64(f.Ranks))
+			q := transformSpaceInto(flat[i*dims:(i+1)*dims:(i+1)*dims], ms, p, float64(f.Ranks))
 			for d, v := range q {
 				ranges[d].Extend(v)
 			}

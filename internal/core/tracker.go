@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -136,36 +137,35 @@ func (tk *Tracker) TrackContext(ctx context.Context, frames []*Frame) (*Result, 
 	consensus := make([][]int, len(frames))
 	needAlign := !cfg.DisableSPMD || !cfg.DisableSequence
 	// Per-frame alignments are independent of each other; compute them
-	// concurrently.
-	var wg sync.WaitGroup
+	// across a GOMAXPROCS-bounded worker pool (each slot is written by
+	// exactly one worker, so the outcome is schedule-independent).
 	for i, f := range frames {
-		i, f := i, f
 		if f.Degraded {
 			spmdM[i] = NewMatrix("spmd", i, i, f.NumClusters, f.NumClusters)
-			continue
 		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if ctx.Err() != nil {
-				// Leave empty per-frame machinery; the cancel check
-				// after wg.Wait discards everything anyway.
-				spmdM[i] = NewMatrix("spmd", i, i, f.NumClusters, f.NumClusters)
-				return
-			}
-			if needAlign {
-				aligns[i] = frameAlignment(f, cfg)
-				consensus[i] = consensusOf(aligns[i])
-			}
-			if !cfg.DisableSPMD && ctx.Err() == nil {
-				spmdM[i] = SPMDSimultaneity(f, aligns[i], cfg)
-				spmdPairs[i] = SPMDPairs(spmdM[i], cfg)
-			} else {
-				spmdM[i] = NewMatrix("spmd", i, i, f.NumClusters, f.NumClusters)
-			}
-		}()
 	}
-	wg.Wait()
+	runBounded(len(frames), func(i int) {
+		f := frames[i]
+		if f.Degraded {
+			return
+		}
+		if ctx.Err() != nil {
+			// Leave empty per-frame machinery; the cancel check
+			// after the pool drains discards everything anyway.
+			spmdM[i] = NewMatrix("spmd", i, i, f.NumClusters, f.NumClusters)
+			return
+		}
+		if needAlign {
+			aligns[i] = frameAlignment(f, cfg)
+			consensus[i] = consensusOf(aligns[i])
+		}
+		if !cfg.DisableSPMD && ctx.Err() == nil {
+			spmdM[i] = SPMDSimultaneity(f, aligns[i], cfg)
+			spmdPairs[i] = SPMDPairs(spmdM[i], cfg)
+		} else {
+			spmdM[i] = NewMatrix("spmd", i, i, f.NumClusters, f.NumClusters)
+		}
+	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -174,18 +174,12 @@ func (tk *Tracker) TrackContext(ctx context.Context, frames []*Frame) (*Result, 
 	// joins their relations afterwards).
 	res := &Result{Frames: frames, Pairs: make([]*PairResult, max(0, len(active)-1))}
 	res.Diagnostics = gatherFrameDiagnostics(frames)
-	for k := 0; k+1 < len(active); k++ {
-		k := k
+	runBounded(max(0, len(active)-1), func(k int) {
 		i, j := active[k], active[k+1]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			res.Pairs[k] = tk.trackPair(ctx, frames[i], frames[j],
-				spmdM[i], spmdM[j], spmdPairs[i], spmdPairs[j],
-				consensus[i], consensus[j])
-		}()
-	}
-	wg.Wait()
+		res.Pairs[k] = tk.trackPair(ctx, frames[i], frames[j],
+			spmdM[i], spmdM[j], spmdPairs[i], spmdPairs[j],
+			consensus[i], consensus[j])
+	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -197,6 +191,38 @@ func (tk *Tracker) TrackContext(ctx context.Context, frames []*Frame) (*Result, 
 	}
 	tk.chain(res)
 	return res, nil
+}
+
+// runBounded invokes fn(0..n-1), fanning out across at most GOMAXPROCS
+// worker goroutines. fn instances must be independent (each writing only
+// its own result slot).
+func runBounded(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // trackPair runs the combination algorithm for one pair of frames:

@@ -245,11 +245,17 @@ func ByName(name string) (Metric, bool) {
 // Space evaluates a list of metrics over one sample, producing the burst's
 // coordinates in the performance space.
 func Space(ms []Metric, s Sample) []float64 {
-	out := make([]float64, len(ms))
+	return SpaceInto(make([]float64, len(ms)), ms, s)
+}
+
+// SpaceInto is Space writing into dst (len(dst) must equal len(ms)),
+// letting callers lay frames out as one flat allocation instead of a
+// boxed slice per burst.
+func SpaceInto(dst []float64, ms []Metric, s Sample) []float64 {
 	for i, m := range ms {
-		out[i] = m.Eval(s)
+		dst[i] = m.Eval(s)
 	}
-	return out
+	return dst
 }
 
 // Range is a closed interval [Min, Max] on one metric axis.
