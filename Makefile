@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race oracle sim fuzz-short cover serve-smoke store-smoke check fuzz bench-core bench-compare clean
+.PHONY: all build test vet race oracle sim chaos fuzz-short cover serve-smoke store-smoke check fuzz bench-core bench-compare clean
 
 all: build
 
@@ -22,12 +22,14 @@ race:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 ./cmd/trackd
 
-# store-smoke proves perfdb durability end to end: boot trackd with a
-# persistent store, compute a result, SIGTERM the daemon, boot a fresh
-# one over the same directory, and assert the resubmission is served as
-# a hit from disk without re-running the pipeline.
+# store-smoke proves perfdb durability end to end, twice over: the
+# graceful half (TestStoreSmoke) boots trackd with a persistent store,
+# computes a result, SIGTERMs the daemon, and asserts a fresh daemon
+# serves the resubmission from disk; the hard half (TestKill9Smoke)
+# SIGKILLs the daemon mid-load and asserts the journal replays every
+# acknowledged job before /readyz opens.
 store-smoke:
-	$(GO) test -run TestStoreSmoke -count=1 ./cmd/trackd
+	$(GO) test -run 'TestStoreSmoke|TestKill9Smoke' -count=1 ./cmd/trackd
 
 # oracle runs the differential / metamorphic harness: every optimized
 # path (grid DBSCAN, grid NN, parallel displacement, Needleman–Wunsch)
@@ -44,6 +46,15 @@ oracle:
 sim:
 	$(GO) test -race -count=1 -run TestDeterministicSimulationSchedules ./internal/service/
 
+# chaos replays seeded fault schedules against the full service + journal
+# + store stack under the race detector: IO faults (short writes, fsync
+# failures, torn renames), hard crashes with journal tail tearing, and
+# restarts — no acknowledged job lost, no fingerprint computed twice
+# (beyond persist failures), byte-identical results after recovery. Also
+# bounds journal replay: a 10k-entry journal must recover in < 1s.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaosSchedules|TestJournalReplayBound' ./internal/service/
+
 # fuzz-short gives each differential fuzz target a brief budget — enough
 # to shake the seeded corpus and mutate around it on every check run.
 fuzz-short:
@@ -59,9 +70,10 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
 # check is the pre-merge gate: static analysis, the full suite under the
-# race detector, the oracle harness, a short fuzz pass, and the daemon
-# end-to-end smokes.
-check: vet race oracle fuzz-short serve-smoke store-smoke
+# race detector, the oracle harness, the chaos/fault-injection schedules,
+# a short fuzz pass, and the daemon end-to-end smokes (including the
+# kill -9 crash-recovery smoke).
+check: vet race oracle chaos fuzz-short serve-smoke store-smoke
 
 # bench-core runs the analysis-core microbenchmark suite (clustering, NN,
 # alignment, end-to-end tracking on the largest catalog studies). The

@@ -75,6 +75,43 @@ func BenchmarkServiceSubmitCached(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceSubmitColdJournaled is the cold path with the full
+// durability stack enabled: every submission fsyncs a journal intent
+// before its ack, and every completion lands in the perfdb store and
+// resolves its intent. The delta against BenchmarkServiceSubmitCold is
+// the price of crash-durability on a cache miss.
+func BenchmarkServiceSubmitColdJournaled(b *testing.B) {
+	s := newBench(b, service.Config{
+		Workers: 2, QueueDepth: 8, CacheMaxEntries: 4,
+		StoreDir: b.TempDir(),
+	})
+	defer s.Shutdown(context.Background())
+	submitWait(b, s, coldReq(-1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submitWait(b, s, coldReq(i))
+	}
+}
+
+// BenchmarkServiceSubmitCachedJournaled is the cached path with the
+// journal enabled: the hit is answered from the in-memory cache before
+// any intent is written, so this should track BenchmarkServiceSubmitCached
+// closely — it exists to prove the durability stack stays off the hot
+// read path.
+func BenchmarkServiceSubmitCachedJournaled(b *testing.B) {
+	s := newBench(b, service.Config{
+		Workers: 2, QueueDepth: 8,
+		StoreDir: b.TempDir(),
+	})
+	defer s.Shutdown(context.Background())
+	req := service.JobRequest{Study: "Synthetic"}
+	submitWait(b, s, req) // populate the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submitWait(b, s, req)
+	}
+}
+
 // BenchmarkServiceThroughput streams b.N distinct jobs through the
 // daemon's sized-for-production configuration (8 workers, 64-deep queue),
 // honouring backpressure the way a polite client would, and reports

@@ -1,0 +1,84 @@
+package main
+
+// Shared plumbing for the daemon-client subcommands (submit, history,
+// diff, regressions): every one of them takes the same -addr and
+// -timeout flags, and every request they issue runs under one context
+// that carries both the overall deadline and Ctrl-C cancellation. The
+// http.Client itself has NO per-request timeout — a single deadline for
+// the whole operation composes correctly across retries and polls,
+// where a per-request timeout silently resets on every attempt.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// daemonFlags registers the flags every daemon-client subcommand shares.
+// The returned timeout is the overall operation deadline (0 disables it).
+func daemonFlags(fs *flag.FlagSet, defaultTimeout time.Duration) (addr *string, timeout *time.Duration) {
+	addr = fs.String("addr", "http://127.0.0.1:7077", "trackd base URL")
+	timeout = fs.Duration("timeout", defaultTimeout, "overall operation deadline (0 = none)")
+	return
+}
+
+// daemonContext builds the context all of a subcommand's requests run
+// under: canceled by Ctrl-C/SIGTERM, expired by -timeout.
+func daemonContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() { cancel(); stop() }
+}
+
+// ctxErr translates a context failure into the message the user should
+// see: an interrupt and an expired deadline are different situations.
+func ctxErr(ctx context.Context, doing string) error {
+	if ctx.Err() == context.DeadlineExceeded {
+		return fmt.Errorf("deadline exceeded while %s (raise -timeout)", doing)
+	}
+	return fmt.Errorf("interrupted while %s", doing)
+}
+
+// getCtx is client.Get bound to the operation context.
+func getCtx(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return client.Do(req)
+}
+
+// getJSON fetches u under ctx and decodes the JSON body into v,
+// surfacing the daemon's error message on non-200s.
+func getJSON(ctx context.Context, client *http.Client, u string, v any) error {
+	resp, err := getCtx(ctx, client, u)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctxErr(ctx, "querying "+u)
+		}
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, v)
+}

@@ -11,10 +11,10 @@
 //	trackctl profile TRACE...
 //	trackctl animate [-o FILE] [-seconds S] TRACE...
 //	trackctl export  [-o FILE] TRACE...
-//	trackctl submit  [-addr URL] [-study NAME] [-series S] [-run L] [-o FILE] [TRACE...]
-//	trackctl history [-addr URL] [-series S]
-//	trackctl diff    [-addr URL] [-metric M] KEYA KEYB
-//	trackctl regressions [-addr URL] -series S [-metric M] [-window N] [-mads X] [-minrel X]
+//	trackctl submit  [-addr URL] [-timeout D] [-study NAME] [-series S] [-run L] [-o FILE] [TRACE...]
+//	trackctl history [-addr URL] [-timeout D] [-series S]
+//	trackctl diff    [-addr URL] [-timeout D] [-metric M] KEYA KEYB
+//	trackctl regressions [-addr URL] [-timeout D] -series S [-metric M] [-window N] [-mads X] [-minrel X]
 //	trackctl info    TRACE...
 //
 // cluster renders the frame of a single experiment; track correlates a
@@ -96,10 +96,10 @@ func usage() {
   trackctl report  [-windows N] TRACE...
   trackctl animate [-o FILE] [-seconds S] TRACE...
   trackctl export  [-o FILE] TRACE...
-  trackctl submit  [-addr URL] [-study NAME] [-series S] [-run L] [-o FILE] [TRACE...]
-  trackctl history [-addr URL] [-series S]
-  trackctl diff    [-addr URL] [-metric M] KEYA KEYB
-  trackctl regressions [-addr URL] -series S [-metric M] [-window N] [-mads X] [-minrel X]
+  trackctl submit  [-addr URL] [-timeout D] [-study NAME] [-series S] [-run L] [-o FILE] [TRACE...]
+  trackctl history [-addr URL] [-timeout D] [-series S]
+  trackctl diff    [-addr URL] [-timeout D] [-metric M] KEYA KEYB
+  trackctl regressions [-addr URL] [-timeout D] -series S [-metric M] [-window N] [-mads X] [-minrel X]
   trackctl info    TRACE...
 
 submit sends the analysis to a running trackd daemon instead of
@@ -108,6 +108,11 @@ with -series the stored result joins a named run history. history,
 diff and regressions read the daemon's persistent store: the result
 listing, an object-level diff of two stored runs, and the trajectory
 engine's changepoint verdicts over a series.
+
+every daemon subcommand accepts -timeout D: one deadline for the whole
+operation (submit retries, result polls, every request), enforced
+through a context rather than a per-request client timeout. Ctrl-C
+cancels cleanly at any point.
 
 every subcommand accepts -lenient: tolerate malformed trace lines by
 quarantining them (diagnostics go to stderr) instead of failing.`)

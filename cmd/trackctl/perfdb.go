@@ -6,7 +6,7 @@ package main
 // CLI renders their answers.
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -17,27 +17,6 @@ import (
 
 	"perftrack/internal/trajectory"
 )
-
-// getJSON fetches u and decodes the JSON body into v, surfacing the
-// daemon's error message on non-200s.
-func getJSON(client *http.Client, u string, v any) error {
-	resp, err := client.Get(u)
-	if err != nil {
-		return err
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, e.Error)
-		}
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	return json.Unmarshal(body, v)
-}
 
 // storedMeta mirrors store.Meta for decoding listings.
 type storedMeta struct {
@@ -52,13 +31,15 @@ type storedMeta struct {
 // cmdHistory lists the daemon's stored results, optionally one series.
 func cmdHistory(args []string) error {
 	fs := flag.NewFlagSet("history", flag.ExitOnError)
-	addr := fs.String("addr", "http://127.0.0.1:7077", "trackd base URL")
+	addr, timeout := daemonFlags(fs, 30*time.Second)
 	series := fs.String("series", "", "list only this run series")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("history takes no positional arguments")
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
+	ctx, cancel := daemonContext(*timeout)
+	defer cancel()
+	client := &http.Client{}
 	base := strings.TrimRight(*addr, "/")
 	u := base + "/v1/results"
 	if *series != "" {
@@ -67,7 +48,7 @@ func cmdHistory(args []string) error {
 	var listing struct {
 		Results []storedMeta `json:"results"`
 	}
-	if err := getJSON(client, u, &listing); err != nil {
+	if err := getJSON(ctx, client, u, &listing); err != nil {
 		return err
 	}
 	if len(listing.Results) == 0 {
@@ -89,9 +70,12 @@ func cmdHistory(args []string) error {
 
 // fetchRun downloads one stored result (by abbreviable key) and reduces
 // it to its tracked objects.
-func fetchRun(client *http.Client, base, key string) (trajectory.Run, error) {
-	resp, err := client.Get(base + "/v1/results/" + url.PathEscape(key))
+func fetchRun(ctx context.Context, client *http.Client, base, key string) (trajectory.Run, error) {
+	resp, err := getCtx(ctx, client, base+"/v1/results/"+url.PathEscape(key))
 	if err != nil {
+		if ctx.Err() != nil {
+			return trajectory.Run{}, ctxErr(ctx, "fetching "+key)
+		}
 		return trajectory.Run{}, err
 	}
 	body, _ := io.ReadAll(resp.Body)
@@ -110,21 +94,23 @@ func fetchRun(client *http.Client, base, key string) (trajectory.Run, error) {
 // each behaviour moved between them.
 func cmdDiff(args []string) error {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
-	addr := fs.String("addr", "http://127.0.0.1:7077", "trackd base URL")
+	addr, timeout := daemonFlags(fs, 30*time.Second)
 	metricName := fs.String("metric", "IPC", "metric to report per linked behaviour")
 	maxDist := fs.Float64("maxdist", 0, "link distance bound (0 = default)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return fmt.Errorf("diff needs exactly two stored-result keys (prefixes allowed)")
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
+	ctx, cancel := daemonContext(*timeout)
+	defer cancel()
+	client := &http.Client{}
 	base := strings.TrimRight(*addr, "/")
 
-	runA, err := fetchRun(client, base, fs.Arg(0))
+	runA, err := fetchRun(ctx, client, base, fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	runB, err := fetchRun(client, base, fs.Arg(1))
+	runB, err := fetchRun(ctx, client, base, fs.Arg(1))
 	if err != nil {
 		return err
 	}
@@ -164,7 +150,7 @@ func cmdDiff(args []string) error {
 // prints the verdicts, notable first.
 func cmdRegressions(args []string) error {
 	fs := flag.NewFlagSet("regressions", flag.ExitOnError)
-	addr := fs.String("addr", "http://127.0.0.1:7077", "trackd base URL")
+	addr, timeout := daemonFlags(fs, 30*time.Second)
 	series := fs.String("series", "", "run series to judge (required)")
 	metricName := fs.String("metric", "", "metric to judge (default IPC)")
 	window := fs.Int("window", 0, "baseline window in runs (0 = default)")
@@ -178,7 +164,9 @@ func cmdRegressions(args []string) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("regressions takes no positional arguments")
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
+	ctx, cancel := daemonContext(*timeout)
+	defer cancel()
+	client := &http.Client{}
 	base := strings.TrimRight(*addr, "/")
 
 	q := url.Values{}
@@ -203,7 +191,7 @@ func cmdRegressions(args []string) error {
 		Verdicts []trajectory.Verdict `json:"verdicts"`
 		Notable  int                  `json:"notable"`
 	}
-	if err := getJSON(client, u, &res); err != nil {
+	if err := getJSON(ctx, client, u, &res); err != nil {
 		return err
 	}
 	fmt.Printf("series %s: %d runs, %d trajectories judged, %d notable\n",

@@ -10,10 +10,8 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
 
 	"perftrack/internal/service"
@@ -27,12 +25,11 @@ import (
 // result stream.
 func cmdSubmit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
-	addr := fs.String("addr", "http://127.0.0.1:7077", "trackd base URL")
+	addr, timeout := daemonFlags(fs, 5*time.Minute)
 	study := fs.String("study", "", "submit a catalog study by name instead of trace files")
 	windows := fs.Int("windows", 0, "split a single trace into N time windows")
 	metricNames := fs.String("metrics", "", "comma-separated metric names (default: server-side default space)")
 	out := fs.String("o", "", "write the result JSON to this file (default stdout)")
-	timeout := fs.Duration("timeout", 5*time.Minute, "overall submit+poll deadline")
 	eps := fs.Float64("eps", 0, "DBSCAN radius override (0 = server default)")
 	minPts := fs.Int("minpts", 0, "DBSCAN density override (0 = server default)")
 	series := fs.String("series", "", "file the stored result under this run series (perfdb history)")
@@ -41,10 +38,11 @@ func cmdSubmit(args []string) error {
 	fs.Parse(args)
 
 	// A polled submission should die promptly on Ctrl-C instead of
-	// sleeping through it: every request and every backoff below runs
-	// under this context.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// sleeping through it, and -timeout bounds the whole operation —
+	// submit retries and result polls together: every request and every
+	// backoff below runs under this one context.
+	ctx, cancel := daemonContext(*timeout)
+	defer cancel()
 
 	req := service.JobRequest{
 		Study:    *study,
@@ -82,9 +80,8 @@ func cmdSubmit(args []string) error {
 	if err != nil {
 		return err
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
+	client := &http.Client{}
 	base := strings.TrimRight(*addr, "/")
-	deadline := time.Now().Add(*timeout)
 
 	// Submit, honouring 429 backpressure with the server's Retry-After.
 	var view service.JobView
@@ -97,7 +94,7 @@ func cmdSubmit(args []string) error {
 		resp, err := client.Do(httpReq)
 		if err != nil {
 			if ctx.Err() != nil {
-				return fmt.Errorf("interrupted")
+				return ctxErr(ctx, "submitting to "+base)
 			}
 			return fmt.Errorf("submitting to %s: %w", base, err)
 		}
@@ -113,8 +110,8 @@ func cmdSubmit(args []string) error {
 			// Jitter the backoff so a herd of clients rejected together
 			// does not stampede the daemon again in lockstep.
 			wait += time.Duration(rand.Int63n(int64(wait/4) + 1))
-			if time.Now().Add(wait).After(deadline) {
-				return fmt.Errorf("queue full at %s and deadline exceeded", base)
+			if dl, ok := ctx.Deadline(); ok && time.Now().Add(wait).After(dl) {
+				return fmt.Errorf("queue full at %s and -timeout would expire before the retry", base)
 			}
 			fmt.Fprintf(os.Stderr, "trackctl: queue full, retrying in %s\n", wait.Round(time.Millisecond))
 			if err := sleepCtx(ctx, wait); err != nil {
@@ -139,7 +136,7 @@ func cmdSubmit(args []string) error {
 		resp, err := getCtx(ctx, client, base+"/v1/jobs/"+view.ID+"/result")
 		if err != nil {
 			if ctx.Err() != nil {
-				return fmt.Errorf("interrupted while polling job %s", view.ID)
+				return ctxErr(ctx, "polling job "+view.ID)
 			}
 			return err
 		}
@@ -169,11 +166,8 @@ func cmdSubmit(args []string) error {
 			if err := json.Unmarshal(respBody, &pending); err == nil {
 				view = pending
 			}
-			if time.Now().After(deadline) {
-				return fmt.Errorf("job %s still %s after %s", view.ID, view.State, *timeout)
-			}
 			if err := sleepCtx(ctx, 100*time.Millisecond); err != nil {
-				return fmt.Errorf("interrupted while polling job %s", view.ID)
+				return ctxErr(ctx, fmt.Sprintf("polling job %s (still %s)", view.ID, view.State))
 			}
 		default:
 			return fmt.Errorf("job %s: %s: %s", view.ID, resp.Status, strings.TrimSpace(string(respBody)))
@@ -182,7 +176,7 @@ func cmdSubmit(args []string) error {
 }
 
 // sleepCtx waits d, returning early when the context is canceled (the
-// user hit Ctrl-C).
+// user hit Ctrl-C or the -timeout deadline expired).
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -190,15 +184,6 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	case <-t.C:
 		return nil
 	case <-ctx.Done():
-		return fmt.Errorf("interrupted")
+		return ctx.Err()
 	}
-}
-
-// getCtx is client.Get bound to a cancelable context.
-func getCtx(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, err
-	}
-	return client.Do(req)
 }

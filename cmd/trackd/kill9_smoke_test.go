@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"perftrack/internal/oracle"
+	"perftrack/internal/service"
+	"perftrack/internal/trace"
+)
+
+// TestKill9Smoke is the hard-crash half of `make store-smoke`: it boots
+// the real trackd binary with a perfdb store, submits a batch of
+// distinct upload jobs, and SIGKILLs the daemon the moment the last 202
+// lands — no drain, no fsync courtesy, exactly the crash the journal
+// exists for. A fresh daemon over the same directory must replay the
+// acknowledged backlog (readyz gates on it) and then serve every one of
+// those submissions as an instant hit.
+func TestKill9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec-based smoke test")
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "trackd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building trackd: %v", err)
+	}
+	storeDir := filepath.Join(tmp, "perfdb")
+
+	start := func() (*exec.Cmd, string) {
+		t.Helper()
+		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2",
+			"-store", storeDir, "-store-sync-every", "1")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting trackd: %v", err)
+		}
+		var addr string
+		lines := bufio.NewScanner(stdout)
+		for lines.Scan() {
+			if rest, ok := strings.CutPrefix(lines.Text(), "trackd: listening on "); ok {
+				addr = rest
+				break
+			}
+		}
+		if addr == "" {
+			cmd.Process.Kill()
+			t.Fatalf("never saw the listening line (scan err %v)", lines.Err())
+		}
+		go io.Copy(io.Discard, stdout)
+		return cmd, "http://" + addr
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	waitReady := func(base string) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			resp, err := client.Get(base + "/readyz")
+			if err == nil {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("readyz still %d: %s", resp.StatusCode, body)
+				}
+			} else if time.Now().After(deadline) {
+				t.Fatalf("readyz unreachable: %v", err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Distinct upload jobs, heavy enough (8 ranks × 6 iterations) that a
+	// 2-worker pool is still mid-load when the kill lands.
+	const jobs = 6
+	bodies := make([][]byte, jobs)
+	for i := range bodies {
+		enc := func(tr *trace.Trace) string {
+			var sb strings.Builder
+			if err := trace.Write(&sb, tr); err != nil {
+				t.Fatal(err)
+			}
+			return sb.String()
+		}
+		req := service.JobRequest{
+			Traces: []string{
+				enc(oracle.GenTraces(uint64(900+i), fmt.Sprintf("k9-%da", i), 8, 6, 3)),
+				enc(oracle.GenTraces(uint64(950+i), fmt.Sprintf("k9-%db", i), 8, 6, 3)),
+			},
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = b
+	}
+
+	submit := func(base string, body []byte) (int, bool) {
+		t.Helper()
+		resp, err := client.Post(base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatalf("POST /v1/jobs: %v", err)
+		}
+		respBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var view struct {
+			CacheHit bool `json:"cacheHit"`
+		}
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+			if err := json.Unmarshal(respBody, &view); err != nil {
+				t.Fatalf("decoding job view from %s: %v", respBody, err)
+			}
+		}
+		return resp.StatusCode, view.CacheHit
+	}
+
+	// First life: ack the whole batch, then pull the plug. Every 202 is
+	// backed by an fsynced journal intent — that is the promise under test.
+	cmd, base := start()
+	waitReady(base)
+	acked := 0
+	for _, body := range bodies {
+		code, _ := submit(base, body)
+		switch code {
+		case http.StatusAccepted, http.StatusOK:
+			acked++
+		case http.StatusTooManyRequests:
+			// Backpressure is a documented non-ack; the batch size stays
+			// within the default queue, so this is unexpected but legal.
+		default:
+			t.Fatalf("submit: status %d", code)
+		}
+	}
+	if acked == 0 {
+		t.Fatal("no submissions acknowledged before the kill")
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no shutdown path runs
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Second life: replay must finish before readyz opens, after which
+	// every acknowledged job resolves instantly from the store.
+	cmd2, base2 := start()
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	waitReady(base2)
+	for i, body := range bodies {
+		code, hit := submit(base2, body)
+		if code != http.StatusOK || !hit {
+			t.Fatalf("job %d after kill -9 + replay: status %d cacheHit %v, want instant hit", i, code, hit)
+		}
+	}
+
+	// The journal backlog is drained and the daemon reports it.
+	resp, err := client.Get(base2 + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Journal struct {
+			Enabled bool `json:"enabled"`
+			Pending int  `json:"pending"`
+		} `json:"journal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !health.Journal.Enabled || health.Journal.Pending != 0 {
+		t.Fatalf("journal after recovery: %+v, want enabled with 0 pending", health.Journal)
+	}
+}

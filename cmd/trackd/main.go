@@ -5,8 +5,10 @@
 // Usage:
 //
 //	trackd [-addr HOST:PORT] [-workers N] [-queue N] [-timeout D]
-//	       [-cache-entries N] [-cache-bytes N]
+//	       [-stage-timeout D] [-cache-entries N] [-cache-bytes N]
 //	       [-store DIR] [-store-segment-bytes N] [-store-sync-every N]
+//	       [-store-retries N] [-no-journal] [-journal-sync-every N]
+//	       [-breaker-threshold N] [-breaker-cooldown D]
 //	       [-pprof-addr HOST:PORT]
 //
 // -pprof-addr mounts net/http/pprof on a dedicated listener (separate
@@ -18,7 +20,14 @@
 // persistent store in DIR: results survive daemon restarts (cache misses
 // read through the store), and the /v1/results and /v1/series endpoints
 // expose the stored history, trajectory chaining, and regression
-// detection.
+// detection. A store also enables the job journal (disable with
+// -no-journal): every submission is fsynced as an intent before its 202,
+// so acknowledged jobs survive crashes and are replayed on the next
+// startup — /readyz answers 503 until the replay backlog is done.
+// Failed store appends retry with jittered backoff (-store-retries);
+// sustained failures trip a circuit breaker (-breaker-threshold,
+// -breaker-cooldown) that degrades the daemon to read-only 503s instead
+// of losing work.
 //
 // The daemon prints "trackd: listening on ADDR" once the socket is bound
 // (with the resolved port when :0 was requested), and shuts down
@@ -49,12 +58,18 @@ func main() {
 		workers      = flag.Int("workers", defaultWorkers(), "worker pool size")
 		queueDepth   = flag.Int("queue", 64, "job queue depth (full queue replies 429)")
 		timeout      = flag.Duration("timeout", 2*time.Minute, "per-job execution timeout")
+		stageTimeout = flag.Duration("stage-timeout", 0, "per-pipeline-stage timeout inside the job timeout (0 disables)")
 		cacheEntries = flag.Int("cache-entries", 256, "result cache entry bound")
 		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "result cache byte bound")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		storeDir     = flag.String("store", "", "perfdb directory; empty disables the persistent result store")
 		storeSegment = flag.Int64("store-segment-bytes", 0, "perfdb segment size bound (0 = default 64 MiB)")
 		storeSync    = flag.Int("store-sync-every", 0, "perfdb fsync batch size (0 = default 8, 1 = every append)")
+		storeRetries = flag.Int("store-retries", 0, "retries for a failed store append (0 = default 3)")
+		noJournal    = flag.Bool("no-journal", false, "disable the crash-durable job journal even with -store")
+		journalSync  = flag.Int("journal-sync-every", 0, "journal resolution fsync batch size (0 = default 8; intents always fsync)")
+		brkThreshold = flag.Int("breaker-threshold", 0, "consecutive failures that open a circuit breaker (0 = default 5)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 0, "cooldown before an open breaker admits a probe (0 = default 5s)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
 	)
 	flag.Parse()
@@ -67,12 +82,18 @@ func main() {
 		Workers:              *workers,
 		QueueDepth:           *queueDepth,
 		JobTimeout:           *timeout,
+		StageTimeout:         *stageTimeout,
 		CacheMaxEntries:      *cacheEntries,
 		CacheMaxBytes:        *cacheBytes,
 		RetryAfter:           *retryAfter,
 		StoreDir:             *storeDir,
 		StoreMaxSegmentBytes: *storeSegment,
 		StoreSyncEvery:       *storeSync,
+		StoreRetries:         *storeRetries,
+		JournalDisabled:      *noJournal,
+		JournalSyncEvery:     *journalSync,
+		BreakerThreshold:     *brkThreshold,
+		BreakerCooldown:      *brkCooldown,
 	})
 	if err != nil {
 		log.Fatalf("trackd: %v", err)
@@ -80,6 +101,11 @@ func main() {
 	if *storeDir != "" {
 		st := srv.Store().Stats()
 		log.Printf("trackd: perfdb open at %s: %d records, %d segments, %d bytes", *storeDir, st.Records, st.Segments, st.Bytes)
+		if jn := srv.Journal(); jn != nil {
+			if jst := jn.Stats(); jst.Pending > 0 {
+				log.Printf("trackd: journal replaying %d pending jobs (readyz answers 503 until done)", jst.Pending)
+			}
+		}
 	}
 
 	// The profiling endpoint lives on its OWN listener, never the service

@@ -1,0 +1,218 @@
+package faults
+
+// Filesystem-boundary fault injection: the third injector family, after
+// the in-memory trace injectors and the byte-level file injectors. Where
+// those corrupt the *data* a pipeline reads, FaultFS corrupts the *IO*
+// a durable component performs — short writes, fsync errors, ENOSPC,
+// torn renames — the failure modes real disks and filesystems exhibit
+// under pressure. perfdb's segment store and trackd's job journal both
+// take an FS through their Options, so the same injector exercises every
+// write path the fault-tolerance layer must survive.
+//
+// Faults are deterministic: triggers are op-count and byte-count based
+// (every Nth write, every Nth fsync, after B bytes), so a failing test
+// reproduces with the same configuration, no seeds required. The Report
+// counts what actually fired, letting tests assert both that faults were
+// injected and that the component under test absorbed them.
+
+import (
+	"io"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// File is the subset of *os.File durable components need. *os.File
+// satisfies it directly.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+	Sync() error
+	Stat() (os.FileInfo, error)
+}
+
+// FS abstracts the filesystem operations of the store and journal so
+// fault injectors can sit underneath them. OS is the passthrough
+// implementation; FaultFS wraps any FS with injected failures.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(dir string) ([]os.DirEntry, error)
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	Truncate(path string, size int64) error
+	Remove(path string) error
+	Rename(oldPath, newPath string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) ReadDir(dir string) ([]os.DirEntry, error)    { return os.ReadDir(dir) }
+func (OS) Truncate(path string, size int64) error       { return os.Truncate(path, size) }
+func (OS) Remove(path string) error                     { return os.Remove(path) }
+func (OS) Rename(oldPath, newPath string) error         { return os.Rename(oldPath, newPath) }
+func (OS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+// FSFaults configures which IO faults a FaultFS injects. Zero values
+// disable each fault.
+type FSFaults struct {
+	// ShortWriteEveryN makes every Nth write (counted across all files)
+	// persist only the first half of its buffer and return
+	// io.ErrShortWrite — the torn page of a power cut or a full pipe.
+	ShortWriteEveryN int
+	// SyncFailEveryN makes every Nth fsync return EIO without syncing —
+	// the failure mode behind fsyncgate.
+	SyncFailEveryN int
+	// ENOSPCAfterBytes fails every write once the cumulative bytes
+	// written through this FS exceed the bound: the disk filled up.
+	// Writes crossing the boundary persist the portion that fits (a
+	// short write) and return ENOSPC.
+	ENOSPCAfterBytes int64
+	// TornRename makes Rename copy only the first half of the source
+	// into the destination and return EIO, leaving the source intact —
+	// a crash midway through a non-atomic metadata operation.
+	TornRename bool
+}
+
+// FSReport counts the faults a FaultFS actually injected.
+type FSReport struct {
+	ShortWrites int
+	SyncErrors  int
+	ENOSPC      int
+	TornRenames int
+}
+
+// FaultFS wraps a base FS (default OS) and injects the configured
+// faults deterministically. Safe for concurrent use.
+type FaultFS struct {
+	Base   FS
+	Faults FSFaults
+
+	mu      sync.Mutex
+	writes  int   // write ops seen
+	syncs   int   // fsync ops seen
+	written int64 // cumulative bytes successfully written
+	report  FSReport
+}
+
+// NewFaultFS wraps the OS filesystem with the given fault plan.
+func NewFaultFS(f FSFaults) *FaultFS { return &FaultFS{Base: OS{}, Faults: f} }
+
+func (f *FaultFS) base() FS {
+	if f.Base == nil {
+		return OS{}
+	}
+	return f.Base
+}
+
+// Report snapshots the injected-fault counters.
+func (f *FaultFS) Report() FSReport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.report
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error { return f.base().MkdirAll(path, perm) }
+func (f *FaultFS) ReadDir(dir string) ([]os.DirEntry, error)    { return f.base().ReadDir(dir) }
+func (f *FaultFS) Truncate(path string, size int64) error       { return f.base().Truncate(path, size) }
+func (f *FaultFS) Remove(path string) error                     { return f.base().Remove(path) }
+
+func (f *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	base, err := f.base().OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, File: base}, nil
+}
+
+// Rename injects the torn-rename fault: the destination receives only a
+// prefix of the source and the operation reports failure, as when the
+// process dies mid-copy on a filesystem without atomic rename. The
+// source survives, so recovery code that unions old and new state (the
+// journal's generation scan) loses nothing.
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	if !f.Faults.TornRename {
+		return f.base().Rename(oldPath, newPath)
+	}
+	f.mu.Lock()
+	f.report.TornRenames++
+	f.mu.Unlock()
+	src, err := f.base().OpenFile(oldPath, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	fi, err := src.Stat()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, fi.Size()/2)
+	if _, err := io.ReadFull(src, buf); err != nil && err != io.ErrUnexpectedEOF {
+		return err
+	}
+	dst, err := f.base().OpenFile(newPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	dst.Write(buf)
+	dst.Close()
+	return syscall.EIO
+}
+
+// faultFile interposes on the write-side operations of one open file.
+type faultFile struct {
+	fs *FaultFS
+	File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	f.writes++
+	// Disk-full: persist what fits below the bound, fail the rest.
+	if b := f.Faults.ENOSPCAfterBytes; b > 0 && f.written+int64(len(p)) > b {
+		fit := b - f.written
+		if fit < 0 {
+			fit = 0
+		}
+		f.report.ENOSPC++
+		f.mu.Unlock()
+		n, _ := ff.File.Write(p[:fit])
+		f.mu.Lock()
+		f.written += int64(n)
+		f.mu.Unlock()
+		return n, syscall.ENOSPC
+	}
+	if n := f.Faults.ShortWriteEveryN; n > 0 && f.writes%n == 0 && len(p) > 1 {
+		f.report.ShortWrites++
+		f.mu.Unlock()
+		n, _ := ff.File.Write(p[:len(p)/2])
+		f.mu.Lock()
+		f.written += int64(n)
+		f.mu.Unlock()
+		return n, io.ErrShortWrite
+	}
+	f.mu.Unlock()
+	n, err := ff.File.Write(p)
+	f.mu.Lock()
+	f.written += int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	f.syncs++
+	if n := f.Faults.SyncFailEveryN; n > 0 && f.syncs%n == 0 {
+		f.report.SyncErrors++
+		f.mu.Unlock()
+		return syscall.EIO
+	}
+	f.mu.Unlock()
+	return ff.File.Sync()
+}

@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func openRW(t *testing.T, fs FS, path string) File {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestOSPassthrough: the OS implementation behaves like the os package.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	var fs FS = OS{}
+	if err := fs.MkdirAll(filepath.Join(dir, "a/b"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "a/b/x")
+	f := openRW(t, fs, p)
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := fs.Truncate(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(p, p+"2"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p + "2")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("after truncate+rename: %q, %v", got, err)
+	}
+	ents, err := fs.ReadDir(filepath.Join(dir, "a/b"))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir: %v, %v", ents, err)
+	}
+	if err := fs.Remove(p + "2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShortWriteEveryN: the Nth write persists half its buffer and
+// reports io.ErrShortWrite; the on-disk bytes match exactly what the
+// returned n claims was written.
+func TestShortWriteEveryN(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(FSFaults{ShortWriteEveryN: 3})
+	p := filepath.Join(dir, "f")
+	f := openRW(t, fs, p)
+	defer f.Close()
+
+	var want []byte
+	for i := 0; i < 7; i++ {
+		buf := []byte("0123456789")
+		n, err := f.Write(buf)
+		if (i+1)%3 == 0 {
+			if err != io.ErrShortWrite {
+				t.Fatalf("write %d: err %v, want ErrShortWrite", i, err)
+			}
+			if n != 5 {
+				t.Fatalf("write %d: n=%d, want 5", i, n)
+			}
+		} else if err != nil || n != 10 {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+		want = append(want, buf[:n]...)
+	}
+	got, _ := os.ReadFile(p)
+	if string(got) != string(want) {
+		t.Fatalf("on-disk %q != acknowledged %q", got, want)
+	}
+	if r := fs.Report(); r.ShortWrites != 2 {
+		t.Fatalf("report %+v, want 2 short writes", r)
+	}
+}
+
+// TestSyncFailEveryN: every Nth fsync fails with EIO, others succeed.
+func TestSyncFailEveryN(t *testing.T) {
+	fs := NewFaultFS(FSFaults{SyncFailEveryN: 2})
+	f := openRW(t, fs, filepath.Join(t.TempDir(), "f"))
+	defer f.Close()
+	for i := 0; i < 6; i++ {
+		err := f.Sync()
+		if (i+1)%2 == 0 {
+			if !errors.Is(err, syscall.EIO) {
+				t.Fatalf("sync %d: err %v, want EIO", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+	}
+	if r := fs.Report(); r.SyncErrors != 3 {
+		t.Fatalf("report %+v, want 3 sync errors", r)
+	}
+}
+
+// TestENOSPCAfterBytes: writes crossing the byte budget persist the
+// fitting prefix and fail with ENOSPC; every later write fails too.
+func TestENOSPCAfterBytes(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(FSFaults{ENOSPCAfterBytes: 25})
+	p := filepath.Join(dir, "f")
+	f := openRW(t, fs, p)
+	defer f.Close()
+
+	for i := 0; i < 2; i++ { // 20 bytes fit
+		if n, err := f.Write([]byte("0123456789")); n != 10 || err != nil {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+	}
+	n, err := f.Write([]byte("0123456789")) // crosses: 5 fit
+	if n != 5 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("crossing write: n=%d err=%v", n, err)
+	}
+	if n, err := f.Write([]byte("x")); n != 0 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("post-full write: n=%d err=%v", n, err)
+	}
+	got, _ := os.ReadFile(p)
+	if len(got) != 25 {
+		t.Fatalf("on-disk %d bytes, want 25", len(got))
+	}
+	if r := fs.Report(); r.ENOSPC != 2 {
+		t.Fatalf("report %+v, want 2 ENOSPC", r)
+	}
+}
+
+// TestTornRename: the destination holds only a prefix of the source, the
+// source survives, and the operation reports failure — exactly the state
+// union-based recovery must tolerate.
+func TestTornRename(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(FSFaults{TornRename: true})
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+	if err := os.WriteFile(src, []byte("0123456789abcdef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(src, dst); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename err %v, want EIO", err)
+	}
+	srcBytes, err := os.ReadFile(src)
+	if err != nil || len(srcBytes) != 16 {
+		t.Fatalf("source damaged: %q, %v", srcBytes, err)
+	}
+	dstBytes, err := os.ReadFile(dst)
+	if err != nil || string(dstBytes) != "01234567" {
+		t.Fatalf("destination %q, want the 8-byte prefix", dstBytes)
+	}
+	if r := fs.Report(); r.TornRenames != 1 {
+		t.Fatalf("report %+v", r)
+	}
+}

@@ -277,6 +277,7 @@ type Job struct {
 
 	state       JobState
 	cacheHit    bool
+	journaled   bool // an intent entry gates this job's resolution
 	errMsg      string
 	result      []byte
 	diagnostics *core.Diagnostics

@@ -1,0 +1,149 @@
+package service
+
+// Job-journal wiring: the durable half of the submission contract. When
+// the store is enabled (and the journal not explicitly disabled), every
+// new job is journaled as an intent BEFORE Submit returns — the 202 a
+// client sees means "this job survives a crash". The intent is resolved
+// once the result is appended to perfdb (done) or the job reaches a
+// definitive error (fail); jobs interrupted by a crash or shutdown stay
+// pending and are replayed by the next startup, which consults the
+// store first so nothing already persisted is recomputed.
+
+import (
+	"encoding/json"
+	"time"
+
+	"perftrack/internal/store"
+)
+
+type journalMetrics struct {
+	replayed *Counter
+	fsync    *Histogram
+}
+
+// openJournal opens the job journal next to the store and registers its
+// metrics. Called from New after openStore.
+func (s *Server) openJournal() error {
+	r := s.reg
+	s.jm = journalMetrics{
+		replayed: r.NewCounter("trackd_journal_replayed_total", "Pending journal intents processed at startup (re-executed or deduplicated against the store)."),
+		fsync:    r.NewHistogram("trackd_journal_fsync_seconds", "Latency of journal fsyncs.", nil),
+	}
+	j, err := store.OpenJournal(s.cfg.StoreDir, store.JournalOptions{
+		SyncEvery:    s.cfg.JournalSyncEvery,
+		CompactEvery: s.cfg.JournalCompactEvery,
+		OnFsync:      func(d time.Duration) { s.jm.fsync.Observe(d.Seconds()) },
+		FS:           s.cfg.StoreFS,
+	})
+	if err != nil {
+		return err
+	}
+	s.journal = j
+	r.NewGaugeFunc("trackd_journal_pending", "Unresolved journal intents (acknowledged jobs not yet stored or definitively failed).", func() int64 { return int64(j.Stats().Pending) })
+	r.NewGaugeFunc("trackd_journal_bytes", "On-disk bytes of the active journal generation.", func() int64 { return j.Stats().Bytes })
+	r.NewGaugeFunc("trackd_journal_appends", "Cumulative journal entries written since open.", func() int64 { return int64(j.Stats().Appends) })
+	r.NewGaugeFunc("trackd_journal_fsyncs", "Cumulative journal fsyncs since open.", func() int64 { return int64(j.Stats().Fsyncs) })
+	r.NewGaugeFunc("trackd_journal_compactions", "Cumulative journal compactions since open.", func() int64 { return int64(j.Stats().Compactions) })
+	r.NewGaugeFunc("trackd_journal_truncations", "Torn bytes truncated off journal generations at open.", func() int64 { return j.Stats().TornTruncated })
+	return nil
+}
+
+// Journal exposes the job journal (nil when disabled). Tests and the
+// chaos harness use it to inspect durability state.
+func (s *Server) Journal() *store.Journal { return s.journal }
+
+// resolveJournal marks a finished job's intent done or failed. Called
+// WITHOUT the server mutex (the journal fsyncs).
+func (s *Server) resolveJournal(j *Job, errMsg string, ok bool) {
+	if s.journal == nil || !j.journaled {
+		return
+	}
+	s.journal.Resolve(j.Key, errMsg, ok)
+}
+
+// replay processes the pending intents recovered from the journal, in
+// journal order. Each intent is deduplicated against the persistent
+// store (a result that landed before the crash is not recomputed — the
+// "no fingerprint computed twice" half of the recovery invariant) and
+// otherwise resubmitted through the normal queue. replayDone closes
+// once every replayed job reaches a terminal state; /readyz reports 503
+// until then.
+func (s *Server) replay(pending []store.PendingIntent) {
+	defer close(s.replayDone)
+	var waits []*Job
+	for _, p := range pending {
+		s.jm.replayed.Inc()
+		if j := s.replayIntent(p); j != nil {
+			waits = append(waits, j)
+		}
+	}
+	for _, j := range waits {
+		select {
+		case <-j.done:
+		case <-s.rootCtx.Done():
+			return
+		}
+	}
+}
+
+// replayIntent resubmits one journaled intent. It returns the job to
+// wait on, or nil when the intent resolved immediately (store hit,
+// undecodable payload, fingerprint mismatch, or shutdown).
+func (s *Server) replayIntent(p store.PendingIntent) *Job {
+	var req JobRequest
+	if err := json.Unmarshal(p.Payload, &req); err != nil {
+		s.journal.Resolve(p.Key, "replay: undecodable intent: "+err.Error(), false)
+		return nil
+	}
+	spec, err := resolve(req)
+	if err != nil {
+		s.journal.Resolve(p.Key, "replay: "+err.Error(), false)
+		return nil
+	}
+	if spec.key != p.Key {
+		// A journal written by a different fingerprint scheme (or a
+		// corrupted-but-CRC-valid payload): executing it would store the
+		// result under a key nobody asked for. Fail it definitively.
+		s.journal.Resolve(p.Key, "replay: fingerprint mismatch", false)
+		return nil
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	if val, ok := s.cache.Get(spec.key); ok {
+		s.refileLocked(spec, val)
+		s.mu.Unlock()
+		s.journal.Resolve(p.Key, "", true)
+		return nil
+	}
+	if running, ok := s.inflight[spec.key]; ok {
+		// A client resubmitted the same inputs before replay got here:
+		// attach to that execution; its completion resolves the intent.
+		running.journaled = true
+		s.mu.Unlock()
+		return running
+	}
+	if _, ok := s.storeGetLocked(spec); ok {
+		// The result landed in perfdb before the crash; only the
+		// resolution entry was lost. No recomputation.
+		s.mu.Unlock()
+		s.journal.Resolve(p.Key, "", true)
+		return nil
+	}
+	j := s.newJobLocked(spec)
+	j.journaled = true
+	s.inflight[spec.key] = j
+	s.mu.Unlock()
+
+	// Blocking send: replay must not drop acknowledged work on a full
+	// queue; it waits for capacity (or shutdown).
+	select {
+	case s.queue <- j:
+		return j
+	case <-s.rootCtx.Done():
+		return nil
+	}
+}

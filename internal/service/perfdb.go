@@ -46,6 +46,7 @@ func (s *Server) openStore() error {
 		MaxSegmentBytes: s.cfg.StoreMaxSegmentBytes,
 		SyncEvery:       s.cfg.StoreSyncEvery,
 		OnFsync:         func(d time.Duration) { s.sm.fsync.Observe(d.Seconds()) },
+		FS:              s.cfg.StoreFS,
 	})
 	if err != nil {
 		return err

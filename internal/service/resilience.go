@@ -1,0 +1,195 @@
+package service
+
+// Resilience primitives for the fault-tolerance layer: a circuit
+// breaker guarding the store write path and the pipeline execution
+// path, jittered exponential backoff for retries, and the retrying
+// persist step that moves a completed result into perfdb without
+// holding the server mutex across sleeps.
+//
+// Policy: a result that cannot be persisted after the retry budget does
+// NOT fail the job — the client is served from memory and the job's
+// journal intent stays pending, so the next startup replays it and the
+// result eventually reaches the store. A store that keeps failing trips
+// the breaker, and while it is open trackd degrades to read-only:
+// submissions that would need a journal write are refused with 503
+// (ErrDegraded) while cached and stored results keep flowing.
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"perftrack/internal/store"
+)
+
+// ErrDegraded is returned for submissions refused because the service
+// is in read-only degradation (store or execution breaker open, or the
+// journal cannot make intents durable).
+var ErrDegraded = errors.New("service: degraded to read-only, retry later")
+
+// breakerClosed/breakerOpen are the two stable breaker states; "half
+// open" is the open state after its cooldown, when probes are admitted.
+const (
+	breakerClosed = iota
+	breakerOpen
+)
+
+// Breaker is a consecutive-failure circuit breaker. Closed passes
+// everything; threshold consecutive failures open it; after cooldown it
+// admits one probe per cooldown period (half-open) and a probe success
+// closes it again. The zero value is unusable — use newBreaker.
+type Breaker struct {
+	mu           sync.Mutex
+	threshold    int
+	cooldown     time.Duration
+	now          func() time.Time
+	onTransition func(open bool)
+
+	state    int
+	fails    int
+	openedAt time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, onTransition func(open bool)) *Breaker {
+	return &Breaker{
+		threshold: threshold, cooldown: cooldown,
+		now: time.Now, onTransition: onTransition,
+		state: breakerClosed,
+	}
+}
+
+// Allow reports whether a protected call may proceed. In the open
+// state, one probe is admitted each time a cooldown elapses; admitting
+// the probe restarts the cooldown, so a wedged probe (caller never
+// reports an outcome) cannot wedge the breaker.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerClosed {
+		return true
+	}
+	if b.now().Sub(b.openedAt) >= b.cooldown {
+		b.openedAt = b.now()
+		return true
+	}
+	return false
+}
+
+// Blocked reports whether the breaker is open and still cooling down —
+// the non-consuming check submission gating uses: once the cooldown has
+// elapsed, new work is admitted again so it can serve as the probe.
+func (b *Breaker) Blocked() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen && b.now().Sub(b.openedAt) < b.cooldown
+}
+
+// Success reports a protected call that succeeded.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.fails = 0
+	transition := b.state == breakerOpen
+	b.state = breakerClosed
+	b.mu.Unlock()
+	if transition && b.onTransition != nil {
+		b.onTransition(false)
+	}
+}
+
+// Failure reports a protected call that failed.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	b.fails++
+	transition := b.state == breakerClosed && b.fails >= b.threshold
+	if transition || b.state == breakerOpen {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+	b.mu.Unlock()
+	if transition && b.onTransition != nil {
+		b.onTransition(true)
+	}
+}
+
+// Open reports whether the breaker is currently open (including the
+// cooled-down, probe-admitting phase).
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen
+}
+
+// backoffDelay is the jittered exponential backoff for retry attempt n
+// (0-based): base·2ⁿ capped at max, then uniformly jittered into
+// [d/2, d) so synchronized retries decorrelate.
+func backoffDelay(attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
+// resilienceMetrics are the fault-tolerance layer's counters and gauges.
+type resilienceMetrics struct {
+	retryAttempts     *Counter
+	storeBreakerFlips *Counter
+	execBreakerFlips  *Counter
+	degradedResponses *Counter
+}
+
+// persist moves one completed result into perfdb, retrying with
+// jittered exponential backoff under the store breaker. Called WITHOUT
+// the server mutex: the sleeps here must not stall submissions or other
+// workers' completions. Returns nil once the record is appended.
+func (s *Server) persist(spec *jobSpec, payload []byte) error {
+	rec := store.Record{
+		Key:      spec.key,
+		Series:   spec.series,
+		Label:    spec.runLabel,
+		UnixNano: time.Now().UnixNano(),
+		Payload:  payload,
+	}
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.StoreRetries; attempt++ {
+		if attempt > 0 {
+			s.rm.retryAttempts.Inc()
+			select {
+			case <-time.After(backoffDelay(attempt-1, s.cfg.RetryBase, s.cfg.RetryMax)):
+			case <-s.rootCtx.Done():
+				if lastErr == nil {
+					lastErr = ErrShuttingDown
+				}
+				return lastErr
+			}
+		}
+		if !s.storeBreaker.Allow() {
+			lastErr = ErrDegraded
+			continue
+		}
+		var err error
+		if s.testAppendFault != nil {
+			err = s.testAppendFault(rec.Key)
+		}
+		if err == nil {
+			err = s.store.Append(rec)
+		}
+		if err != nil {
+			s.storeBreaker.Failure()
+			s.sm.appendErrors.Inc()
+			lastErr = err
+			continue
+		}
+		s.storeBreaker.Success()
+		return nil
+	}
+	return lastErr
+}

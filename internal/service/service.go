@@ -15,6 +15,7 @@
 //	GET  /v1/series/{name}/regressions   changepoint verdicts per trajectory
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness + degraded-mode diagnostics
+//	GET  /readyz              readiness: 503 during journal replay or open breakers
 //
 // Backpressure is explicit: when the queue is full a submission is
 // rejected with 429 and a Retry-After header rather than queued without
@@ -37,6 +38,7 @@ import (
 
 	"perftrack/internal/apps"
 	"perftrack/internal/core"
+	"perftrack/internal/faults"
 	"perftrack/internal/mpisim"
 	"perftrack/internal/store"
 	"perftrack/internal/trace"
@@ -62,13 +64,51 @@ type Config struct {
 	MaxBodyBytes int64
 	// StoreDir, when set, enables perfdb: every completed analysis is
 	// appended to the persistent store there, cache misses read through
-	// it, and the series/trajectory endpoints come alive.
+	// it, and the series/trajectory endpoints come alive. It also
+	// enables the job journal (crash-durable submissions) unless
+	// JournalDisabled is set.
 	StoreDir string
 	// StoreMaxSegmentBytes / StoreSyncEvery pass through to the store
 	// (zero means the store's own defaults: 64 MiB segments, fsync
 	// every 8 appends).
 	StoreMaxSegmentBytes int64
 	StoreSyncEvery       int
+	// JournalDisabled turns off the job journal even when StoreDir is
+	// set: submissions are acknowledged from memory only, as before the
+	// fault-tolerance layer.
+	JournalDisabled bool
+	// JournalSyncEvery / JournalCompactEvery pass through to the journal
+	// (zero means its defaults: resolutions batch 8 per fsync, compact
+	// every 512 resolutions). Intents always fsync before the ack.
+	JournalSyncEvery    int
+	JournalCompactEvery int
+	// StageTimeout, when positive, bounds each pipeline stage (prepare /
+	// cluster / track / export) individually, inside the overall
+	// JobTimeout. Zero disables per-stage budgets.
+	StageTimeout time.Duration
+	// StoreRetries bounds the retry attempts when appending a completed
+	// result to the store fails (default 3; the first try is not a
+	// retry). Retries back off exponentially with jitter between
+	// RetryBase (default 25ms) and RetryMax (default 1s).
+	StoreRetries int
+	RetryBase    time.Duration
+	RetryMax     time.Duration
+	// BreakerThreshold consecutive failures open a circuit breaker
+	// (default 5); an open breaker admits a probe after BreakerCooldown
+	// (default 5s). One breaker guards store writes, another pipeline
+	// executions; either being open degrades trackd to read-only.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// StoreFS, when set, substitutes the filesystem under the store and
+	// journal — the chaos tests plug in faults.FaultFS here.
+	StoreFS faults.FS
+
+	// Test seams, settable only from inside the package. Unlike the
+	// Server fields of the same names, these are installed before the
+	// worker pool and the replay goroutine start, so hooks observe
+	// startup replay without racing it.
+	testExecHook    func(key string)
+	testPersistHook func(key string, err error)
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +133,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.StoreRetries <= 0 {
+		c.StoreRetries = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	return c
 }
 
@@ -105,13 +160,26 @@ var ErrShuttingDown = errors.New("service: shutting down")
 // Server is the tracking service: call New, mount Handler, and Shutdown
 // when done.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	store *store.Store
+	cfg     Config
+	cache   *Cache
+	store   *store.Store
+	journal *store.Journal
 
 	reg *Registry
 	m   serverMetrics
 	sm  storeMetrics
+	jm  journalMetrics
+	rm  resilienceMetrics
+
+	// storeBreaker trips on consecutive failed store appends,
+	// execBreaker on consecutive failed pipeline executions. Either
+	// being open refuses new write work (read paths keep serving).
+	storeBreaker *Breaker
+	execBreaker  *Breaker
+
+	// replayDone closes once startup journal replay (if any) has driven
+	// every recovered intent to a terminal state; /readyz gates on it.
+	replayDone chan struct{}
 
 	rootCtx context.Context
 	cancel  context.CancelFunc
@@ -135,6 +203,16 @@ type Server struct {
 	// hold workers busy deterministically (queue saturation,
 	// singleflight, shutdown-cancellation scenarios).
 	testGate chan struct{}
+	// testExecHook / testPersistHook, when set before any submission,
+	// observe each pipeline execution start and each persist outcome.
+	// The chaos harness counts fingerprint executions and persist
+	// failures through them. testAppendFault, when set, is consulted
+	// before each store append attempt and its non-nil error replaces
+	// the append — deterministic store-write failure injection above
+	// the filesystem.
+	testExecHook    func(key string)
+	testPersistHook func(key string, err error)
+	testAppendFault func(key string) error
 }
 
 type healthAccum struct {
@@ -184,6 +262,7 @@ func New(cfg Config) (*Server, error) {
 		inflight: map[string]*Job{},
 	}
 	s.rootCtx, s.cancel = context.WithCancel(context.Background())
+	s.testExecHook, s.testPersistHook = cfg.testExecHook, cfg.testPersistHook
 
 	r := s.reg
 	s.m = serverMetrics{
@@ -211,16 +290,57 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.cache.onEvict = func() { s.m.cacheEvictions.Inc() }
 
+	s.rm = resilienceMetrics{
+		retryAttempts:     r.NewCounter("trackd_store_retry_attempts_total", "Retried store appends after a failure (first attempts not counted)."),
+		storeBreakerFlips: r.NewCounter("trackd_store_breaker_transitions_total", "Store circuit breaker open/close transitions."),
+		execBreakerFlips:  r.NewCounter("trackd_exec_breaker_transitions_total", "Execution circuit breaker open/close transitions."),
+		degradedResponses: r.NewCounter("trackd_degraded_responses_total", "Submissions refused with 503 because the service was degraded to read-only."),
+	}
+	s.storeBreaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, func(bool) { s.rm.storeBreakerFlips.Inc() })
+	s.execBreaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, func(bool) { s.rm.execBreakerFlips.Inc() })
+	r.NewGaugeFunc("trackd_store_breaker_open", "1 while the store circuit breaker is open.", func() int64 {
+		if s.storeBreaker.Open() {
+			return 1
+		}
+		return 0
+	})
+	r.NewGaugeFunc("trackd_exec_breaker_open", "1 while the execution circuit breaker is open.", func() int64 {
+		if s.execBreaker.Open() {
+			return 1
+		}
+		return 0
+	})
+
+	s.replayDone = make(chan struct{})
 	if cfg.StoreDir != "" {
 		if err := s.openStore(); err != nil {
 			s.cancel()
 			return nil, err
+		}
+		if !cfg.JournalDisabled {
+			if err := s.openJournal(); err != nil {
+				s.store.Close()
+				s.cancel()
+				return nil, err
+			}
 		}
 	}
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+
+	// Startup replay: drive every pending intent to a terminal state in
+	// the background; /readyz reports 503 until it finishes.
+	if s.journal != nil {
+		if pending := s.journal.Pending(); len(pending) > 0 {
+			go s.replay(pending)
+		} else {
+			close(s.replayDone)
+		}
+	} else {
+		close(s.replayDone)
 	}
 	return s, nil
 }
@@ -231,10 +351,18 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Submit resolves the request, consults the cache and singleflight table,
 // and either returns a finished job (cache hit), an existing identical
 // in-flight job (coalesced=true), or enqueues a new one. ErrQueueFull
-// means the caller should retry later (HTTP 429).
+// means the caller should retry later (HTTP 429); ErrDegraded means the
+// service is read-only (503) because a breaker is open or the journal
+// cannot make the submission durable. When the journal is enabled, a
+// nil error for a fresh job means its intent is fsynced: the job
+// survives any crash from this point on.
 func (s *Server) Submit(req JobRequest) (job *Job, coalesced bool, err error) {
 	spec, err := resolve(req)
 	if err != nil {
+		return nil, false, err
+	}
+	var intent []byte
+	if intent, err = json.Marshal(req); err != nil {
 		return nil, false, err
 	}
 
@@ -263,11 +391,33 @@ func (s *Server) Submit(req JobRequest) (job *Job, coalesced bool, err error) {
 		return s.finishedJobLocked(spec, val), false, nil
 	}
 
+	// Everything past here is write work. Degrade to read-only while a
+	// breaker is open: reads above keep flowing, new executions do not.
+	if (s.journal != nil && s.storeBreaker.Blocked()) || s.execBreaker.Blocked() {
+		s.rm.degradedResponses.Inc()
+		return nil, false, ErrDegraded
+	}
+
 	j := s.newJobLocked(spec)
+	if s.journal != nil {
+		// Journal the intent before acknowledging: the fsync inside is
+		// what turns the 202 into a durability promise.
+		if jerr := s.journal.Intent(spec.key, intent); jerr != nil {
+			delete(s.jobs, j.ID)
+			s.order = s.order[:len(s.order)-1]
+			s.rm.degradedResponses.Inc()
+			return nil, false, fmt.Errorf("%w: %v", ErrDegraded, jerr)
+		}
+		j.journaled = true
+	}
 	select {
 	case s.queue <- j:
 	default:
-		// Undo the bookkeeping: the job never existed.
+		// Undo the bookkeeping: the job never existed. The journaled
+		// intent is balanced with a fail entry so it is not replayed.
+		if j.journaled {
+			s.journal.Resolve(spec.key, "queue full, never admitted", false)
+		}
 		delete(s.jobs, j.ID)
 		s.order = s.order[:len(s.order)-1]
 		s.m.jobsRejected.Inc()
@@ -378,7 +528,53 @@ func (s *Server) run(j *Job) {
 		}
 	}
 
+	if s.testExecHook != nil {
+		s.testExecHook(j.Key)
+	}
 	result, diags, err := s.execute(ctx, j.spec)
+
+	// Classify the outcome once; the journal resolution, the breaker
+	// verdict and the published state must all agree.
+	shutdownCancel := err != nil && s.rootCtx.Err() != nil && ctx.Err() == context.Canceled
+	var errMsg string
+	switch {
+	case err == nil:
+	case shutdownCancel:
+		errMsg = "daemon shutting down"
+	case errors.Is(err, context.DeadlineExceeded):
+		errMsg = fmt.Sprintf("job timeout after %s", s.cfg.JobTimeout)
+	default:
+		errMsg = err.Error()
+	}
+
+	// Persist and resolve the journal OUTSIDE the server mutex: persist
+	// sleeps between retries and the journal fsyncs; neither may stall
+	// submissions or the other workers.
+	var persistErr error
+	if err == nil {
+		s.execBreaker.Success()
+		if s.store != nil {
+			persistErr = s.persist(j.spec, result)
+			if s.testPersistHook != nil {
+				s.testPersistHook(j.Key, persistErr)
+			}
+		}
+	} else if !shutdownCancel {
+		s.execBreaker.Failure()
+	}
+	switch {
+	case err == nil && persistErr == nil:
+		s.resolveJournal(j, "", true)
+	case err == nil:
+		// Computed but not persisted after the retry budget: the client
+		// is served from memory, the intent stays pending, and the next
+		// startup replays it into the store.
+	case shutdownCancel:
+		// Interrupted, not finished: leave the intent pending so the
+		// next startup resumes the job.
+	default:
+		s.resolveJournal(j, errMsg, false)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -390,22 +586,15 @@ func (s *Server) run(j *Job) {
 		j.result = result
 		j.diagnostics = diags
 		s.cache.Put(j.Key, result)
-		if s.store != nil {
-			s.appendLocked(j.spec, result)
-		}
 		s.m.jobsCompleted.Inc()
 		s.noteDiagnosticsLocked(diags)
-	case s.rootCtx.Err() != nil && ctx.Err() == context.Canceled:
+	case shutdownCancel:
 		j.state = StateCanceled
-		j.errMsg = "daemon shutting down"
+		j.errMsg = errMsg
 		s.m.jobsCanceled.Inc()
-	case errors.Is(err, context.DeadlineExceeded):
-		j.state = StateFailed
-		j.errMsg = fmt.Sprintf("job timeout after %s", s.cfg.JobTimeout)
-		s.m.jobsFailed.Inc()
 	default:
 		j.state = StateFailed
-		j.errMsg = err.Error()
+		j.errMsg = errMsg
 		s.m.jobsFailed.Inc()
 	}
 	s.m.jobLatency.Observe(j.finished.Sub(j.submitted).Seconds())
@@ -413,14 +602,25 @@ func (s *Server) run(j *Job) {
 }
 
 // execute runs the pipeline stages, timing each into its histogram.
+// Each stage runs under its own timeout budget (Config.StageTimeout)
+// inside the job-wide deadline, so one pathological stage cannot eat
+// the whole JobTimeout before the failure is attributed.
 func (s *Server) execute(ctx context.Context, spec *jobSpec) ([]byte, *core.Diagnostics, error) {
 	observe := func(h *Histogram, from time.Time) { h.Observe(time.Since(from).Seconds()) }
+	stageCtx := func() (context.Context, context.CancelFunc) {
+		if s.cfg.StageTimeout > 0 {
+			return context.WithTimeout(ctx, s.cfg.StageTimeout)
+		}
+		return context.WithCancel(ctx)
+	}
 
 	t0 := time.Now()
 	traces := spec.traces
 	if spec.study != nil {
+		sctx, cancel := stageCtx()
 		var err error
-		traces, err = mpisim.SimulateSeriesContext(ctx, spec.study.Runs)
+		traces, err = mpisim.SimulateSeriesContext(sctx, spec.study.Runs)
+		cancel()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -436,14 +636,18 @@ func (s *Server) execute(ctx context.Context, spec *jobSpec) ([]byte, *core.Diag
 	observe(s.m.stagePrepare, t0)
 
 	t1 := time.Now()
-	frames, err := core.BuildFramesContext(ctx, traces, spec.cfg)
+	sctx, cancel := stageCtx()
+	frames, err := core.BuildFramesContext(sctx, traces, spec.cfg)
+	cancel()
 	if err != nil {
 		return nil, nil, err
 	}
 	observe(s.m.stageCluster, t1)
 
 	t2 := time.Now()
-	res, err := core.NewTracker(spec.cfg).TrackContext(ctx, frames)
+	sctx, cancel = stageCtx()
+	res, err := core.NewTracker(spec.cfg).TrackContext(sctx, frames)
+	cancel()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -519,10 +723,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 	}
-	// Close the store last: a straggling worker's append after this
-	// point fails cleanly (counted, not crashed).
+	// Close the store, then the journal, last: a straggling append after
+	// this point fails cleanly (counted, not crashed). Intents of
+	// canceled jobs are deliberately NOT resolved — they stay pending on
+	// disk and the next startup replays them.
 	if s.store != nil {
 		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if s.journal != nil {
+		if cerr := s.journal.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}
@@ -546,6 +757,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/series/{name}/regressions", s.handleRegressions)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -575,6 +787,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "job queue is full, retry later")
 		return
 	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, ErrDegraded):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case err != nil:
@@ -701,6 +917,16 @@ type Health struct {
 		Bytes      int64  `json:"bytes"`
 		Superseded uint64 `json:"superseded"`
 	} `json:"store"`
+	Journal struct {
+		Enabled bool   `json:"enabled"`
+		Pending int    `json:"pending"`
+		Bytes   int64  `json:"bytes"`
+		Appends uint64 `json:"appends"`
+	} `json:"journal"`
+	Breakers struct {
+		StoreOpen bool `json:"storeOpen"`
+		ExecOpen  bool `json:"execOpen"`
+	} `json:"breakers"`
 }
 
 // Healthz snapshots the daemon state for /healthz.
@@ -745,11 +971,62 @@ func (s *Server) Healthz() Health {
 		h.Store.Bytes = st.Bytes
 		h.Store.Superseded = st.Superseded
 	}
+	if s.journal != nil {
+		jst := s.journal.Stats()
+		h.Journal.Enabled = true
+		h.Journal.Pending = jst.Pending
+		h.Journal.Bytes = jst.Bytes
+		h.Journal.Appends = jst.Appends
+	}
+	h.Breakers.StoreOpen = s.storeBreaker.Open()
+	h.Breakers.ExecOpen = s.execBreaker.Open()
 	return h
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Healthz())
+}
+
+// Readiness is the /readyz document. Liveness (/healthz) answers "is
+// the process up"; readiness answers "should traffic be routed here":
+// not while journal replay is still resuming acknowledged work, and not
+// while a breaker has degraded the service to read-only.
+type Readiness struct {
+	Ready   bool     `json:"ready"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Readyz reports whether the daemon is ready for new write traffic.
+func (s *Server) Readyz() Readiness {
+	var r Readiness
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		r.Reasons = append(r.Reasons, "shutting down")
+	}
+	select {
+	case <-s.replayDone:
+	default:
+		r.Reasons = append(r.Reasons, "journal replay in progress")
+	}
+	if s.storeBreaker.Open() {
+		r.Reasons = append(r.Reasons, "store circuit breaker open")
+	}
+	if s.execBreaker.Open() {
+		r.Reasons = append(r.Reasons, "execution circuit breaker open")
+	}
+	r.Ready = len(r.Reasons) == 0
+	return r
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := s.Readyz()
+	status := http.StatusOK
+	if !ready.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ready)
 }
 
 // Hash re-exports the canonical trace hash for clients that want to

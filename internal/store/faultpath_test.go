@@ -1,0 +1,136 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"perftrack/internal/faults"
+)
+
+// Fault-path coverage for the store's write side, driven by the
+// filesystem injector: short writes, fsync errors and ENOSPC. The
+// contract under test is the journal/perfdb durability story's
+// foundation — a failed append never poisons the segment for later
+// appends, and everything the store acknowledged survives a reopen.
+
+// appendUntil drives appends through a store, retrying each record until
+// it is accepted or the per-record retry budget is exhausted. It returns
+// the keys the store acknowledged.
+func appendUntil(t *testing.T, s *Store, n, retries int) map[string]bool {
+	t.Helper()
+	acked := map[string]bool{}
+	for i := 0; i < n; i++ {
+		r := rec(i, "faulty")
+		for a := 0; a <= retries; a++ {
+			if err := s.Append(r); err == nil {
+				acked[r.Key] = true
+				break
+			}
+		}
+	}
+	return acked
+}
+
+// verifyAcked reopens dir on the clean filesystem and checks every
+// acknowledged key is present with its exact payload.
+func verifyAcked(t *testing.T, dir string, acked map[string]bool) {
+	t.Helper()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	for key := range acked {
+		var i int
+		fmt.Sscanf(key, "key-%d", &i)
+		got, ok, err := s.Get(key)
+		if err != nil || !ok {
+			t.Fatalf("acked key %s lost after reopen: ok=%v err=%v", key, ok, err)
+		}
+		if want := rec(i, "faulty").Payload; !bytes.Equal(got, want) {
+			t.Fatalf("key %s payload %q, want %q", key, got, want)
+		}
+	}
+}
+
+// TestAppendShortWriteHeals: every few appends the disk tears the frame
+// mid-write. The store must fail that append, heal the segment, and keep
+// accepting; reopen recovers exactly the acknowledged set.
+func TestAppendShortWriteHeals(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faults.NewFaultFS(faults.FSFaults{ShortWriteEveryN: 5})
+	s := mustOpen(t, dir, Options{SyncEvery: 1, FS: ffs})
+	acked := appendUntil(t, s, 40, 2)
+	if len(acked) != 40 {
+		t.Fatalf("only %d/40 appends acknowledged after retries", len(acked))
+	}
+	st := s.Stats()
+	if st.WriteHeals == 0 {
+		t.Fatalf("no write heals recorded despite %d short writes", ffs.Report().ShortWrites)
+	}
+	s.Close()
+	if r := ffs.Report(); r.ShortWrites == 0 {
+		t.Fatal("injector never fired; test exercised nothing")
+	}
+	verifyAcked(t, dir, acked)
+}
+
+// TestAppendFsyncError: with SyncEvery=1 every append fsyncs; every
+// other fsync fails. Appends whose fsync failed report the error, but
+// their bytes are intact on disk, so a retry (which re-appends and
+// supersedes) converges and nothing acknowledged is lost.
+func TestAppendFsyncError(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faults.NewFaultFS(faults.FSFaults{SyncFailEveryN: 2})
+	s := mustOpen(t, dir, Options{SyncEvery: 1, FS: ffs})
+	acked := appendUntil(t, s, 30, 3)
+	if len(acked) != 30 {
+		t.Fatalf("only %d/30 appends acknowledged after retries", len(acked))
+	}
+	s.Close()
+	if r := ffs.Report(); r.SyncErrors == 0 {
+		t.Fatal("injector never fired")
+	}
+	verifyAcked(t, dir, acked)
+}
+
+// TestAppendENOSPC: the disk fills mid-run. Appends start failing
+// permanently; the store must report errors rather than wedge or
+// corrupt, and once space "returns" (reopen without the injector) the
+// acknowledged prefix is fully readable.
+func TestAppendENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faults.NewFaultFS(faults.FSFaults{ENOSPCAfterBytes: 4096})
+	s := mustOpen(t, dir, Options{SyncEvery: 1, FS: ffs})
+	acked := map[string]bool{}
+	var failed int
+	for i := 0; i < 60; i++ {
+		r := rec(i, "faulty")
+		if err := s.Append(r); err == nil {
+			acked[r.Key] = true
+		} else {
+			failed++
+		}
+	}
+	if len(acked) == 0 || failed == 0 {
+		t.Fatalf("want both successes and failures, got %d acked %d failed", len(acked), failed)
+	}
+	s.Close()
+	verifyAcked(t, dir, acked)
+}
+
+// TestAppendAfterHealKeepsReads: a heal must not invalidate reads of
+// records appended before and after the fault on the same segment.
+func TestAppendAfterHealKeepsReads(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faults.NewFaultFS(faults.FSFaults{ShortWriteEveryN: 4})
+	s := mustOpen(t, dir, Options{SyncEvery: 1, FS: ffs})
+	defer s.Close()
+	acked := appendUntil(t, s, 20, 2)
+	for key := range acked {
+		var i int
+		fmt.Sscanf(key, "key-%d", &i)
+		got, ok, err := s.Get(key)
+		if err != nil || !ok || !bytes.Equal(got, rec(i, "faulty").Payload) {
+			t.Fatalf("live read of %s after heals: ok=%v err=%v", key, ok, err)
+		}
+	}
+}

@@ -1,0 +1,520 @@
+package store
+
+// The job journal: trackd's write-ahead log. A job is journaled as an
+// *intent* before the HTTP 202 is returned — the intent fsyncs
+// immediately, so an acknowledged job survives any crash — and is
+// *resolved* (done or fail) once its result lands in perfdb or it
+// reaches a definitive error. On startup the service replays unresolved
+// intents, consulting the store first so nothing already persisted is
+// recomputed.
+//
+// The on-disk discipline is the segment discipline of the store itself:
+// CRC-framed records (record.go), sequential scan, torn-tail truncation.
+// Entries reuse the Record frame with the Series field carrying the
+// entry type ("intent"/"done"/"fail"), Label carrying a fail's error
+// message, and Payload carrying the serialized job request.
+//
+// Instead of one growing file, the journal keeps *generation* files
+// (journal-NNNNNN.wal). Compaction never renames or rewrites in place —
+// rename is exactly the operation the fault injector shows to be
+// non-atomic on hostile filesystems. It writes the still-pending intents
+// into a brand-new generation, fsyncs it, and only then deletes the old
+// files. Recovery unions all generations in id order, so a crash at any
+// point of compaction leaves either the old files, both (harmless
+// duplicate intents; resolutions still apply), or just the new one.
+//
+// Durability contract: Intent returns nil only after its bytes are
+// fsynced. Resolutions batch (SyncEvery) — losing a tail of resolutions
+// re-replays jobs whose results are already stored, which replay
+// deduplicates against the store.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"perftrack/internal/faults"
+)
+
+const (
+	genPrefix, genSuffix = "journal-", ".wal"
+
+	entryIntent = "intent"
+	entryDone   = "done"
+	entryFail   = "fail"
+)
+
+func genName(id int) string { return fmt.Sprintf("%s%06d%s", genPrefix, id, genSuffix) }
+
+// JournalOptions parametrises OpenJournal.
+type JournalOptions struct {
+	// SyncEvery batches resolution fsyncs (default 8). Intents always
+	// sync immediately; only done/fail entries batch.
+	SyncEvery int
+	// CompactEvery triggers compaction after this many resolutions
+	// (default 512).
+	CompactEvery int
+	// OnFsync, when set, observes every fsync latency (metrics hook).
+	OnFsync func(time.Duration)
+	// FS is the filesystem (default the real one); tests plug in
+	// faults.FaultFS.
+	FS faults.FS
+	// Now supplies timestamps (default time.Now); the deterministic
+	// simulations pin it.
+	Now func() time.Time
+}
+
+func (o JournalOptions) withDefaults() JournalOptions {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 8
+	}
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = 512
+	}
+	if o.FS == nil {
+		o.FS = faults.OS{}
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// PendingIntent is one journaled job awaiting resolution.
+type PendingIntent struct {
+	Key      string
+	Payload  []byte
+	Seq      uint64
+	UnixNano int64
+}
+
+// JournalStats snapshots the journal's state and cumulative activity.
+type JournalStats struct {
+	// Pending is the number of unresolved intents.
+	Pending int
+	// Generations is the number of on-disk generation files.
+	Generations int
+	// ActiveGen is the id of the generation currently appended to.
+	ActiveGen int
+	// Bytes is the size of the active generation; SyncedBytes the prefix
+	// of it known durable (crash simulations may truncate anywhere at or
+	// beyond SyncedBytes, never before).
+	Bytes       int64
+	SyncedBytes int64
+	// Appends counts intents + resolutions written; Fsyncs, Compactions
+	// and WriteHeals cumulative operations.
+	Appends     uint64
+	Fsyncs      uint64
+	Compactions uint64
+	WriteHeals  uint64
+	// TornTruncated counts bytes cut off generation tails at open;
+	// CorruptDropped counts unreadable mid-file regions skipped.
+	TornTruncated  int64
+	CorruptDropped uint64
+}
+
+// Journal is an open job journal. Safe for concurrent use.
+type Journal struct {
+	dir  string
+	opts JournalOptions
+
+	mu        sync.Mutex
+	active    faults.File
+	activeGen int
+	bytes     int64 // size of the active generation
+	synced    int64 // durable prefix of the active generation
+	dirty     int   // unsynced resolutions
+	seq       uint64
+	pending   map[string]PendingIntent
+	resolved  int // resolutions since the last compaction
+	stats     JournalStats
+	closed    bool
+}
+
+// OpenJournal scans dir for journal generations, truncates any torn
+// tail off the newest, unions intents and resolutions into the pending
+// set, and compacts multi-generation state down to one fresh file.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	opts = opts.withDefaults()
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: creating %s: %w", dir, err)
+	}
+	j := &Journal{dir: dir, opts: opts, activeGen: -1, pending: map[string]PendingIntent{}}
+	gens, err := listGenerations(opts.FS, dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range gens {
+		if err := j.scanGeneration(id, i == len(gens)-1); err != nil {
+			return nil, err
+		}
+	}
+	if len(gens) > 0 {
+		j.activeGen = gens[len(gens)-1]
+	}
+	// Collapse history into a single fresh generation: replay then needs
+	// to look at exactly one file, and stale resolutions stop occupying
+	// disk. Skipped only when there is nothing to collapse.
+	if len(gens) > 1 || (len(gens) == 1 && j.bytes > 0) {
+		if err := j.compactLocked(); err != nil {
+			return nil, err
+		}
+		return j, nil
+	}
+	if err := j.openActiveLocked(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// listGenerations returns generation ids present in dir, ascending.
+func listGenerations(fsys faults.FS, dir string) ([]int, error) {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: reading %s: %w", dir, err)
+	}
+	var ids []int
+	for _, de := range ents {
+		name := de.Name()
+		if !strings.HasPrefix(name, genPrefix) || !strings.HasSuffix(name, genSuffix) {
+			continue
+		}
+		var id int
+		if _, err := fmt.Sscanf(name, genPrefix+"%d"+genSuffix, &id); err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// scanGeneration folds one generation's entries into the pending set.
+// The newest generation's torn tail is truncated away; older
+// generations stop scanning at the first bad record.
+func (j *Journal) scanGeneration(id int, newest bool) error {
+	path := filepath.Join(j.dir, genName(id))
+	f, err := j.opts.FS.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	var off int64
+	for {
+		rec, seq, n, err := readRecord(f)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fi, statErr := f.Stat()
+			if statErr != nil {
+				f.Close()
+				return statErr
+			}
+			if newest {
+				f.Close()
+				if truncErr := j.opts.FS.Truncate(path, off); truncErr != nil {
+					return fmt.Errorf("journal: truncating torn tail of %s: %w", path, truncErr)
+				}
+				j.stats.TornTruncated += fi.Size() - off
+				j.bytes, j.synced = off, off
+				return nil
+			}
+			j.stats.CorruptDropped++
+			break
+		}
+		j.applyEntry(rec, seq)
+		off += n
+	}
+	f.Close()
+	if newest {
+		j.bytes, j.synced = off, off
+	}
+	return nil
+}
+
+// applyEntry folds one scanned entry into the pending set.
+func (j *Journal) applyEntry(rec Record, seq uint64) {
+	if seq > j.seq {
+		j.seq = seq
+	}
+	switch rec.Series {
+	case entryIntent:
+		// Keep the earliest intent for a key (compaction duplicates and
+		// resubmits after done both funnel through here; the payload is
+		// identical for identical keys by construction).
+		if _, ok := j.pending[rec.Key]; !ok {
+			j.pending[rec.Key] = PendingIntent{
+				Key: rec.Key, Payload: rec.Payload, Seq: seq, UnixNano: rec.UnixNano,
+			}
+		}
+	case entryDone, entryFail:
+		delete(j.pending, rec.Key)
+	}
+}
+
+// openActiveLocked opens (or creates) the append generation.
+func (j *Journal) openActiveLocked() error {
+	if j.activeGen < 0 {
+		j.activeGen = 0
+	}
+	path := filepath.Join(j.dir, genName(j.activeGen))
+	f, err := j.opts.FS.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: opening generation: %w", err)
+	}
+	j.active = f
+	return nil
+}
+
+// appendLocked frames and writes one entry, healing the generation on a
+// failed write exactly like the store heals its segment.
+func (j *Journal) appendLocked(typ, key, label string, payload []byte) error {
+	if j.active == nil {
+		if err := j.openActiveLocked(); err != nil {
+			return err
+		}
+	}
+	j.seq++
+	rec := Record{Key: key, Series: typ, Label: label, UnixNano: j.opts.Now().UnixNano(), Payload: payload}
+	buf := encodeRecord(nil, rec, j.seq)
+	if _, err := j.active.Write(buf); err != nil {
+		j.healLocked()
+		return fmt.Errorf("journal: appending %s: %w", typ, err)
+	}
+	j.bytes += int64(len(buf))
+	j.stats.Appends++
+	return nil
+}
+
+// healLocked recovers the active generation after a failed write:
+// truncate back to the intact prefix, or — if even that fails — seal it
+// and start a new generation.
+func (j *Journal) healLocked() {
+	path := filepath.Join(j.dir, genName(j.activeGen))
+	if err := j.opts.FS.Truncate(path, j.bytes); err == nil {
+		j.stats.WriteHeals++
+		return
+	}
+	j.active.Sync()
+	j.active.Close()
+	j.stats.WriteHeals++
+	j.activeGen++
+	j.bytes, j.synced, j.dirty = 0, 0, 0
+	j.active = nil
+	if err := j.openActiveLocked(); err != nil {
+		j.active = nil // next append retries
+	}
+}
+
+// syncLocked fsyncs the active generation and advances the durable mark.
+func (j *Journal) syncLocked() error {
+	if j.active == nil {
+		return nil
+	}
+	t0 := time.Now()
+	if err := j.active.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.stats.Fsyncs++
+	j.synced = j.bytes
+	j.dirty = 0
+	if j.opts.OnFsync != nil {
+		j.opts.OnFsync(time.Since(t0))
+	}
+	return nil
+}
+
+// Intent durably journals a job before it is acknowledged: on nil
+// return the intent is fsynced and will be replayed after any crash
+// until resolved. payload is the serialized job request replay feeds
+// back through submission.
+func (j *Journal) Intent(key string, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	if err := j.appendLocked(entryIntent, key, "", payload); err != nil {
+		return err
+	}
+	if err := j.syncLocked(); err != nil {
+		// Written but not durable: the caller will refuse the job, so
+		// balance the intent with a best-effort fail entry. If the crash
+		// comes first, replay executes an unacknowledged job once —
+		// harmless, the client never got its 202.
+		j.pending[key] = PendingIntent{Key: key, Payload: payload, Seq: j.seq, UnixNano: j.opts.Now().UnixNano()}
+		j.resolveLocked(key, "intent not durable", false)
+		return err
+	}
+	j.pending[key] = PendingIntent{Key: key, Payload: payload, Seq: j.seq, UnixNano: j.opts.Now().UnixNano()}
+	return nil
+}
+
+// Resolve marks an intent finished: ok=true once the result is stored
+// in perfdb, ok=false with errMsg for a definitive failure. Resolution
+// fsyncs are batched; a crash may replay a resolved job, which replay
+// deduplicates against the store.
+func (j *Journal) Resolve(key, errMsg string, ok bool) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	return j.resolveLocked(key, errMsg, ok)
+}
+
+func (j *Journal) resolveLocked(key, errMsg string, ok bool) error {
+	if _, exists := j.pending[key]; !exists {
+		return nil // double resolve (e.g. replay raced a duplicate submit)
+	}
+	typ := entryDone
+	if !ok {
+		typ = entryFail
+	}
+	if err := j.appendLocked(typ, key, errMsg, nil); err != nil {
+		return err
+	}
+	delete(j.pending, key)
+	j.resolved++
+	j.dirty++
+	if j.dirty >= j.opts.SyncEvery {
+		if err := j.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if j.resolved >= j.opts.CompactEvery {
+		return j.compactLocked()
+	}
+	return nil
+}
+
+// compactLocked rewrites the pending intents into a brand-new
+// generation, fsyncs it, then deletes every older generation. A crash
+// at any point leaves a recoverable union.
+func (j *Journal) compactLocked() error {
+	newGen := j.activeGen + 1
+	path := filepath.Join(j.dir, genName(newGen))
+	f, err := j.opts.FS.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	live := make([]PendingIntent, 0, len(j.pending))
+	for _, p := range j.pending {
+		live = append(live, p)
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a].Seq < live[b].Seq })
+	var written int64
+	for _, p := range live {
+		buf := encodeRecord(nil, Record{
+			Key: p.Key, Series: entryIntent, UnixNano: p.UnixNano, Payload: p.Payload,
+		}, p.Seq)
+		if _, err := f.Write(buf); err != nil {
+			// Abort: drop the half-written new generation, keep appending
+			// to the old one. Recovery ignores a torn newest generation's
+			// tail, so even a leftover file here is safe.
+			f.Close()
+			j.opts.FS.Remove(path)
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+		written += int64(len(buf))
+	}
+	t0 := time.Now()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		j.opts.FS.Remove(path)
+		return fmt.Errorf("journal: compact fsync: %w", err)
+	}
+	j.stats.Fsyncs++
+	if j.opts.OnFsync != nil {
+		j.opts.OnFsync(time.Since(t0))
+	}
+
+	// The new generation is durable: adopt it, then clear out history.
+	if j.active != nil {
+		j.active.Close()
+	}
+	j.active = f
+	oldActive := j.activeGen
+	j.activeGen = newGen
+	j.bytes, j.synced = written, written
+	j.dirty, j.resolved = 0, 0
+	j.stats.Compactions++
+	gens, err := listGenerations(j.opts.FS, j.dir)
+	if err == nil {
+		for _, id := range gens {
+			if id < newGen {
+				j.opts.FS.Remove(filepath.Join(j.dir, genName(id)))
+			}
+		}
+	} else {
+		// Fall back to deleting what we know about.
+		j.opts.FS.Remove(filepath.Join(j.dir, genName(oldActive)))
+	}
+	return nil
+}
+
+// Pending returns the unresolved intents in journal order — the replay
+// work list.
+func (j *Journal) Pending() []PendingIntent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]PendingIntent, 0, len(j.pending))
+	for _, p := range j.pending {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Stats snapshots the journal state.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.stats
+	st.Pending = len(j.pending)
+	st.ActiveGen = j.activeGen
+	st.Bytes = j.bytes
+	st.SyncedBytes = j.synced
+	gens, err := listGenerations(j.opts.FS, j.dir)
+	if err == nil {
+		st.Generations = len(gens)
+	}
+	return st
+}
+
+// Sync forces batched resolutions to disk.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.syncLocked()
+}
+
+// Close syncs and releases the journal. Pending intents stay on disk
+// for the next open to replay.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var first error
+	if j.active != nil {
+		if err := j.syncLocked(); err != nil {
+			first = err
+		}
+		if err := j.active.Close(); err != nil && first == nil {
+			first = err
+		}
+		j.active = nil
+	}
+	return first
+}

@@ -1,0 +1,285 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"perftrack/internal/faults"
+)
+
+func mustOpenJournal(t *testing.T, dir string, opts JournalOptions) *Journal {
+	t.Helper()
+	j, err := OpenJournal(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenJournal(%s): %v", dir, err)
+	}
+	return j
+}
+
+func intentKey(i int) string     { return fmt.Sprintf("job-%04d", i) }
+func intentPayload(i int) []byte { return []byte(fmt.Sprintf(`{"job":%d}`, i)) }
+
+// TestJournalRoundtrip: intents become pending, resolutions clear them,
+// and both survive a reopen.
+func TestJournalRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpenJournal(t, dir, JournalOptions{SyncEvery: 1})
+	for i := 0; i < 6; i++ {
+		if err := j.Intent(intentKey(i), intentPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Resolve(intentKey(1), "", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Resolve(intentKey(3), "boom", false); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 2, 4, 5}
+	check := func(j *Journal, where string) {
+		t.Helper()
+		p := j.Pending()
+		if len(p) != len(want) {
+			t.Fatalf("%s: %d pending, want %d (%v)", where, len(p), len(want), p)
+		}
+		for k, i := range want {
+			if p[k].Key != intentKey(i) || !bytes.Equal(p[k].Payload, intentPayload(i)) {
+				t.Fatalf("%s: pending[%d] = %+v, want job %d", where, k, p[k], i)
+			}
+		}
+	}
+	check(j, "live")
+	j.Close()
+	j2 := mustOpenJournal(t, dir, JournalOptions{})
+	defer j2.Close()
+	check(j2, "reopened")
+	if st := j2.Stats(); st.Generations != 1 {
+		t.Fatalf("reopen left %d generations, want 1 (open compacts)", st.Generations)
+	}
+}
+
+// TestJournalCompaction: resolving past CompactEvery rewrites pending
+// intents into a single fresh generation and deletes history.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpenJournal(t, dir, JournalOptions{SyncEvery: 1, CompactEvery: 10})
+	for i := 0; i < 30; i++ {
+		if err := j.Intent(intentKey(i), intentPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 != 0 { // resolve two thirds
+			if err := j.Resolve(intentKey(i), "", true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := j.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after 20 resolutions with CompactEvery=10: %+v", st)
+	}
+	if st.Generations != 1 {
+		t.Fatalf("%d generations on disk, want 1", st.Generations)
+	}
+	if st.Pending != 10 {
+		t.Fatalf("%d pending, want 10", st.Pending)
+	}
+	j.Close()
+	j2 := mustOpenJournal(t, dir, JournalOptions{})
+	defer j2.Close()
+	if got := len(j2.Pending()); got != 10 {
+		t.Fatalf("reopen sees %d pending, want 10", got)
+	}
+}
+
+// TestJournalRecoveryEveryOffset is the store's truncate-at-every-byte
+// contract applied to the journal: for a generation holding a mix of
+// intents and resolutions, truncation at EVERY byte offset must open
+// cleanly and recover exactly the pending set implied by the entries
+// whose frames survived.
+func TestJournalRecoveryEveryOffset(t *testing.T) {
+	master := t.TempDir()
+	j := mustOpenJournal(t, master, JournalOptions{SyncEvery: 1})
+	// Entry sequence: intent 0, intent 1, done 0, intent 2, fail 1.
+	type op struct {
+		typ string
+		i   int
+	}
+	ops := []op{
+		{entryIntent, 0}, {entryIntent, 1}, {entryDone, 0},
+		{entryIntent, 2}, {entryFail, 1},
+	}
+	for _, o := range ops {
+		var err error
+		switch o.typ {
+		case entryIntent:
+			err = j.Intent(intentKey(o.i), intentPayload(o.i))
+		case entryDone:
+			err = j.Resolve(intentKey(o.i), "", true)
+		case entryFail:
+			err = j.Resolve(intentKey(o.i), "err", false)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	genPath := filepath.Join(master, genName(0))
+	full, err := os.ReadFile(genPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute frame boundaries by re-scanning the file.
+	var boundaries []int64
+	{
+		f, _ := os.Open(genPath)
+		var off int64
+		for {
+			_, _, n, err := readRecord(f)
+			if err != nil {
+				break
+			}
+			off += n
+			boundaries = append(boundaries, off)
+		}
+		f.Close()
+	}
+	if len(boundaries) != len(ops) || boundaries[len(ops)-1] != int64(len(full)) {
+		t.Fatalf("expected %d frames spanning %d bytes, got %v", len(ops), len(full), boundaries)
+	}
+
+	// pendingAfter simulates applying the first k ops.
+	pendingAfter := func(k int) map[int]bool {
+		p := map[int]bool{}
+		for _, o := range ops[:k] {
+			if o.typ == entryIntent {
+				p[o.i] = true
+			} else {
+				delete(p, o.i)
+			}
+		}
+		return p
+	}
+
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, genName(0)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, err := OpenJournal(dir, JournalOptions{})
+		if err != nil {
+			t.Fatalf("cut=%d: OpenJournal failed: %v", cut, err)
+		}
+		k := 0
+		for k < len(boundaries) && boundaries[k] <= cut {
+			k++
+		}
+		want := pendingAfter(k)
+		got := j2.Pending()
+		if len(got) != len(want) {
+			t.Fatalf("cut=%d: %d pending, want %d", cut, len(got), len(want))
+		}
+		for _, p := range got {
+			var i int
+			fmt.Sscanf(p.Key, "job-%d", &i)
+			if !want[i] || !bytes.Equal(p.Payload, intentPayload(i)) {
+				t.Fatalf("cut=%d: unexpected pending %+v", cut, p)
+			}
+		}
+		// The journal must stay writable after recovery.
+		if cut%89 == 0 {
+			if err := j2.Intent("post", []byte("{}")); err != nil {
+				t.Fatalf("cut=%d: intent after recovery: %v", cut, err)
+			}
+		}
+		j2.Close()
+	}
+}
+
+// TestJournalIntentDurableUnderFaults: with fsync errors injected, every
+// Intent that returned nil must survive a reopen; Intents that errored
+// must not linger as pending forever (they resolve or were never acked).
+func TestJournalIntentDurableUnderFaults(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faults.NewFaultFS(faults.FSFaults{SyncFailEveryN: 3})
+	j := mustOpenJournal(t, dir, JournalOptions{SyncEvery: 1, FS: ffs})
+	acked := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		if err := j.Intent(intentKey(i), intentPayload(i)); err == nil {
+			acked[intentKey(i)] = true
+		}
+	}
+	if len(acked) == 0 || len(acked) == 20 {
+		t.Fatalf("want a mix of acked and refused intents, got %d/20", len(acked))
+	}
+	j.Close()
+	j2 := mustOpenJournal(t, dir, JournalOptions{})
+	defer j2.Close()
+	got := map[string]bool{}
+	for _, p := range j2.Pending() {
+		got[p.Key] = true
+	}
+	for k := range acked {
+		if !got[k] {
+			t.Fatalf("acked intent %s lost across reopen", k)
+		}
+	}
+}
+
+// TestJournalShortWriteHeals: torn intent writes are healed and the
+// journal keeps accepting; acknowledged intents survive reopen.
+func TestJournalShortWriteHeals(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faults.NewFaultFS(faults.FSFaults{ShortWriteEveryN: 4})
+	j := mustOpenJournal(t, dir, JournalOptions{SyncEvery: 1, FS: ffs})
+	acked := map[string]bool{}
+	for i := 0; i < 24; i++ {
+		for a := 0; a < 3; a++ {
+			if err := j.Intent(intentKey(i), intentPayload(i)); err == nil {
+				acked[intentKey(i)] = true
+				break
+			}
+		}
+	}
+	if len(acked) != 24 {
+		t.Fatalf("only %d/24 intents acked after retries", len(acked))
+	}
+	if st := j.Stats(); st.WriteHeals == 0 {
+		t.Fatal("no heals despite injected short writes")
+	}
+	j.Close()
+	j2 := mustOpenJournal(t, dir, JournalOptions{})
+	defer j2.Close()
+	if got := len(j2.Pending()); got != 24 {
+		t.Fatalf("reopen sees %d pending, want 24", got)
+	}
+}
+
+// TestJournalSharesDirWithStore: journal generations and store segments
+// coexist in one directory without seeing each other's files.
+func TestJournalSharesDirWithStore(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SyncEvery: 1})
+	j := mustOpenJournal(t, dir, JournalOptions{SyncEvery: 1})
+	if err := s.Append(rec(1, "mix")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Intent("job-a", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	j.Close()
+	s2 := mustOpen(t, dir, Options{})
+	j2 := mustOpenJournal(t, dir, JournalOptions{})
+	defer s2.Close()
+	defer j2.Close()
+	if _, ok, _ := s2.Get("key-0001"); !ok {
+		t.Fatal("store record lost when sharing dir")
+	}
+	if len(j2.Pending()) != 1 {
+		t.Fatal("journal intent lost when sharing dir")
+	}
+}

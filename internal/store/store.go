@@ -30,6 +30,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"perftrack/internal/faults"
 )
 
 // Options parametrises Open.
@@ -43,6 +45,10 @@ type Options struct {
 	// OnFsync, when set, observes the latency of every fsync (metrics
 	// hook).
 	OnFsync func(time.Duration)
+	// FS is the filesystem the store operates on (default the real one).
+	// Tests plug in faults.FaultFS here to exercise short writes, fsync
+	// errors, ENOSPC and torn renames under the store.
+	FS faults.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +57,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SyncEvery <= 0 {
 		o.SyncEvery = 8
+	}
+	if o.FS == nil {
+		o.FS = faults.OS{}
 	}
 	return o
 }
@@ -77,6 +86,10 @@ type Stats struct {
 	// of the newest segment after a crash mid-append.
 	CorruptDropped uint64
 	TornTruncated  int64
+	// WriteHeals counts failed appends whose torn bytes were cut back
+	// off the active segment (or sealed behind a rotation) so later
+	// appends never land behind garbage.
+	WriteHeals uint64
 }
 
 // entry locates one live record.
@@ -94,9 +107,9 @@ type Store struct {
 	opts Options
 
 	mu       sync.Mutex
-	readers  map[int]*os.File // segment id -> read handle
-	segSizes map[int]int64    // segment id -> byte size
-	active   *os.File         // newest segment, opened for append
+	readers  map[int]faults.File // segment id -> read handle
+	segSizes map[int]int64       // segment id -> byte size
+	active   faults.File         // newest segment, opened for append
 	activeID int
 	dirty    int // appends since the last fsync
 	seq      uint64
@@ -113,18 +126,18 @@ func segName(id int) string { return fmt.Sprintf("%s%06d%s", segPrefix, id, segS
 // torn tail off the newest segment, and readies the store for appends.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
 	s := &Store{
 		dir:      dir,
 		opts:     opts,
-		readers:  map[int]*os.File{},
+		readers:  map[int]faults.File{},
 		segSizes: map[int]int64{},
 		activeID: -1,
 		index:    map[string]entry{},
 	}
-	ids, err := listSegments(dir)
+	ids, err := listSegments(opts.FS, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -142,8 +155,8 @@ func Open(dir string, opts Options) (*Store, error) {
 }
 
 // listSegments returns the segment ids present in dir, ascending.
-func listSegments(dir string) ([]int, error) {
-	names, err := os.ReadDir(dir)
+func listSegments(fsys faults.FS, dir string) ([]int, error) {
+	names, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: reading %s: %w", dir, err)
 	}
@@ -170,7 +183,7 @@ func listSegments(dir string) ([]int, error) {
 // drop it).
 func (s *Store) scanSegment(id int, newest bool) error {
 	path := filepath.Join(s.dir, segName(id))
-	f, err := os.Open(path)
+	f, err := s.opts.FS.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return fmt.Errorf("store: opening segment %s: %w", path, err)
 	}
@@ -190,7 +203,7 @@ func (s *Store) scanSegment(id int, newest bool) error {
 				// Torn or trailing-corrupt tail after a crash: cut it off
 				// so the segment ends at the last intact record.
 				f.Close()
-				if truncErr := os.Truncate(path, off); truncErr != nil {
+				if truncErr := s.opts.FS.Truncate(path, off); truncErr != nil {
 					return fmt.Errorf("store: truncating torn tail of %s: %w", path, truncErr)
 				}
 				s.stats.TornTruncated += fi.Size() - off
@@ -253,7 +266,7 @@ func (s *Store) openActive() error {
 		s.segSizes[s.activeID] = 0
 	}
 	path := filepath.Join(s.dir, segName(s.activeID))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.opts.FS.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: opening active segment: %w", err)
 	}
@@ -273,12 +286,22 @@ func (s *Store) Append(rec Record) error {
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
+	if s.active == nil {
+		// A previous failed append sealed the segment and could not open
+		// the next one (e.g. transient ENOSPC); retry here.
+		if err := s.openActive(); err != nil {
+			return err
+		}
+	}
 	s.seq++
 	seq := s.seq
 	buf := encodeRecord(nil, rec, seq)
 
 	off := s.segSizes[s.activeID]
 	if _, err := s.active.Write(buf); err != nil {
+		// The segment may now hold a torn frame. Heal before reporting the
+		// failure so the next append never lands behind garbage bytes.
+		s.healLocked(off)
 		return fmt.Errorf("store: appending: %w", err)
 	}
 	s.segSizes[s.activeID] = off + int64(len(buf))
@@ -336,6 +359,38 @@ func (s *Store) rotateLocked() error {
 	return nil
 }
 
+// healLocked recovers the active segment after a failed append that may
+// have persisted a torn frame at offset off. Preferred cure: truncate
+// the segment back to off — the O_APPEND handle then continues exactly
+// where the last intact record ended. If even the truncate fails (the
+// injectors model disks where everything is failing), the segment is
+// sealed at its intact prefix and a fresh one started, so the torn bytes
+// are left behind a boundary the scanner never crosses mid-segment.
+// Callers hold s.mu.
+func (s *Store) healLocked(off int64) {
+	path := filepath.Join(s.dir, segName(s.activeID))
+	if err := s.opts.FS.Truncate(path, off); err == nil {
+		s.stats.WriteHeals++
+		s.segSizes[s.activeID] = off
+		return
+	}
+	// Seal: sync what we can, close, and move on to a new segment. The
+	// torn frame stays on disk but scanning stops at it and Compact drops
+	// it, matching the mid-history-corruption path.
+	s.active.Sync()
+	s.active.Close()
+	delete(s.readers, s.activeID)
+	s.segSizes[s.activeID] = off
+	s.stats.WriteHeals++
+	s.activeID++
+	s.segSizes[s.activeID] = 0
+	s.dirty = 0
+	s.active = nil
+	if err := s.openActive(); err != nil {
+		s.active = nil // next Append retries via its nil check
+	}
+}
+
 // Sync forces any batched appends to disk.
 func (s *Store) Sync() error {
 	s.mu.Lock()
@@ -345,11 +400,11 @@ func (s *Store) Sync() error {
 
 // reader returns a read handle for segment id, opening it lazily.
 // Callers hold s.mu.
-func (s *Store) reader(id int) (*os.File, error) {
+func (s *Store) reader(id int) (faults.File, error) {
 	if f, ok := s.readers[id]; ok {
 		return f, nil
 	}
-	f, err := os.Open(filepath.Join(s.dir, segName(id)))
+	f, err := s.opts.FS.OpenFile(filepath.Join(s.dir, segName(id)), os.O_RDONLY, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -507,12 +562,12 @@ func (s *Store) Compact() error {
 	newFirst := s.activeID + 1
 	id := newFirst
 	var (
-		f       *os.File
+		f       faults.File
 		written int64
 		err     error
 	)
 	openSeg := func() error {
-		f, err = os.OpenFile(filepath.Join(s.dir, segName(id)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		f, err = s.opts.FS.OpenFile(filepath.Join(s.dir, segName(id)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 		written = 0
 		return err
 	}
@@ -576,9 +631,9 @@ func (s *Store) Compact() error {
 	for _, rf := range s.readers {
 		rf.Close()
 	}
-	s.readers = map[int]*os.File{}
+	s.readers = map[int]faults.File{}
 	for _, old := range oldIDs {
-		if err := os.Remove(filepath.Join(s.dir, segName(old))); err != nil {
+		if err := s.opts.FS.Remove(filepath.Join(s.dir, segName(old))); err != nil {
 			return fmt.Errorf("store: compact: removing old segment: %w", err)
 		}
 	}
@@ -589,7 +644,7 @@ func (s *Store) Compact() error {
 	s.stats.Superseded = 0
 	s.stats.Compactions++
 	path := filepath.Join(s.dir, segName(s.activeID))
-	af, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	af, err := s.opts.FS.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: compact: reopening active segment: %w", err)
 	}

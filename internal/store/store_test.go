@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"perftrack/internal/faults"
 )
 
 func mustOpen(t *testing.T, dir string, opts Options) *Store {
@@ -265,7 +267,7 @@ func TestMidHistoryCorruption(t *testing.T) {
 	}
 	s.Close()
 
-	ids, err := listSegments(dir)
+	ids, err := listSegments(faults.OS{}, dir)
 	if err != nil || len(ids) < 3 {
 		t.Fatalf("need >=3 segments, got %v (%v)", ids, err)
 	}
