@@ -277,7 +277,11 @@ type Job struct {
 
 	state       JobState
 	cacheHit    bool
-	journaled   bool // an intent entry gates this job's resolution
+	// journaled marks that an intent entry gates this job's resolution.
+	// It is set only before the job is published to the queue and the
+	// inflight table and never written afterwards, so workers may read
+	// it without the server mutex.
+	journaled bool
 	errMsg      string
 	result      []byte
 	diagnostics *core.Diagnostics

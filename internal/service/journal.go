@@ -39,6 +39,9 @@ func (s *Server) openJournal() error {
 		return err
 	}
 	s.journal = j
+	// j.Stats() is a snapshot read behind its own mutex — no directory
+	// listing, no waiting behind the journal mutex the intent-fsync path
+	// holds — so the per-gauge fan-out below costs a scrape nothing.
 	r.NewGaugeFunc("trackd_journal_pending", "Unresolved journal intents (acknowledged jobs not yet stored or definitively failed).", func() int64 { return int64(j.Stats().Pending) })
 	r.NewGaugeFunc("trackd_journal_bytes", "On-disk bytes of the active journal generation.", func() int64 { return j.Stats().Bytes })
 	r.NewGaugeFunc("trackd_journal_appends", "Cumulative journal entries written since open.", func() int64 { return int64(j.Stats().Appends) })
@@ -53,7 +56,10 @@ func (s *Server) openJournal() error {
 func (s *Server) Journal() *store.Journal { return s.journal }
 
 // resolveJournal marks a finished job's intent done or failed. Called
-// WITHOUT the server mutex (the journal fsyncs).
+// WITHOUT the server mutex (the journal fsyncs). Reading j.journaled
+// here without the lock is race-free because the flag is set only
+// before the job is published to the queue and inflight table, and
+// never written afterwards.
 func (s *Server) resolveJournal(j *Job, errMsg string, ok bool) {
 	if s.journal == nil || !j.journaled {
 		return
@@ -121,8 +127,13 @@ func (s *Server) replayIntent(p store.PendingIntent) *Job {
 	}
 	if running, ok := s.inflight[spec.key]; ok {
 		// A client resubmitted the same inputs before replay got here:
-		// attach to that execution; its completion resolves the intent.
-		running.journaled = true
+		// attach to that execution. No flag needs flipping — every job
+		// published to the inflight table while the journal is on is
+		// already journaled (Submit and replay both set the flag before
+		// publishing), and intents are keyed by fingerprint, so that
+		// job's resolution settles this intent too. Writing
+		// running.journaled here would race the worker's unlocked read;
+		// the field is immutable once the job is visible.
 		s.mu.Unlock()
 		return running
 	}

@@ -367,8 +367,8 @@ func (s *Server) Submit(req JobRequest) (job *Job, coalesced bool, err error) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, false, ErrShuttingDown
 	}
 	s.m.jobsAccepted.Inc()
@@ -376,55 +376,124 @@ func (s *Server) Submit(req JobRequest) (job *Job, coalesced bool, err error) {
 	if val, ok := s.cache.Get(spec.key); ok {
 		s.m.cacheHits.Inc()
 		s.refileLocked(spec, val)
-		return s.finishedJobLocked(spec, val), false, nil
+		j := s.finishedJobLocked(spec, val)
+		s.mu.Unlock()
+		return j, false, nil
 	}
 	s.m.cacheMisses.Inc()
 
 	if running, ok := s.inflight[spec.key]; ok {
 		s.m.jobsCoalesced.Inc()
+		s.mu.Unlock()
 		return running, true, nil
 	}
 
 	// Read-through: a result computed before the last restart lives in
 	// the persistent store even though the in-memory cache lost it.
 	if val, ok := s.storeGetLocked(spec); ok {
-		return s.finishedJobLocked(spec, val), false, nil
+		j := s.finishedJobLocked(spec, val)
+		s.mu.Unlock()
+		return j, false, nil
 	}
 
 	// Everything past here is write work. Degrade to read-only while a
 	// breaker is open: reads above keep flowing, new executions do not.
 	if (s.journal != nil && s.storeBreaker.Blocked()) || s.execBreaker.Blocked() {
 		s.rm.degradedResponses.Inc()
+		s.mu.Unlock()
 		return nil, false, ErrDegraded
 	}
 
-	j := s.newJobLocked(spec)
-	if s.journal != nil {
-		// Journal the intent before acknowledging: the fsync inside is
-		// what turns the 202 into a durability promise.
-		if jerr := s.journal.Intent(spec.key, intent); jerr != nil {
-			delete(s.jobs, j.ID)
-			s.order = s.order[:len(s.order)-1]
-			s.rm.degradedResponses.Inc()
-			return nil, false, fmt.Errorf("%w: %v", ErrDegraded, jerr)
-		}
-		j.journaled = true
+	if s.journal == nil {
+		j, err := s.admitLocked(spec, false)
+		s.mu.Unlock()
+		return j, false, err
 	}
+	s.mu.Unlock()
+
+	// Journal the intent before acknowledging — the fsync inside is what
+	// turns the 202 into a durability promise — but OUTSIDE the server
+	// mutex: a slow or hung disk stalls this one submission, not every
+	// status poll, cache hit and health snapshot queued behind the lock.
+	if jerr := s.journal.Intent(spec.key, intent); jerr != nil {
+		s.rm.degradedResponses.Inc()
+		return nil, false, fmt.Errorf("%w: %v", ErrDegraded, jerr)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		// Shutdown began while the intent fsynced. The durable intent is
+		// deliberately left pending: the next startup replays it, and
+		// since this client never got its ack, the replayed run is at
+		// worst one harmless execution.
+		s.mu.Unlock()
+		return nil, false, ErrShuttingDown
+	}
+	// The world may have changed while the lock was released: an
+	// identical submission may have finished (cache), be running
+	// (singleflight) or have landed in the store. Re-check before
+	// enqueueing so a key still never executes twice without cause.
+	if val, ok := s.cache.Get(spec.key); ok {
+		s.refileLocked(spec, val)
+		j := s.finishedJobLocked(spec, val)
+		_, durable := s.store.GetMeta(spec.key)
+		s.mu.Unlock()
+		s.settleRecheckIntent(spec.key, durable)
+		return j, false, nil
+	}
+	if running, ok := s.inflight[spec.key]; ok {
+		s.m.jobsCoalesced.Inc()
+		_, durable := s.store.GetMeta(spec.key)
+		s.mu.Unlock()
+		s.settleRecheckIntent(spec.key, durable)
+		return running, true, nil
+	}
+	if val, ok := s.storeGetLocked(spec); ok {
+		j := s.finishedJobLocked(spec, val)
+		s.mu.Unlock()
+		s.settleRecheckIntent(spec.key, true)
+		return j, false, nil
+	}
+	j, err := s.admitLocked(spec, true)
+	s.mu.Unlock()
+	if errors.Is(err, ErrQueueFull) {
+		// Balance the journaled intent with a fail entry so the rejected
+		// submission is not replayed as a ghost job.
+		s.journal.Resolve(spec.key, "queue full, never admitted", false)
+	}
+	return j, false, err
+}
+
+// admitLocked registers a fresh job and offers it to the bounded queue;
+// callers hold s.mu. A full queue undoes the registration — safe because
+// nothing else can have appended to s.order inside this critical section
+// — and returns ErrQueueFull.
+func (s *Server) admitLocked(spec *jobSpec, journaled bool) (*Job, error) {
+	j := s.newJobLocked(spec)
+	j.journaled = journaled
 	select {
 	case s.queue <- j:
 	default:
-		// Undo the bookkeeping: the job never existed. The journaled
-		// intent is balanced with a fail entry so it is not replayed.
-		if j.journaled {
-			s.journal.Resolve(spec.key, "queue full, never admitted", false)
-		}
 		delete(s.jobs, j.ID)
 		s.order = s.order[:len(s.order)-1]
 		s.m.jobsRejected.Inc()
-		return nil, false, ErrQueueFull
+		return nil, ErrQueueFull
 	}
 	s.inflight[spec.key] = j
-	return j, false, nil
+	return j, nil
+}
+
+// settleRecheckIntent balances the intent journaled by a submission that
+// turned into a hit or a coalesce during its fsync window. When the
+// result is already durable in the store the intent resolves done;
+// otherwise it stays pending on purpose — either the in-flight execution
+// it coalesced onto resolves the shared per-key intent when it finishes,
+// or (result computed but never persisted) the next startup's replay
+// lands it in the store.
+func (s *Server) settleRecheckIntent(key string, durable bool) {
+	if durable {
+		s.journal.Resolve(key, "", true)
+	}
 }
 
 // finishedJobLocked registers a job born done (cache or store hit);

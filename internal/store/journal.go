@@ -132,8 +132,30 @@ type Journal struct {
 	seq       uint64
 	pending   map[string]PendingIntent
 	resolved  int // resolutions since the last compaction
+	genCount  int // on-disk generation files (tracked, not re-listed)
 	stats     JournalStats
 	closed    bool
+
+	// statsMu guards statsSnap, the read-side copy of the journal state.
+	// j.mu is held across fsyncs, so Stats readers (metrics scrapes,
+	// health snapshots) get their own mutex and never queue behind the
+	// intent fsync path. statsSnap is republished, with j.mu held, at the
+	// end of every mutating operation.
+	statsMu   sync.Mutex
+	statsSnap JournalStats
+}
+
+// publishLocked refreshes the read-side stats snapshot; callers hold j.mu.
+func (j *Journal) publishLocked() {
+	st := j.stats
+	st.Pending = len(j.pending)
+	st.ActiveGen = j.activeGen
+	st.Bytes = j.bytes
+	st.SyncedBytes = j.synced
+	st.Generations = j.genCount
+	j.statsMu.Lock()
+	j.statsSnap = st
+	j.statsMu.Unlock()
 }
 
 // OpenJournal scans dir for journal generations, truncates any torn
@@ -157,6 +179,7 @@ func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
 	if len(gens) > 0 {
 		j.activeGen = gens[len(gens)-1]
 	}
+	j.genCount = len(gens)
 	// Collapse history into a single fresh generation: replay then needs
 	// to look at exactly one file, and stale resolutions stop occupying
 	// disk. Skipped only when there is nothing to collapse.
@@ -164,11 +187,14 @@ func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
 		if err := j.compactLocked(); err != nil {
 			return nil, err
 		}
+		j.publishLocked()
 		return j, nil
 	}
 	if err := j.openActiveLocked(); err != nil {
 		return nil, err
 	}
+	j.genCount = 1 // openActiveLocked created generation 0 if none existed
+	j.publishLocked()
 	return j, nil
 }
 
@@ -304,6 +330,7 @@ func (j *Journal) healLocked() {
 	j.active.Close()
 	j.stats.WriteHeals++
 	j.activeGen++
+	j.genCount++
 	j.bytes, j.synced, j.dirty = 0, 0, 0
 	j.active = nil
 	if err := j.openActiveLocked(); err != nil {
@@ -336,6 +363,7 @@ func (j *Journal) syncLocked() error {
 func (j *Journal) Intent(key string, payload []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	defer j.publishLocked()
 	if j.closed {
 		return fmt.Errorf("journal: closed")
 	}
@@ -362,6 +390,7 @@ func (j *Journal) Intent(key string, payload []byte) error {
 func (j *Journal) Resolve(key, errMsg string, ok bool) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	defer j.publishLocked()
 	if j.closed {
 		return fmt.Errorf("journal: closed")
 	}
@@ -435,26 +464,43 @@ func (j *Journal) compactLocked() error {
 	}
 
 	// The new generation is durable: adopt it, then clear out history.
+	// The append handle must be an O_APPEND reopen, not the O_TRUNC
+	// handle used to write it: healLocked recovers a failed partial
+	// append by truncating the file back to j.bytes, and a non-append
+	// handle's offset would stay past the new end — the next write would
+	// then punch a zero-filled hole that recovery reads as the end of
+	// the journal, silently dropping every record after it.
+	f.Close()
 	if j.active != nil {
 		j.active.Close()
 	}
-	j.active = f
+	j.active = nil
 	oldActive := j.activeGen
 	j.activeGen = newGen
 	j.bytes, j.synced = written, written
 	j.dirty, j.resolved = 0, 0
 	j.stats.Compactions++
+	// The compacted generation is durable on disk whether or not the
+	// reopen succeeds; on failure the next append retries the open
+	// (appendLocked tolerates a nil handle).
+	_ = j.openActiveLocked()
+	remaining := 1 // the new generation
 	gens, err := listGenerations(j.opts.FS, j.dir)
 	if err == nil {
 		for _, id := range gens {
-			if id < newGen {
-				j.opts.FS.Remove(filepath.Join(j.dir, genName(id)))
+			switch {
+			case id == newGen:
+			case id > newGen:
+				remaining++
+			case j.opts.FS.Remove(filepath.Join(j.dir, genName(id))) != nil:
+				remaining++ // deletion failed; the file is still there
 			}
 		}
 	} else {
 		// Fall back to deleting what we know about.
 		j.opts.FS.Remove(filepath.Join(j.dir, genName(oldActive)))
 	}
+	j.genCount = remaining
 	return nil
 }
 
@@ -471,26 +517,21 @@ func (j *Journal) Pending() []PendingIntent {
 	return out
 }
 
-// Stats snapshots the journal state.
+// Stats returns the journal state as of the last completed operation.
+// It reads a snapshot behind its own mutex — no directory listing and
+// no waiting behind j.mu, which is held across intent fsyncs — so
+// metrics scrapes and health checks never stall on a slow disk.
 func (j *Journal) Stats() JournalStats {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	st := j.stats
-	st.Pending = len(j.pending)
-	st.ActiveGen = j.activeGen
-	st.Bytes = j.bytes
-	st.SyncedBytes = j.synced
-	gens, err := listGenerations(j.opts.FS, j.dir)
-	if err == nil {
-		st.Generations = len(gens)
-	}
-	return st
+	j.statsMu.Lock()
+	defer j.statsMu.Unlock()
+	return j.statsSnap
 }
 
 // Sync forces batched resolutions to disk.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	defer j.publishLocked()
 	if j.closed {
 		return nil
 	}
@@ -502,6 +543,7 @@ func (j *Journal) Sync() error {
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	defer j.publishLocked()
 	if j.closed {
 		return nil
 	}

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -255,6 +256,96 @@ func TestJournalShortWriteHeals(t *testing.T) {
 	defer j2.Close()
 	if got := len(j2.Pending()); got != 24 {
 		t.Fatalf("reopen sees %d pending, want 24", got)
+	}
+}
+
+// flakyFS injects exactly one short write, when armed. Unlike
+// FaultFS.ShortWriteEveryN it can target a single append precisely,
+// leaving the open-time compaction writes untouched.
+type flakyFS struct {
+	faults.OS
+	armed *bool
+}
+
+func (f flakyFS) OpenFile(path string, flag int, perm os.FileMode) (faults.File, error) {
+	base, err := f.OS.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return flakyFile{File: base, armed: f.armed}, nil
+}
+
+type flakyFile struct {
+	faults.File
+	armed *bool
+}
+
+func (f flakyFile) Write(p []byte) (int, error) {
+	if *f.armed && len(p) > 1 {
+		*f.armed = false
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, io.ErrShortWrite
+	}
+	return f.File.Write(p)
+}
+
+// TestJournalHealAfterCompaction: the append handle adopted after a
+// compaction — including the open-time compaction every restart with
+// prior content performs — must be in append mode. A failed partial
+// append heals by truncating the generation back to its intact prefix;
+// a stale non-append offset would make the next write land past the new
+// end of file, punching a zero-filled hole that recovery reads as the
+// end of the journal and truncating away every fsynced intent after it.
+func TestJournalHealAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpenJournal(t, dir, JournalOptions{SyncEvery: 1})
+	for i := 0; i < 4; i++ {
+		if err := j.Intent(intentKey(i), intentPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Reopen: the prior content forces the open-time compaction, so the
+	// active handle is the post-compaction one.
+	armed := false
+	j2 := mustOpenJournal(t, dir, JournalOptions{SyncEvery: 1, FS: flakyFS{armed: &armed}})
+	if st := j2.Stats(); st.Compactions != 1 {
+		t.Fatalf("reopen performed %d compactions, want 1", st.Compactions)
+	}
+	if err := j2.Intent(intentKey(4), intentPayload(4)); err != nil {
+		t.Fatal(err)
+	}
+	// One torn append, healed by truncation...
+	armed = true
+	if err := j2.Intent(intentKey(5), intentPayload(5)); err == nil {
+		t.Fatal("torn intent unexpectedly succeeded")
+	}
+	if st := j2.Stats(); st.WriteHeals != 1 {
+		t.Fatalf("write heals %d, want 1", st.WriteHeals)
+	}
+	// ...after which appends must continue at the healed end, not at the
+	// torn handle's stale offset.
+	for i := 5; i < 10; i++ {
+		if err := j2.Intent(intentKey(i), intentPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j2.Close()
+
+	j3 := mustOpenJournal(t, dir, JournalOptions{})
+	defer j3.Close()
+	got := map[string]bool{}
+	for _, p := range j3.Pending() {
+		got[p.Key] = true
+	}
+	for i := 0; i < 10; i++ {
+		if !got[intentKey(i)] {
+			t.Fatalf("acked intent %s lost across heal on the compacted handle (pending: %v)", intentKey(i), got)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("%d intents pending, want 10", len(got))
 	}
 }
 
