@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race oracle sim chaos fuzz-short cover serve-smoke store-smoke check fuzz bench-core bench-compare clean
+.PHONY: all build test vet race oracle sim mesh-sim chaos fuzz-short cover serve-smoke store-smoke cluster-smoke check fuzz bench-core bench-compare bench-cluster clean
 
 all: build
 
@@ -46,6 +46,22 @@ oracle:
 sim:
 	$(GO) test -race -count=1 -run TestDeterministicSimulationSchedules ./internal/service/
 
+# mesh-sim replays the whole-CLUSTER deterministic simulation under the
+# race detector: seeded schedules over a simulated 3-node mesh (submit /
+# duplicate bursts on distinct nodes / node crash+restart / partition+
+# heal interleavings), proving cluster-wide exactly-once execution,
+# R=2 replication with any-node reads, and journal-backed rebalance
+# hand-off — plus the replay-races-rebalance schedule and the ring/
+# membership unit tests.
+mesh-sim:
+	$(GO) test -race -count=1 -run 'TestCluster|TestRing|TestMembership|TestParsePeers' ./internal/service/ ./internal/mesh/
+
+# cluster-smoke boots a real 3-node trackd cluster on loopback, submits
+# jobs round-robin, SIGKILLs one node, and asserts every stored result
+# is still served byte-identically from every survivor.
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke -count=1 ./cmd/trackd
+
 # chaos replays seeded fault schedules against the full service + journal
 # + store stack under the race detector: IO faults (short writes, fsync
 # failures, torn renames), hard crashes with journal tail tearing, and
@@ -71,9 +87,10 @@ cover:
 
 # check is the pre-merge gate: static analysis, the full suite under the
 # race detector, the oracle harness, the chaos/fault-injection schedules,
-# a short fuzz pass, and the daemon end-to-end smokes (including the
-# kill -9 crash-recovery smoke).
-check: vet race oracle chaos fuzz-short serve-smoke store-smoke
+# the whole-cluster mesh simulation, a short fuzz pass, and the daemon
+# end-to-end smokes (including the kill -9 crash-recovery smoke and the
+# 3-node SIGKILL cluster smoke).
+check: vet race oracle chaos mesh-sim fuzz-short serve-smoke store-smoke cluster-smoke
 
 # bench-core runs the analysis-core microbenchmark suite (clustering, NN,
 # alignment, end-to-end tracking on the largest catalog studies). The
@@ -89,6 +106,11 @@ bench-compare:
 	{ $(GO) test -run '^$$' -bench BenchmarkCore -benchtime 2x ./internal/cluster/ ./internal/align/ && \
 	  $(GO) test -run '^$$' -bench BenchmarkCore -benchtime 2x -timeout 20m .; } | \
 	  $(GO) run ./cmd/benchcmp -baseline BENCH_core.json -tolerance 1.15
+
+# bench-cluster boots a 1-node and a 3-node local cluster and drives
+# both with the trackload generator, rewriting BENCH_cluster.json.
+bench-cluster:
+	scripts/bench_cluster.sh
 
 # A short fuzzing pass over the trace decoders (lenient + strict + CSV).
 fuzz:

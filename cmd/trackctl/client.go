@@ -7,6 +7,13 @@ package main
 // http.Client itself has NO per-request timeout — a single deadline for
 // the whole operation composes correctly across retries and polls,
 // where a per-request timeout silently resets on every attempt.
+//
+// -addr accepts a comma-separated list of base URLs. Against a sharded
+// trackd cluster, any node answers any read and forwards any write, so
+// the client fails over to the next endpoint when one refuses the
+// connection. Failover is sticky: once an endpoint answers, the rest of
+// the operation stays on it — job IDs are node-local, so the poll after
+// a submit must land where the submit did.
 
 import (
 	"context"
@@ -25,9 +32,105 @@ import (
 // daemonFlags registers the flags every daemon-client subcommand shares.
 // The returned timeout is the overall operation deadline (0 disables it).
 func daemonFlags(fs *flag.FlagSet, defaultTimeout time.Duration) (addr *string, timeout *time.Duration) {
-	addr = fs.String("addr", "http://127.0.0.1:7077", "trackd base URL")
+	addr = fs.String("addr", "http://127.0.0.1:7077", "trackd base URL, or a comma-separated list to fail over across")
 	timeout = fs.Duration("timeout", defaultTimeout, "overall operation deadline (0 = none)")
 	return
+}
+
+// endpoints is the ordered list of trackd base URLs a subcommand may
+// talk to, with the sticky cursor the failover discipline maintains.
+type endpoints struct {
+	bases []string
+	cur   int
+}
+
+// parseEndpoints splits the -addr value into its base URLs.
+func parseEndpoints(addr string) (*endpoints, error) {
+	var bases []string
+	for _, part := range strings.Split(addr, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			bases = append(bases, strings.TrimRight(part, "/"))
+		}
+	}
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("-addr needs at least one base URL")
+	}
+	return &endpoints{bases: bases}, nil
+}
+
+// base is the current endpoint, for error messages.
+func (e *endpoints) base() string { return e.bases[e.cur] }
+
+// do issues the request build constructs against the current endpoint,
+// advancing to the next base on a transport-level failure (connection
+// refused, reset, no route) until one answers or all are exhausted. An
+// HTTP error status is an answer, not a failover trigger; a canceled or
+// expired context aborts immediately. The cursor stays wherever the
+// last answer came from, so subsequent calls on the same endpoints
+// value stick to the node that is actually up.
+func (e *endpoints) do(ctx context.Context, client *http.Client, build func(base string) (*http.Request, error)) (*http.Response, error) {
+	var lastErr error
+	for tries := 0; tries < len(e.bases); tries++ {
+		req, err := build(e.base())
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+		if len(e.bases) > 1 && tries < len(e.bases)-1 {
+			fmt.Fprintf(os.Stderr, "trackctl: %s unreachable, trying next endpoint\n", e.base())
+		}
+		e.cur = (e.cur + 1) % len(e.bases)
+	}
+	return nil, lastErr
+}
+
+// get fetches path (relative to the current base) with failover.
+func (e *endpoints) get(ctx context.Context, client *http.Client, path string) (*http.Response, error) {
+	return e.do(ctx, client, func(base string) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+	})
+}
+
+// getJSON fetches path and decodes the JSON body into v, surfacing the
+// daemon's error message on non-200s.
+func (e *endpoints) getJSON(ctx context.Context, client *http.Client, path string, v any) error {
+	resp, err := e.get(ctx, client, path)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctxErr(ctx, "querying "+e.base()+path)
+		}
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, v)
+}
+
+// getCtx is client.Get bound to the operation context, pinned to one
+// explicit base (no failover) — used where the target node matters,
+// like polling a node-local job ID.
+func getCtx(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return client.Do(req)
 }
 
 // daemonContext builds the context all of a subcommand's requests run
@@ -48,37 +151,4 @@ func ctxErr(ctx context.Context, doing string) error {
 		return fmt.Errorf("deadline exceeded while %s (raise -timeout)", doing)
 	}
 	return fmt.Errorf("interrupted while %s", doing)
-}
-
-// getCtx is client.Get bound to the operation context.
-func getCtx(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, err
-	}
-	return client.Do(req)
-}
-
-// getJSON fetches u under ctx and decodes the JSON body into v,
-// surfacing the daemon's error message on non-200s.
-func getJSON(ctx context.Context, client *http.Client, u string, v any) error {
-	resp, err := getCtx(ctx, client, u)
-	if err != nil {
-		if ctx.Err() != nil {
-			return ctxErr(ctx, "querying "+u)
-		}
-		return err
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, e.Error)
-		}
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	return json.Unmarshal(body, v)
 }

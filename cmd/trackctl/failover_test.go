@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestParseEndpoints(t *testing.T) {
+	e, err := parseEndpoints("http://a:1/, http://b:2 ,,http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "http://b:2", "http://c:3"}
+	if len(e.bases) != len(want) {
+		t.Fatalf("bases = %v", e.bases)
+	}
+	for i, b := range want {
+		if e.bases[i] != b {
+			t.Errorf("base %d = %q, want %q", i, e.bases[i], b)
+		}
+	}
+	if e.base() != "http://a:1" {
+		t.Errorf("initial base = %q", e.base())
+	}
+	if _, err := parseEndpoints(" , "); err == nil {
+		t.Error("empty -addr accepted")
+	}
+}
+
+// TestEndpointFailover points the first -addr entry at a port nothing
+// listens on and the second at a live server: the request must land on
+// the live one, and subsequent requests must stick to it instead of
+// retrying the dead endpoint first.
+func TestEndpointFailover(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		fmt.Fprintf(w, `{"ok":%d}`, hits)
+	}))
+	defer srv.Close()
+
+	// A port that was just released: connecting to it is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	e, err := parseEndpoints(dead + "," + srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{}
+	ctx := context.Background()
+
+	var v struct {
+		OK int `json:"ok"`
+	}
+	if err := e.getJSON(ctx, client, "/v1/results", &v); err != nil {
+		t.Fatalf("failover get: %v", err)
+	}
+	if v.OK != 1 {
+		t.Fatalf("response = %+v", v)
+	}
+	if e.base() != srv.URL {
+		t.Fatalf("cursor not sticky: base = %q, want %q", e.base(), srv.URL)
+	}
+
+	// The second request goes straight to the live endpoint.
+	if err := e.getJSON(ctx, client, "/v1/results", &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.OK != 2 {
+		t.Fatalf("second response = %+v", v)
+	}
+
+	// All endpoints dead: the transport error surfaces instead of
+	// spinning forever.
+	allDead, err := parseEndpoints(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := allDead.getJSON(ctx, client, "/v1/results", &v); err == nil {
+		t.Error("expected an error when every endpoint refuses")
+	}
+}

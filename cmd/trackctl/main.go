@@ -109,6 +109,10 @@ diff and regressions read the daemon's persistent store: the result
 listing, an object-level diff of two stored runs, and the trajectory
 engine's changepoint verdicts over a series.
 
+-addr accepts a comma-separated list of base URLs (the nodes of a
+sharded trackd cluster): a refused connection fails over to the next
+endpoint, and once one answers the operation sticks to it.
+
 every daemon subcommand accepts -timeout D: one deadline for the whole
 operation (submit retries, result polls, every request), enforced
 through a context rather than a per-request client timeout. Ctrl-C

@@ -40,15 +40,18 @@ func cmdHistory(args []string) error {
 	ctx, cancel := daemonContext(*timeout)
 	defer cancel()
 	client := &http.Client{}
-	base := strings.TrimRight(*addr, "/")
-	u := base + "/v1/results"
+	addrs, err := parseEndpoints(*addr)
+	if err != nil {
+		return err
+	}
+	u := "/v1/results"
 	if *series != "" {
 		u += "?series=" + url.QueryEscape(*series)
 	}
 	var listing struct {
 		Results []storedMeta `json:"results"`
 	}
-	if err := getJSON(ctx, client, u, &listing); err != nil {
+	if err := addrs.getJSON(ctx, client, u, &listing); err != nil {
 		return err
 	}
 	if len(listing.Results) == 0 {
@@ -69,9 +72,11 @@ func cmdHistory(args []string) error {
 }
 
 // fetchRun downloads one stored result (by abbreviable key) and reduces
-// it to its tracked objects.
-func fetchRun(ctx context.Context, client *http.Client, base, key string) (trajectory.Run, error) {
-	resp, err := getCtx(ctx, client, base+"/v1/results/"+url.PathEscape(key))
+// it to its tracked objects. Stored results are content-keyed and any
+// cluster node can answer for the whole corpus, so the fetch fails over
+// across the -addr endpoints freely.
+func fetchRun(ctx context.Context, client *http.Client, addrs *endpoints, key string) (trajectory.Run, error) {
+	resp, err := addrs.get(ctx, client, "/v1/results/"+url.PathEscape(key))
 	if err != nil {
 		if ctx.Err() != nil {
 			return trajectory.Run{}, ctxErr(ctx, "fetching "+key)
@@ -104,13 +109,16 @@ func cmdDiff(args []string) error {
 	ctx, cancel := daemonContext(*timeout)
 	defer cancel()
 	client := &http.Client{}
-	base := strings.TrimRight(*addr, "/")
-
-	runA, err := fetchRun(ctx, client, base, fs.Arg(0))
+	addrs, err := parseEndpoints(*addr)
 	if err != nil {
 		return err
 	}
-	runB, err := fetchRun(ctx, client, base, fs.Arg(1))
+
+	runA, err := fetchRun(ctx, client, addrs, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	runB, err := fetchRun(ctx, client, addrs, fs.Arg(1))
 	if err != nil {
 		return err
 	}
@@ -167,7 +175,10 @@ func cmdRegressions(args []string) error {
 	ctx, cancel := daemonContext(*timeout)
 	defer cancel()
 	client := &http.Client{}
-	base := strings.TrimRight(*addr, "/")
+	addrs, err := parseEndpoints(*addr)
+	if err != nil {
+		return err
+	}
 
 	q := url.Values{}
 	if *metricName != "" {
@@ -182,7 +193,7 @@ func cmdRegressions(args []string) error {
 	if *minRel > 0 {
 		q.Set("minRel", fmt.Sprint(*minRel))
 	}
-	u := base + "/v1/series/" + url.PathEscape(*series) + "/regressions"
+	u := "/v1/series/" + url.PathEscape(*series) + "/regressions"
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
@@ -191,7 +202,7 @@ func cmdRegressions(args []string) error {
 		Verdicts []trajectory.Verdict `json:"verdicts"`
 		Notable  int                  `json:"notable"`
 	}
-	if err := getJSON(ctx, client, u, &res); err != nil {
+	if err := addrs.getJSON(ctx, client, u, &res); err != nil {
 		return err
 	}
 	fmt.Printf("series %s: %d runs, %d trajectories judged, %d notable\n",

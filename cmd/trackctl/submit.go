@@ -81,22 +81,30 @@ func cmdSubmit(args []string) error {
 		return err
 	}
 	client := &http.Client{}
-	base := strings.TrimRight(*addr, "/")
+	addrs, err := parseEndpoints(*addr)
+	if err != nil {
+		return err
+	}
 
 	// Submit, honouring 429 backpressure with the server's Retry-After.
+	// A refused connection fails over to the next -addr endpoint; once a
+	// node answers, the whole operation (retries AND result polls) sticks
+	// to it, because the job ID in its reply is local to that node.
 	var view service.JobView
 	for {
-		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
-		if err != nil {
-			return err
-		}
-		httpReq.Header.Set("Content-Type", "application/json")
-		resp, err := client.Do(httpReq)
+		resp, err := addrs.do(ctx, client, func(base string) (*http.Request, error) {
+			httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			httpReq.Header.Set("Content-Type", "application/json")
+			return httpReq, nil
+		})
 		if err != nil {
 			if ctx.Err() != nil {
-				return ctxErr(ctx, "submitting to "+base)
+				return ctxErr(ctx, "submitting to "+addrs.base())
 			}
-			return fmt.Errorf("submitting to %s: %w", base, err)
+			return fmt.Errorf("submitting to %s: %w", addrs.base(), err)
 		}
 		respBody, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
@@ -111,7 +119,7 @@ func cmdSubmit(args []string) error {
 			// does not stampede the daemon again in lockstep.
 			wait += time.Duration(rand.Int63n(int64(wait/4) + 1))
 			if dl, ok := ctx.Deadline(); ok && time.Now().Add(wait).After(dl) {
-				return fmt.Errorf("queue full at %s and -timeout would expire before the retry", base)
+				return fmt.Errorf("queue full at %s and -timeout would expire before the retry", addrs.base())
 			}
 			fmt.Fprintf(os.Stderr, "trackctl: queue full, retrying in %s\n", wait.Round(time.Millisecond))
 			if err := sleepCtx(ctx, wait); err != nil {
@@ -131,7 +139,11 @@ func cmdSubmit(args []string) error {
 		break
 	}
 
-	// Poll the result endpoint until the job is terminal.
+	// Poll the result endpoint until the job is terminal. Polls are
+	// PINNED to the endpoint that accepted the job (no failover): the ID
+	// only exists on that node, so asking a different one would turn a
+	// transient blip into a definitive-looking 404.
+	base := addrs.base()
 	for {
 		resp, err := getCtx(ctx, client, base+"/v1/jobs/"+view.ID+"/result")
 		if err != nil {

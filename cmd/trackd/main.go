@@ -9,6 +9,7 @@
 //	       [-store DIR] [-store-segment-bytes N] [-store-sync-every N]
 //	       [-store-retries N] [-no-journal] [-journal-sync-every N]
 //	       [-breaker-threshold N] [-breaker-cooldown D]
+//	       [-node-id ID -peers ID=URL,...] [-replicas N] [-probe-interval D]
 //	       [-pprof-addr HOST:PORT]
 //
 // -pprof-addr mounts net/http/pprof on a dedicated listener (separate
@@ -28,6 +29,15 @@
 // sustained failures trip a circuit breaker (-breaker-threshold,
 // -breaker-cooldown) that degrades the daemon to read-only 503s instead
 // of losing work.
+//
+// With -node-id and -peers (which requires -store), trackd joins a
+// sharded cluster: jobs route by consistent hashing over their content
+// fingerprint to an owner node, completed results replicate to
+// -replicas ring successors, any node answers reads for the whole
+// cluster via scatter-gather, and a background probe loop
+// (-probe-interval) tracks peer liveness, rebalancing replicas on every
+// membership change. The -peers list is the full static membership,
+// including this node's own id and URL.
 //
 // The daemon prints "trackd: listening on ADDR" once the socket is bound
 // (with the resolved port when :0 was requested), and shuts down
@@ -49,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"perftrack/internal/mesh"
 	"perftrack/internal/service"
 )
 
@@ -71,11 +82,31 @@ func main() {
 		brkThreshold = flag.Int("breaker-threshold", 0, "consecutive failures that open a circuit breaker (0 = default 5)")
 		brkCooldown  = flag.Duration("breaker-cooldown", 0, "cooldown before an open breaker admits a probe (0 = default 5s)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
+		nodeID       = flag.String("node-id", "", "this node's id in a sharded cluster (requires -peers and -store)")
+		peersFlag    = flag.String("peers", "", "full cluster membership as comma-separated id=URL pairs, including this node")
+		replicas     = flag.Int("replicas", 0, "nodes holding each result record, owner included (0 = default 2)")
+		probeEvery   = flag.Duration("probe-interval", 0, "peer liveness probe period (0 = default 2s)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "trackd: unexpected arguments %v\n", flag.Args())
 		os.Exit(2)
+	}
+	var meshCfg mesh.Config
+	if (*nodeID == "") != (*peersFlag == "") {
+		log.Fatal("trackd: -node-id and -peers must be set together")
+	}
+	if *nodeID != "" {
+		peers, err := mesh.ParsePeers(*peersFlag)
+		if err != nil {
+			log.Fatalf("trackd: -peers: %v", err)
+		}
+		meshCfg = mesh.Config{
+			NodeID:        *nodeID,
+			Peers:         peers,
+			Replicas:      *replicas,
+			ProbeInterval: *probeEvery,
+		}
 	}
 
 	srv, err := service.New(service.Config{
@@ -94,9 +125,25 @@ func main() {
 		JournalSyncEvery:     *journalSync,
 		BreakerThreshold:     *brkThreshold,
 		BreakerCooldown:      *brkCooldown,
+		Mesh:                 meshCfg,
 	})
 	if err != nil {
 		log.Fatalf("trackd: %v", err)
+	}
+	if n := srv.Mesh(); n != nil {
+		// Rebalance in the background at startup (resuming any journal-
+		// scoped round a crash interrupted) and after every membership
+		// change; Rebalance itself serialises concurrent rounds.
+		rebalance := func() {
+			go func() {
+				if _, err := srv.Rebalance(context.Background()); err != nil {
+					log.Printf("trackd: rebalance: %v", err)
+				}
+			}()
+		}
+		n.Start(rebalance)
+		rebalance()
+		log.Printf("trackd: cluster node %s of %d peers (replicas %d)", n.Self(), len(n.Statuses())+1, n.Replicas())
 	}
 	if *storeDir != "" {
 		st := srv.Store().Stats()

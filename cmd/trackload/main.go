@@ -1,0 +1,378 @@
+// Command trackload is the cluster load generator: it drives a running
+// trackd deployment (one node or a -addr list of cluster nodes) with a
+// mixed cold/cached job stream at a target QPS and reports the
+// end-to-end latency distribution — p50/p95/p99 percentiles per traffic
+// class plus a bucketed histogram — as a JSON scenario suitable for
+// BENCH_cluster.json.
+//
+// Usage:
+//
+//	trackload [-addr URL,URL,...] [-qps Q] [-duration D] [-cached F]
+//	          [-warm N] [-ranks N] [-iters N] [-phases N] [-seed N]
+//	          [-name LABEL] [-o FILE]
+//
+// Traffic model: submissions arrive open-loop on a fixed tick (no
+// back-to-back closed-loop coordination, so queueing delay is visible
+// in the tail). A -cached fraction resubmits one of -warm pre-warmed
+// jobs — in a healthy deployment those are content-addressed hits
+// answered without pipeline execution — and the rest are cold: a fresh
+// fingerprint every time, exercising the full cluster path (route to
+// owner, execute, replicate). Submissions round-robin across the -addr
+// endpoints; each job's result poll stays on the node that accepted it
+// (job IDs are node-local).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perftrack/internal/oracle"
+	"perftrack/internal/service"
+	"perftrack/internal/trace"
+)
+
+func main() {
+	var (
+		addrFlag = flag.String("addr", "http://127.0.0.1:7077", "trackd base URL(s), comma-separated; submissions round-robin across them")
+		qps      = flag.Float64("qps", 25, "target submissions per second (open loop)")
+		duration = flag.Duration("duration", 10*time.Second, "measurement window")
+		cachedF  = flag.Float64("cached", 0.5, "fraction of submissions drawn from the warm (cache-hit) pool")
+		warm     = flag.Int("warm", 6, "warm pool size, pre-submitted before the measurement window")
+		ranks    = flag.Int("ranks", 2, "ranks per generated trace")
+		iters    = flag.Int("iters", 3, "iterations per generated trace")
+		phases   = flag.Int("phases", 2, "phases per generated trace")
+		seed     = flag.Uint64("seed", 1, "base seed for generated traces and the traffic mix")
+		inflight = flag.Int("inflight", 256, "in-flight job cap; arrivals beyond it are shed (counted, not sent)")
+		name     = flag.String("name", "", "scenario label in the JSON output (default derived from node count)")
+		outPath  = flag.String("o", "", "write the scenario JSON to this file (default stdout)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "trackload: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+	var bases []string
+	for _, p := range strings.Split(*addrFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			bases = append(bases, strings.TrimRight(p, "/"))
+		}
+	}
+	if len(bases) == 0 {
+		fmt.Fprintln(os.Stderr, "trackload: -addr needs at least one base URL")
+		os.Exit(2)
+	}
+	label := *name
+	if label == "" {
+		label = fmt.Sprintf("%d-node", len(bases))
+	}
+
+	lg := &loadgen{
+		bases:  bases,
+		client: &http.Client{Timeout: 30 * time.Second},
+		ranks:  *ranks, iters: *iters, phases: *phases,
+		seed: *seed,
+	}
+	if err := lg.warmPool(*warm); err != nil {
+		fmt.Fprintln(os.Stderr, "trackload:", err)
+		os.Exit(1)
+	}
+	scen := lg.run(*qps, *duration, *cachedF, *inflight)
+	scen.Name = label
+	scen.Nodes = len(bases)
+
+	enc, err := json.MarshalIndent(scen, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trackload:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "trackload:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	os.Stdout.Write(enc)
+}
+
+// latStats summarises one traffic class's latency sample.
+type latStats struct {
+	Count  int     `json:"count"`
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	MeanMs float64 `json:"meanMs"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+type bucket struct {
+	LeMs  float64 `json:"leMs"` // upper bound; 0 marks the +Inf bucket
+	Count int     `json:"count"`
+}
+
+type scenario struct {
+	Name        string   `json:"name"`
+	Nodes       int      `json:"nodes"`
+	TargetQPS   float64  `json:"targetQps"`
+	AchievedQPS float64  `json:"achievedQps"`
+	Duration    string   `json:"duration"`
+	CachedShare float64  `json:"cachedShare"`
+	Submitted   int      `json:"submitted"`
+	Completed   int      `json:"completed"`
+	Errors      int      `json:"errors"`
+	Shed        int      `json:"shed"`
+	All         latStats `json:"all"`
+	Cold        latStats `json:"cold"`
+	Cached      latStats `json:"cached"`
+	HistogramMs []bucket `json:"histogramMs"`
+}
+
+type sample struct {
+	ms     float64
+	cached bool
+}
+
+type loadgen struct {
+	bases                []string
+	client               *http.Client
+	ranks, iters, phases int
+	seed                 uint64
+
+	warmBodies [][]byte // marshalled warm-pool requests (cache hits after warmup)
+	coldSeq    atomic.Uint64
+	rr         atomic.Uint64 // round-robin cursor over bases
+
+	mu      sync.Mutex
+	samples []sample
+	errors  int
+}
+
+// buildReq assembles one two-trace job request from the deterministic
+// oracle generator; distinct (salt, n) pairs yield distinct fingerprints.
+func (lg *loadgen) buildReq(salt string, n uint64) ([]byte, error) {
+	enc := func(seed uint64, name string) (string, error) {
+		var sb strings.Builder
+		if err := trace.Write(&sb, oracle.GenTraces(seed, name, lg.ranks, lg.iters, lg.phases)); err != nil {
+			return "", err
+		}
+		return sb.String(), nil
+	}
+	a, err := enc(lg.seed*7919+2*n, fmt.Sprintf("%s%da", salt, n))
+	if err != nil {
+		return nil, err
+	}
+	b, err := enc(lg.seed*7919+2*n+1, fmt.Sprintf("%s%db", salt, n))
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(service.JobRequest{Traces: []string{a, b}})
+}
+
+// warmPool submits the cached-traffic jobs once and waits for their
+// results, so measurement-window resubmissions are content-addressed
+// hits everywhere in the cluster.
+func (lg *loadgen) warmPool(n int) error {
+	for i := 0; i < n; i++ {
+		body, err := lg.buildReq("warm", uint64(i))
+		if err != nil {
+			return err
+		}
+		lg.warmBodies = append(lg.warmBodies, body)
+		base := lg.bases[i%len(lg.bases)]
+		if _, err := lg.oneJob(base, body); err != nil {
+			return fmt.Errorf("warming pool on %s: %w", base, err)
+		}
+	}
+	return nil
+}
+
+// oneJob submits body to base and long-polls the job to a terminal
+// state, returning the end-to-end latency.
+func (lg *loadgen) oneJob(base string, body []byte) (time.Duration, error) {
+	start := time.Now()
+	resp, err := lg.client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	respBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(respBody)))
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(respBody, &view); err != nil {
+		return 0, err
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		resp, err := lg.client.Get(base + "/v1/jobs/" + view.ID + "/result?wait=2s")
+		if err != nil {
+			return 0, err
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return time.Since(start), nil
+		case http.StatusAccepted:
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("job %s: still pending after 1m", view.ID)
+			}
+		default:
+			return 0, fmt.Errorf("job %s: %s: %s", view.ID, resp.Status, strings.TrimSpace(string(b)))
+		}
+	}
+}
+
+// run drives the open-loop measurement window and reduces the sample.
+func (lg *loadgen) run(qps float64, window time.Duration, cachedFrac float64, inflightCap int) *scenario {
+	interval := time.Duration(float64(time.Second) / qps)
+	rng := rand.New(rand.NewPCG(lg.seed, 0x10ad_9e4e))
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(window)
+
+	var wg sync.WaitGroup
+	slots := make(chan struct{}, inflightCap)
+	submitted, shed := 0, 0
+	start := time.Now()
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case <-ticker.C:
+			cached := rng.Float64() < cachedFrac
+			var body []byte
+			var err error
+			if cached {
+				body = lg.warmBodies[rng.IntN(len(lg.warmBodies))]
+			} else if body, err = lg.buildReq("cold", lg.coldSeq.Add(1)); err != nil {
+				lg.fail(err)
+				continue
+			}
+			select {
+			case slots <- struct{}{}:
+			default:
+				shed++ // saturated: shed the arrival rather than queueing client-side
+				continue
+			}
+			submitted++
+			base := lg.bases[lg.rr.Add(1)%uint64(len(lg.bases))]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-slots }()
+				d, err := lg.oneJob(base, body)
+				if err != nil {
+					lg.fail(err)
+					return
+				}
+				lg.mu.Lock()
+				lg.samples = append(lg.samples, sample{float64(d) / float64(time.Millisecond), cached})
+				lg.mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	scen := &scenario{
+		TargetQPS:   qps,
+		Duration:    window.String(),
+		CachedShare: cachedFrac,
+		Submitted:   submitted,
+		Completed:   len(lg.samples),
+		Errors:      lg.errors,
+		Shed:        shed,
+		AchievedQPS: float64(len(lg.samples)) / elapsed.Seconds(),
+	}
+	var all, cold, cachedMs []float64
+	for _, s := range lg.samples {
+		all = append(all, s.ms)
+		if s.cached {
+			cachedMs = append(cachedMs, s.ms)
+		} else {
+			cold = append(cold, s.ms)
+		}
+	}
+	scen.All = reduce(all)
+	scen.Cold = reduce(cold)
+	scen.Cached = reduce(cachedMs)
+	scen.HistogramMs = histogram(all)
+	return scen
+}
+
+func (lg *loadgen) fail(err error) {
+	lg.mu.Lock()
+	lg.errors++
+	n := lg.errors
+	lg.mu.Unlock()
+	if n <= 5 {
+		fmt.Fprintln(os.Stderr, "trackload:", err)
+	}
+}
+
+// reduce computes the percentile summary of a millisecond sample.
+func reduce(ms []float64) latStats {
+	if len(ms) == 0 {
+		return latStats{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	round := func(v float64) float64 { return float64(int(v*1000)) / 1000 }
+	return latStats{
+		Count:  len(sorted),
+		P50Ms:  round(pct(0.50)),
+		P95Ms:  round(pct(0.95)),
+		P99Ms:  round(pct(0.99)),
+		MeanMs: round(sum / float64(len(sorted))),
+		MaxMs:  round(sorted[len(sorted)-1]),
+	}
+}
+
+// histogram buckets the sample into exponential millisecond bounds;
+// the trailing bucket (LeMs 0) counts everything past the last bound.
+func histogram(ms []float64) []bucket {
+	bounds := []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+	out := make([]bucket, len(bounds)+1)
+	for i, b := range bounds {
+		out[i].LeMs = b
+	}
+	for _, v := range ms {
+		placed := false
+		for i, b := range bounds {
+			if v <= b {
+				out[i].Count++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			out[len(bounds)].Count++
+		}
+	}
+	return out
+}

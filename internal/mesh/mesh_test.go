@@ -1,0 +1,188 @@
+package mesh
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeNet is an in-memory transport: peer URLs of the form http://ID.mesh
+// dispatch to registered handlers; down peers refuse connections.
+type fakeNet struct {
+	mu       sync.Mutex
+	handlers map[string]http.HandlerFunc
+	down     map[string]bool
+}
+
+func newFakeNet() *fakeNet {
+	return &fakeNet{handlers: map[string]http.HandlerFunc{}, down: map[string]bool{}}
+}
+
+func (f *fakeNet) RoundTrip(req *http.Request) (*http.Response, error) {
+	id := strings.TrimSuffix(req.URL.Host, ".mesh")
+	f.mu.Lock()
+	h, ok := f.handlers[id]
+	dead := f.down[id]
+	f.mu.Unlock()
+	if !ok || dead {
+		return nil, fmt.Errorf("connection refused (%s down)", id)
+	}
+	rw := httptest.NewRecorder()
+	h(rw, req)
+	resp := rw.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+func (f *fakeNet) setDown(id string, down bool) {
+	f.mu.Lock()
+	f.down[id] = down
+	f.mu.Unlock()
+}
+
+func threePeers() []Peer {
+	return []Peer{
+		{ID: "n1", URL: "http://n1.mesh"},
+		{ID: "n2", URL: "http://n2.mesh"},
+		{ID: "n3", URL: "http://n3.mesh"},
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	ps, err := ParsePeers("n1=http://a:1, n2=http://b:2 ,n3=http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 || ps[1].ID != "n2" || ps[1].URL != "http://b:2" {
+		t.Fatalf("parsed %+v", ps)
+	}
+	for _, bad := range []string{"", "n1", "=http://x", "n1="} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NodeID: "nx", Peers: threePeers()}); err == nil {
+		t.Fatal("node id outside peer list accepted")
+	}
+	if _, err := New(Config{NodeID: "n1", Peers: append(threePeers(), Peer{ID: "n1", URL: "http://dup"})}); err == nil {
+		t.Fatal("duplicate peer id accepted")
+	}
+}
+
+func TestMembershipProbes(t *testing.T) {
+	net := newFakeNet()
+	pong := func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) }
+	net.handlers["n2"] = pong
+	net.handlers["n3"] = pong
+
+	n, err := New(Config{
+		NodeID: "n1", Peers: threePeers(),
+		ProbeFailures: 2, Transport: net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Ring().Len() != 3 {
+		t.Fatalf("optimistic start ring has %d nodes, want 3", n.Ring().Len())
+	}
+	epoch0 := n.Epoch()
+
+	// Kill n3: the first failed probe round only counts, the second
+	// transitions it down and shrinks the ring.
+	net.setDown("n3", true)
+	if n.ProbeOnce(context.Background()) {
+		t.Fatal("one failure should not transition with ProbeFailures=2")
+	}
+	if !n.ProbeOnce(context.Background()) {
+		t.Fatal("second consecutive failure should mark n3 down")
+	}
+	if got := n.Ring().Nodes(); len(got) != 2 || got[0] != "n1" || got[1] != "n2" {
+		t.Fatalf("ring after n3 death: %v", got)
+	}
+	if n.Epoch() == epoch0 {
+		t.Fatal("epoch did not advance on membership change")
+	}
+	for _, st := range n.Statuses() {
+		if st.ID == "n3" && st.Alive {
+			t.Fatal("n3 still reported alive")
+		}
+	}
+
+	// Ownership of every key must now land on a live node, and keys
+	// previously owned by n1/n2 must not have moved.
+	full := NewRing([]string{"n1", "n2", "n3"}, n.cfg.VNodes)
+	for _, k := range testKeys(300) {
+		owner := n.Owner(k)
+		if owner == "n3" {
+			t.Fatalf("dead node still owns %q", k)
+		}
+		if was := full.Owner(k); was != "n3" && was != owner {
+			t.Fatalf("key %q moved %s -> %s without its owner dying", k, was, owner)
+		}
+	}
+
+	// Revive n3: one successful probe restores it.
+	net.setDown("n3", false)
+	if !n.ProbeOnce(context.Background()) {
+		t.Fatal("revival should transition n3 up")
+	}
+	if n.Ring().Len() != 3 {
+		t.Fatalf("ring after revival has %d nodes", n.Ring().Len())
+	}
+}
+
+func TestReportFeedback(t *testing.T) {
+	n, err := New(Config{NodeID: "n1", Peers: threePeers(), ProbeFailures: 1, Transport: newFakeNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var changes int
+	n.onChange = func() { changes++ }
+	if !n.ReportFailure("n2") {
+		t.Fatal("first failure with threshold 1 should transition")
+	}
+	if n.ReportFailure("n2") {
+		t.Fatal("already-down peer should not re-transition")
+	}
+	if !n.ReportSuccess("n2") {
+		t.Fatal("success should bring n2 back")
+	}
+	if changes != 2 {
+		t.Fatalf("onChange ran %d times, want 2", changes)
+	}
+	if n.ReportFailure("unknown") || n.ReportSuccess("unknown") {
+		t.Fatal("unknown peer must be ignored")
+	}
+}
+
+func TestDoAgainstPeer(t *testing.T) {
+	net := newFakeNet()
+	net.handlers["n2"] = func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("X-Mesh-From") != "n1" {
+			t.Errorf("missing X-Mesh-From, got %q", r.Header.Get("X-Mesh-From"))
+		}
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprint(w, "short and stout")
+	}
+	n, err := New(Config{NodeID: "n1", Peers: threePeers(), Transport: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body, err := n.Do(context.Background(), "n2", http.MethodGet, "/v1/mesh/ping", nil)
+	if err != nil || status != http.StatusTeapot || string(body) != "short and stout" {
+		t.Fatalf("Do = %d %q %v", status, body, err)
+	}
+	if _, _, err := n.Do(context.Background(), "n3", http.MethodGet, "/x", nil); err == nil {
+		t.Fatal("unregistered peer should error")
+	}
+	if _, _, err := n.Do(context.Background(), "nope", http.MethodGet, "/x", nil); err == nil {
+		t.Fatal("unknown peer should error")
+	}
+}

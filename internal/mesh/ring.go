@@ -1,0 +1,158 @@
+// Package mesh turns N trackd processes into one logical service: a
+// consistent-hash ring routes each job to an owner node by its canonical
+// content fingerprint (the SHA-256 job key is already the perfect shard
+// key — exact dedup and singleflight survive sharding), static-list
+// membership with probe-driven liveness decides which nodes are in the
+// ring, and a small HTTP client layer carries forwarded submissions,
+// scatter-gather reads and perfdb record replication between peers.
+//
+// The package deliberately knows nothing about the service layer: it
+// deals in node ids, URLs and opaque keys. internal/service composes it
+// into routing hooks; the deterministic cluster simulation drives it
+// through an in-memory transport with no real network or timers.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	h    uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a set of node ids.
+// Each node contributes VNodes points; a key belongs to the node owning
+// the first point clockwise of the key's hash. Immutability keeps reads
+// lock-free: membership changes swap in a freshly built ring.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+	vnodes int
+}
+
+// hash64 mixes s through FNV-1a and a splitmix64 finalizer. FNV alone
+// clusters badly for short, similar strings (node ids differing in one
+// digit); the finalizer spreads the points evenly enough that ownership
+// shares stay within a few percent of uniform at 64 vnodes.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// NewRing builds a ring over the given node ids (order-insensitive;
+// duplicates are collapsed). vnodes <= 0 selects the default of 64
+// points per node.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := map[string]bool{}
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, vnodes: vnodes}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, n := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{h: hash64(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].node < r.points[j].node // deterministic tie-break
+	})
+	return r
+}
+
+// Nodes returns the ring's member ids, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the node owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.successor(hash64(key))].node
+}
+
+// successor returns the index of the first point with hash >= h,
+// wrapping to 0 past the end.
+func (r *Ring) successor(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// ReplicaSet returns the n distinct nodes responsible for key: the owner
+// first, then ring successors. Fewer than n members returns them all.
+func (r *Ring) ReplicaSet(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	i := r.successor(hash64(key))
+	for len(out) < n {
+		node := r.points[i].node
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+		i++
+		if i == len(r.points) {
+			i = 0
+		}
+	}
+	return out
+}
+
+// Shares returns each node's exact fraction of the hash space — the
+// ring-ownership summary /healthz reports. Shares sum to 1 (up to float
+// rounding) on a non-empty ring.
+func (r *Ring) Shares() map[string]float64 {
+	out := make(map[string]float64, len(r.nodes))
+	if len(r.points) == 0 {
+		return out
+	}
+	const whole = float64(1<<63) * 2 // 2^64 as float
+	// Point i owns the arc (points[i-1].h, points[i].h]; the first point
+	// also owns the wrap-around arc past the last point.
+	prev := r.points[len(r.points)-1].h
+	for _, p := range r.points {
+		arc := p.h - prev // uint64 subtraction wraps correctly
+		out[p.node] += float64(arc) / whole
+		prev = p.h
+	}
+	return out
+}

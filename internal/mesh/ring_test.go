@@ -1,0 +1,114 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x-key-%d", hash64(fmt.Sprint(i)), i)
+	}
+	return keys
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 64)
+	b := NewRing([]string{"n3", "n1", "n2", "n2"}, 64) // order/dups must not matter
+	for _, k := range testKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q differs between identical rings: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+	if got := a.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 64)
+	counts := map[string]int{}
+	keys := testKeys(6000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for node, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.1f%% of keys — ring badly unbalanced (%v)", node, 100*frac, counts)
+		}
+	}
+	// Exact arc shares must roughly agree with the empirical split and
+	// sum to 1.
+	shares := r.Shares()
+	var sum float64
+	for node, s := range shares {
+		sum += s
+		emp := float64(counts[node]) / float64(len(keys))
+		if math.Abs(s-emp) > 0.05 {
+			t.Fatalf("node %s share %.3f vs empirical %.3f", node, s, emp)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+}
+
+// TestRingMinimalMovement is the property consistent hashing exists for:
+// removing one node must only move the keys that node owned.
+func TestRingMinimalMovement(t *testing.T) {
+	full := NewRing([]string{"n1", "n2", "n3"}, 64)
+	without2 := NewRing([]string{"n1", "n3"}, 64)
+	for _, k := range testKeys(2000) {
+		before, after := full.Owner(k), without2.Owner(k)
+		if before != "n2" && before != after {
+			t.Fatalf("key %q moved %s -> %s although its owner did not leave", k, before, after)
+		}
+		if before == "n2" && after == "n2" {
+			t.Fatalf("key %q still owned by removed node", k)
+		}
+	}
+}
+
+func TestReplicaSet(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 64)
+	for _, k := range testKeys(500) {
+		set := r.ReplicaSet(k, 2)
+		if len(set) != 2 {
+			t.Fatalf("replica set size %d, want 2", len(set))
+		}
+		if set[0] != r.Owner(k) {
+			t.Fatalf("replica set %v does not start with owner %s", set, r.Owner(k))
+		}
+		if set[0] == set[1] {
+			t.Fatalf("replica set %v has duplicate nodes", set)
+		}
+	}
+	// Asking for more replicas than members returns every member once.
+	if set := r.ReplicaSet("x", 9); len(set) != 3 {
+		t.Fatalf("oversized replica set %v, want all 3 nodes", set)
+	}
+	if NewRing(nil, 8).Owner("x") != "" {
+		t.Fatal("empty ring must own nothing")
+	}
+}
+
+// TestReplicaSpread guards against a degenerate vnode layout where one
+// node is the successor of another for nearly every arc: the *second*
+// replica must also spread across the cluster.
+func TestReplicaSpread(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 64)
+	second := map[string]int{}
+	keys := testKeys(6000)
+	for _, k := range keys {
+		second[r.ReplicaSet(k, 2)[1]]++
+	}
+	for node, c := range second {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.1 || frac > 0.6 {
+			t.Fatalf("node %s is second replica for %.1f%% of keys (%v)", node, 100*frac, second)
+		}
+	}
+}

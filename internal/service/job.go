@@ -275,13 +275,18 @@ type Job struct {
 	Key  string
 	spec *jobSpec
 
-	state       JobState
-	cacheHit    bool
+	state    JobState
+	cacheHit bool
 	// journaled marks that an intent entry gates this job's resolution.
 	// It is set only before the job is published to the queue and the
 	// inflight table and never written afterwards, so workers may read
 	// it without the server mutex.
 	journaled bool
+	// remote marks a job forwarded to its ring owner on another node;
+	// owner names that node. Like journaled, both are set before the job
+	// is published and immutable afterwards.
+	remote      bool
+	owner       string
 	errMsg      string
 	result      []byte
 	diagnostics *core.Diagnostics
@@ -301,6 +306,7 @@ type JobView struct {
 	Key         string   `json:"key"`
 	CacheHit    bool     `json:"cacheHit"`
 	Error       string   `json:"error,omitempty"`
+	Owner       string   `json:"owner,omitempty"`
 	SubmittedAt string   `json:"submittedAt"`
 	StartedAt   string   `json:"startedAt,omitempty"`
 	FinishedAt  string   `json:"finishedAt,omitempty"`
@@ -318,6 +324,7 @@ func (j *Job) view() JobView {
 		Key:         j.Key,
 		CacheHit:    j.cacheHit,
 		Error:       j.errMsg,
+		Owner:       j.owner,
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
 	}
 	if !j.started.IsZero() {

@@ -144,6 +144,15 @@ func (s *Server) replayIntent(p store.PendingIntent) *Job {
 		s.journal.Resolve(p.Key, "", true)
 		return nil
 	}
+	// In cluster mode, replay re-routes through the mesh: the key may be
+	// owned elsewhere (or have been re-owned by a rebalance while this
+	// node was down), and the owner's singleflight — plus the pre-execute
+	// cluster lookup — keeps the recovered job exactly-once cluster-wide.
+	if owner, fwd := s.forwardTarget(spec.key, false); fwd {
+		j := s.forwardLocked(spec, true, owner, p.Payload)
+		s.mu.Unlock()
+		return j
+	}
 	j := s.newJobLocked(spec)
 	j.journaled = true
 	s.inflight[spec.key] = j

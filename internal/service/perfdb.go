@@ -123,9 +123,15 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if !s.requireStore(w) {
 		return
 	}
+	series := r.URL.Query().Get("series")
 	metas := s.store.List()
-	if series := r.URL.Query().Get("series"); series != "" {
+	if series != "" {
 		metas = s.store.Series(series)
+	}
+	if s.mesh != nil && !viaMesh(r) {
+		// Cluster-wide listing: any node answers for the whole corpus.
+		s.mm.scatters.Inc()
+		metas = mergeMetas(metas, s.scatterMetas(r.Context(), series))
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"results": metas,
@@ -138,29 +144,45 @@ func (s *Server) handleResultPayload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key, err := s.store.ResolveKey(r.PathValue("key"))
-	if err != nil {
-		writeError(w, http.StatusNotFound, err.Error())
-		return
+	if err == nil {
+		payload, ok, gerr := s.store.Get(key)
+		if gerr != nil {
+			writeError(w, http.StatusInternalServerError, gerr.Error())
+			return
+		}
+		if ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Store-Key", key)
+			w.Write(payload)
+			return
+		}
 	}
-	payload, ok, err := s.store.Get(key)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
+	// Local miss: in cluster mode the record may live on a peer.
+	if s.mesh != nil && !viaMesh(r) {
+		s.mm.scatters.Inc()
+		if payload, fullKey, ok := s.clusterResultLookup(r.Context(), r.PathValue("key")); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Store-Key", fullKey)
+			w.Write(payload)
+			return
+		}
 	}
-	if !ok {
-		writeError(w, http.StatusNotFound, "no such result")
-		return
+	if err == nil {
+		err = fmt.Errorf("no such result")
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Store-Key", key)
-	w.Write(payload)
+	writeError(w, http.StatusNotFound, err.Error())
 }
 
 func (s *Server) handleSeriesList(w http.ResponseWriter, r *http.Request) {
 	if !s.requireStore(w) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"series": s.store.SeriesNames()})
+	names := s.store.SeriesNames()
+	if s.mesh != nil && !viaMesh(r) {
+		s.mm.scatters.Inc()
+		names = s.scatterSeriesNames(r.Context(), names)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"series": names})
 }
 
 // loadSeriesRuns reads every stored result of a series, oldest first, and
@@ -238,7 +260,7 @@ func (s *Server) handleTrajectories(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
-	runs, err := s.loadSeriesRuns(name)
+	runs, err := s.seriesRuns(r, name)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -261,7 +283,7 @@ func (s *Server) handleRegressions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
-	runs, err := s.loadSeriesRuns(name)
+	runs, err := s.seriesRuns(r, name)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return

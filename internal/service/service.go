@@ -39,6 +39,7 @@ import (
 	"perftrack/internal/apps"
 	"perftrack/internal/core"
 	"perftrack/internal/faults"
+	"perftrack/internal/mesh"
 	"perftrack/internal/mpisim"
 	"perftrack/internal/store"
 	"perftrack/internal/trace"
@@ -102,13 +103,18 @@ type Config struct {
 	// StoreFS, when set, substitutes the filesystem under the store and
 	// journal — the chaos tests plug in faults.FaultFS here.
 	StoreFS faults.FS
+	// Mesh enables cluster mode when Mesh.NodeID is set: jobs route to
+	// ring owners, results replicate to Mesh.Replicas nodes, and read
+	// endpoints scatter-gather the whole cluster. Requires StoreDir.
+	Mesh mesh.Config
 
 	// Test seams, settable only from inside the package. Unlike the
 	// Server fields of the same names, these are installed before the
 	// worker pool and the replay goroutine start, so hooks observe
 	// startup replay without racing it.
-	testExecHook    func(key string)
-	testPersistHook func(key string, err error)
+	testExecHook      func(key string)
+	testPersistHook   func(key string, err error)
+	testReplicateHook func(key, peer string, err error)
 }
 
 func (c Config) withDefaults() Config {
@@ -165,11 +171,20 @@ type Server struct {
 	store   *store.Store
 	journal *store.Journal
 
+	// mesh and meshJournal come alive in cluster mode: the ring +
+	// membership node and the hand-off journal recording replication
+	// debts and in-progress rebalances. rebalanceMu serialises Rebalance
+	// rounds.
+	mesh        *mesh.Node
+	meshJournal *store.Journal
+	rebalanceMu sync.Mutex
+
 	reg *Registry
 	m   serverMetrics
 	sm  storeMetrics
 	jm  journalMetrics
 	rm  resilienceMetrics
+	mm  meshMetrics
 
 	// storeBreaker trips on consecutive failed store appends,
 	// execBreaker on consecutive failed pipeline executions. Either
@@ -210,9 +225,10 @@ type Server struct {
 	// before each store append attempt and its non-nil error replaces
 	// the append — deterministic store-write failure injection above
 	// the filesystem.
-	testExecHook    func(key string)
-	testPersistHook func(key string, err error)
-	testAppendFault func(key string) error
+	testExecHook      func(key string)
+	testPersistHook   func(key string, err error)
+	testAppendFault   func(key string) error
+	testReplicateHook func(key, peer string, err error)
 }
 
 type healthAccum struct {
@@ -263,6 +279,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.rootCtx, s.cancel = context.WithCancel(context.Background())
 	s.testExecHook, s.testPersistHook = cfg.testExecHook, cfg.testPersistHook
+	s.testReplicateHook = cfg.testReplicateHook
 
 	r := s.reg
 	s.m = serverMetrics{
@@ -325,6 +342,20 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
+	if cfg.Mesh.NodeID != "" {
+		if cfg.StoreDir == "" {
+			s.cancel()
+			return nil, fmt.Errorf("service: cluster mode requires a store directory (replication needs perfdb)")
+		}
+		if err := s.openMesh(); err != nil {
+			s.store.Close()
+			if s.journal != nil {
+				s.journal.Close()
+			}
+			s.cancel()
+			return nil, err
+		}
+	}
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -356,7 +387,18 @@ func (s *Server) Registry() *Registry { return s.reg }
 // cannot make the submission durable. When the journal is enabled, a
 // nil error for a fresh job means its intent is fsynced: the job
 // survives any crash from this point on.
+//
+// In cluster mode a key owned by another node is forwarded there after
+// the local intent fsync — the durability promise stays local while
+// dedup and singleflight concentrate at the owner.
 func (s *Server) Submit(req JobRequest) (job *Job, coalesced bool, err error) {
+	return s.submit(req, false)
+}
+
+// submit is Submit plus the mesh provenance bit: via is true when the
+// request was forwarded by a peer, which pins execution here (no
+// re-forwarding, even if membership views disagree mid-transition).
+func (s *Server) submit(req JobRequest, via bool) (job *Job, coalesced bool, err error) {
 	spec, err := resolve(req)
 	if err != nil {
 		return nil, false, err
@@ -405,6 +447,11 @@ func (s *Server) Submit(req JobRequest) (job *Job, coalesced bool, err error) {
 	}
 
 	if s.journal == nil {
+		if owner, fwd := s.forwardTarget(spec.key, via); fwd {
+			j := s.forwardLocked(spec, false, owner, intent)
+			s.mu.Unlock()
+			return j, false, nil
+		}
 		j, err := s.admitLocked(spec, false)
 		s.mu.Unlock()
 		return j, false, err
@@ -452,6 +499,11 @@ func (s *Server) Submit(req JobRequest) (job *Job, coalesced bool, err error) {
 		j := s.finishedJobLocked(spec, val)
 		s.mu.Unlock()
 		s.settleRecheckIntent(spec.key, true)
+		return j, false, nil
+	}
+	if owner, fwd := s.forwardTarget(spec.key, via); fwd {
+		j := s.forwardLocked(spec, true, owner, intent)
+		s.mu.Unlock()
 		return j, false, nil
 	}
 	j, err := s.admitLocked(spec, true)
@@ -597,10 +649,27 @@ func (s *Server) run(j *Job) {
 		}
 	}
 
-	if s.testExecHook != nil {
-		s.testExecHook(j.Key)
+	// In cluster mode, check alive peers for an already-stored copy
+	// before computing: a key re-owned after a membership change may
+	// already be durable on a node outside the current replica set, and
+	// recomputing it would break exactly-once.
+	var (
+		result  []byte
+		diags   *core.Diagnostics
+		err     error
+		fetched bool
+	)
+	if s.mesh != nil {
+		if payload, ok := s.fetchFromCluster(ctx, j.Key); ok {
+			result, fetched = payload, true
+		}
 	}
-	result, diags, err := s.execute(ctx, j.spec)
+	if !fetched {
+		if s.testExecHook != nil {
+			s.testExecHook(j.Key)
+		}
+		result, diags, err = s.execute(ctx, j.spec)
+	}
 
 	// Classify the outcome once; the journal resolution, the breaker
 	// verdict and the published state must all agree.
@@ -621,11 +690,18 @@ func (s *Server) run(j *Job) {
 	// submissions or the other workers.
 	var persistErr error
 	if err == nil {
-		s.execBreaker.Success()
+		if !fetched {
+			s.execBreaker.Success()
+		}
 		if s.store != nil {
 			persistErr = s.persist(j.spec, result)
 			if s.testPersistHook != nil {
 				s.testPersistHook(j.Key, persistErr)
+			}
+			if persistErr == nil {
+				// Replicate the durable result to its ring successors;
+				// failed pushes become journaled hand-off debt.
+				s.replicate(j.spec, result)
 			}
 		}
 	} else if !shutdownCancel {
@@ -806,6 +882,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = cerr
 		}
 	}
+	if s.mesh != nil {
+		s.mesh.Stop()
+	}
+	if s.meshJournal != nil {
+		if cerr := s.meshJournal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -827,6 +911,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/mesh/ping", s.handleMeshPing)
+	mux.HandleFunc("POST /v1/mesh/replicate", s.handleMeshReplicate)
 	return mux
 }
 
@@ -849,7 +935,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
 		return
 	}
-	j, coalesced, err := s.Submit(req)
+	via := viaMesh(r)
+	if via && s.mesh != nil {
+		s.mm.receivedJobs.Inc()
+	}
+	j, coalesced, err := s.submit(req, via)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
@@ -907,6 +997,19 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
+	// ?wait=DURATION long-polls: respond as soon as the job is terminal
+	// or the window elapses. Forwarding peers use this instead of a poll
+	// storm.
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		if d, err := time.ParseDuration(ws); err == nil && d > 0 {
+			if d > time.Minute {
+				d = time.Minute
+			}
+			wctx, cancel := context.WithTimeout(r.Context(), d)
+			s.Wait(wctx, j)
+			cancel()
+		}
+	}
 	result, state, errMsg := s.Result(j)
 	switch state {
 	case StateDone:
@@ -915,6 +1018,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("X-Cache", "hit")
 		} else {
 			w.Header().Set("X-Cache", "miss")
+		}
+		// X-Durable tells a forwarding peer whether this result is in the
+		// persistent store — the signal that lets it resolve its own
+		// journal intent.
+		if s.store != nil {
+			if _, ok := s.store.GetMeta(j.Key); ok {
+				w.Header().Set("X-Durable", "true")
+			}
 		}
 		w.Write(result)
 	case StateFailed:
@@ -996,6 +1107,19 @@ type Health struct {
 		StoreOpen bool `json:"storeOpen"`
 		ExecOpen  bool `json:"execOpen"`
 	} `json:"breakers"`
+	Mesh struct {
+		Enabled bool   `json:"enabled"`
+		NodeID  string `json:"nodeId,omitempty"`
+		Epoch   uint64 `json:"epoch,omitempty"`
+		// Replicas is the configured copies per record (owner included);
+		// Peers the per-peer liveness view; RingShares each live node's
+		// exact fraction of the hash space; ReplicationPending the
+		// journaled hand-off debts not yet delivered (replication lag).
+		Replicas           int                `json:"replicas,omitempty"`
+		Peers              []mesh.PeerStatus  `json:"peers,omitempty"`
+		RingShares         map[string]float64 `json:"ringShares,omitempty"`
+		ReplicationPending int                `json:"replicationPending,omitempty"`
+	} `json:"mesh"`
 }
 
 // Healthz snapshots the daemon state for /healthz.
@@ -1049,6 +1173,17 @@ func (s *Server) Healthz() Health {
 	}
 	h.Breakers.StoreOpen = s.storeBreaker.Open()
 	h.Breakers.ExecOpen = s.execBreaker.Open()
+	if s.mesh != nil {
+		h.Mesh.Enabled = true
+		h.Mesh.NodeID = s.mesh.Self()
+		h.Mesh.Epoch = s.mesh.Epoch()
+		h.Mesh.Replicas = s.mesh.Replicas()
+		h.Mesh.Peers = s.mesh.Statuses()
+		h.Mesh.RingShares = s.mesh.Ring().Shares()
+		if s.meshJournal != nil {
+			h.Mesh.ReplicationPending = s.meshJournal.Stats().Pending
+		}
+	}
 	return h
 }
 

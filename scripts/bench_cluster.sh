@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# bench_cluster.sh — boots a 1-node trackd and a 3-node trackd cluster
+# locally (no docker: three processes on loopback ports), drives each
+# with the trackload generator at the same mixed cold/cached rate, and
+# merges the two latency scenarios into BENCH_cluster.json.
+#
+#   QPS=25 DURATION=10s OUT=BENCH_cluster.json scripts/bench_cluster.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QPS=${QPS:-25}
+DURATION=${DURATION:-10s}
+CACHED=${CACHED:-0.5}
+OUT=${OUT:-BENCH_cluster.json}
+
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "building trackd and trackload..." >&2
+go build -o "$tmp/trackd" ./cmd/trackd
+go build -o "$tmp/trackload" ./cmd/trackload
+
+# Wait for a node's "listening on" line (the socket is bound and, with a
+# fresh store, the journal replay backlog is empty).
+wait_listen() {
+    for _ in $(seq 1 600); do
+        grep -q "trackd: listening on" "$1" && return 0
+        sleep 0.05
+    done
+    echo "node never started; log follows" >&2
+    cat "$1" >&2
+    return 1
+}
+
+# ---- 1-node baseline ----
+P1=7087
+"$tmp/trackd" -addr "127.0.0.1:$P1" -workers 4 -store "$tmp/solo" \
+    >"$tmp/solo.log" 2>&1 &
+pids+=($!)
+wait_listen "$tmp/solo.log"
+echo "1-node bench: qps=$QPS duration=$DURATION cached=$CACHED" >&2
+"$tmp/trackload" -addr "http://127.0.0.1:$P1" -qps "$QPS" -duration "$DURATION" \
+    -cached "$CACHED" -name "1-node" -o "$tmp/one.json"
+kill "${pids[0]}" 2>/dev/null || true
+
+# ---- 3-node cluster ----
+PORTS=(7091 7092 7093)
+PEERS="n1=http://127.0.0.1:${PORTS[0]},n2=http://127.0.0.1:${PORTS[1]},n3=http://127.0.0.1:${PORTS[2]}"
+for i in 0 1 2; do
+    id="n$((i + 1))"
+    "$tmp/trackd" -addr "127.0.0.1:${PORTS[$i]}" -workers 4 -store "$tmp/$id" \
+        -node-id "$id" -peers "$PEERS" -probe-interval 500ms \
+        >"$tmp/$id.log" 2>&1 &
+    pids+=($!)
+done
+for i in 0 1 2; do wait_listen "$tmp/n$((i + 1)).log"; done
+ADDRS="http://127.0.0.1:${PORTS[0]},http://127.0.0.1:${PORTS[1]},http://127.0.0.1:${PORTS[2]}"
+echo "3-node bench: qps=$QPS duration=$DURATION cached=$CACHED" >&2
+"$tmp/trackload" -addr "$ADDRS" -qps "$QPS" -duration "$DURATION" \
+    -cached "$CACHED" -name "3-node" -o "$tmp/three.json"
+
+# ---- merge ----
+{
+    echo '{'
+    echo '  "suite": "trackd cluster load",'
+    echo "  \"date\": \"$(date -u +%F)\","
+    echo "  \"go\": \"$(go version | awk '{print $3}')\","
+    echo "  \"command\": \"scripts/bench_cluster.sh (trackload -qps $QPS -duration $DURATION -cached $CACHED)\","
+    echo '  "workload": "Open-loop mixed traffic: half resubmits a 6-job warm pool (content-addressed cache hits), half submits fresh two-trace jobs (oracle-generated, 2 ranks x 3 iterations x 2 phases) that execute the full pipeline; in the 3-node cluster, submissions round-robin across nodes, so roughly two thirds are forwarded to their consistent-hash owner and every completion replicates to one ring successor.",'
+    echo '  "scenarios": ['
+    sed 's/^/    /' "$tmp/one.json" | sed '$ s/$/,/'
+    sed 's/^/    /' "$tmp/three.json"
+    echo '  ]'
+    echo '}'
+} >"$OUT"
+echo "wrote $OUT" >&2
