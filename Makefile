@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race oracle sim mesh-sim chaos fuzz-short cover serve-smoke store-smoke cluster-smoke check fuzz bench-core bench-compare bench-cluster clean
+.PHONY: all build test vet race oracle sim mesh-sim stream-sim chaos fuzz-short cover serve-smoke store-smoke cluster-smoke check fuzz bench-core bench-compare bench-cluster bench-stream clean
 
 all: build
 
@@ -56,6 +56,15 @@ sim:
 mesh-sim:
 	$(GO) test -race -count=1 -run 'TestCluster|TestRing|TestMembership|TestParsePeers' ./internal/service/ ./internal/mesh/
 
+# stream-sim replays >=300 seeded live-stream schedules against the
+# full service + store stack under the race detector: chunked appends,
+# daemon crash/restart mid-stream (sessions resume from their sealed
+# windows), and subscriber churn on the event feeds — no sealed window
+# lost, no window evaluated twice, and the final persisted export
+# bit-exact with the batch pipeline.
+stream-sim:
+	STREAM_SIM_SCHEDULES=300 $(GO) test -race -count=1 -run TestStreamSim ./internal/service/
+
 # cluster-smoke boots a real 3-node trackd cluster on loopback, submits
 # jobs round-robin, SIGKILLs one node, and asserts every stored result
 # is still served byte-identically from every survivor.
@@ -78,6 +87,7 @@ fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzNNDifferential -fuzztime=5s ./internal/cluster/
 	$(GO) test -run=^$$ -fuzz=FuzzDisplacementDifferential -fuzztime=5s ./internal/core/
 	$(GO) test -run=^$$ -fuzz=FuzzAlignDifferential -fuzztime=5s ./internal/align/
+	$(GO) test -run=^$$ -fuzz=FuzzStreamAppend -fuzztime=5s ./internal/stream/
 
 # cover writes the aggregate statement-coverage profile; the ratchet in
 # scripts/check_coverage.sh enforces the floor in CI.
@@ -87,10 +97,11 @@ cover:
 
 # check is the pre-merge gate: static analysis, the full suite under the
 # race detector, the oracle harness, the chaos/fault-injection schedules,
-# the whole-cluster mesh simulation, a short fuzz pass, and the daemon
-# end-to-end smokes (including the kill -9 crash-recovery smoke and the
-# 3-node SIGKILL cluster smoke).
-check: vet race oracle chaos mesh-sim fuzz-short serve-smoke store-smoke cluster-smoke
+# the whole-cluster mesh simulation, the live-stream crash/churn
+# simulation, a short fuzz pass, and the daemon end-to-end smokes
+# (including the kill -9 crash-recovery smoke and the 3-node SIGKILL
+# cluster smoke).
+check: vet race oracle chaos mesh-sim stream-sim fuzz-short serve-smoke store-smoke cluster-smoke
 
 # bench-core runs the analysis-core microbenchmark suite (clustering, NN,
 # alignment, end-to-end tracking on the largest catalog studies). The
@@ -111,6 +122,14 @@ bench-compare:
 # both with the trackload generator, rewriting BENCH_cluster.json.
 bench-cluster:
 	scripts/bench_cluster.sh
+
+# bench-stream drives live streams against a store-backed trackd with
+# open-loop appenders (append vs window-close latency split) and runs
+# the incremental-vs-batch window-close microbenchmark, rewriting
+# BENCH_stream.json; fails if the incremental close is not >= 3x
+# cheaper than the batch rerun.
+bench-stream:
+	scripts/bench_stream.sh
 
 # A short fuzzing pass over the trace decoders (lenient + strict + CSV).
 fuzz:

@@ -12,6 +12,7 @@
 //	trackctl animate [-o FILE] [-seconds S] TRACE...
 //	trackctl export  [-o FILE] TRACE...
 //	trackctl submit  [-addr URL] [-timeout D] [-study NAME] [-series S] [-run L] [-o FILE] [TRACE...]
+//	trackctl stream  [-addr URL] [-timeout D] [-rate R] [-window SPEC] [-chunk N] [-series S] [-run L] TRACE...
 //	trackctl history [-addr URL] [-timeout D] [-series S]
 //	trackctl diff    [-addr URL] [-timeout D] [-metric M] KEYA KEYB
 //	trackctl regressions [-addr URL] [-timeout D] -series S [-metric M] [-window N] [-mads X] [-minrel X]
@@ -70,6 +71,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "submit":
 		err = cmdSubmit(os.Args[2:])
+	case "stream":
+		err = cmdStream(os.Args[2:])
 	case "history":
 		err = cmdHistory(os.Args[2:])
 	case "diff":
@@ -97,6 +100,7 @@ func usage() {
   trackctl animate [-o FILE] [-seconds S] TRACE...
   trackctl export  [-o FILE] TRACE...
   trackctl submit  [-addr URL] [-timeout D] [-study NAME] [-series S] [-run L] [-o FILE] [TRACE...]
+  trackctl stream  [-addr URL] [-timeout D] [-rate R] [-window SPEC] [-chunk N] [-series S] [-run L] TRACE...
   trackctl history [-addr URL] [-timeout D] [-series S]
   trackctl diff    [-addr URL] [-timeout D] [-metric M] KEYA KEYB
   trackctl regressions [-addr URL] [-timeout D] -series S [-metric M] [-window N] [-mads X] [-minrel X]
@@ -104,7 +108,12 @@ func usage() {
 
 submit sends the analysis to a running trackd daemon instead of
 executing it locally, and honours the daemon's queue backpressure;
-with -series the stored result joins a named run history. history,
+with -series the stored result joins a named run history. stream
+replays trace files into a live daemon stream session — bursts are
+appended in chunks (paced to -rate bursts/second), windows seal as
+-window fills (a burst count or a duration), and every sealed window
+prints its rolling delta: clustering, coverage, and trend movement.
+history,
 diff and regressions read the daemon's persistent store: the result
 listing, an object-level diff of two stored runs, and the trajectory
 engine's changepoint verdicts over a series.

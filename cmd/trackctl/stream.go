@@ -1,0 +1,241 @@
+package main
+
+// trackctl stream: live ingestion against a running trackd. The
+// subcommand replays trace files into a daemon-resident stream session
+// — create the stream, append burst chunks (optionally paced to a
+// bursts/second rate, so a recorded trace becomes a stand-in for a live
+// run), and print the rolling delta every time a window seals: the
+// window's population and clustering, the cumulative coverage, and the
+// spanning-region trend movements. On exit the stream is finished,
+// which seals the partial open window and releases the session.
+//
+// The -addr failover discipline is the same sticky one submit uses;
+// streams are node-local, so once an endpoint accepts the create, every
+// append stays there. Backpressure (429 + Retry-After) pauses the
+// sender instead of failing it.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"perftrack/internal/service"
+	"perftrack/internal/stream"
+	"perftrack/internal/trace"
+)
+
+// parseWindowSpec reads the -window value: a bare integer is a burst
+// count, anything else must parse as a duration (the fixed window width).
+func parseWindowSpec(s string) (stream.WindowSpec, error) {
+	if n, err := strconv.Atoi(s); err == nil {
+		return stream.WindowSpec{CountN: n}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return stream.WindowSpec{}, fmt.Errorf("-window %q: not a burst count or a duration", s)
+	}
+	return stream.WindowSpec{WindowNS: d.Nanoseconds()}, nil
+}
+
+func cmdStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	addr, timeout := daemonFlags(fs, 0)
+	rate := fs.Float64("rate", 0, "append pacing in bursts/second (0 = as fast as the daemon accepts)")
+	window := fs.String("window", "64", "window spec: a burst count, or a duration like 250ms")
+	chunkSize := fs.Int("chunk", 64, "bursts per append request")
+	series := fs.String("series", "", "file each sealed window's result under this perfdb series")
+	runLabel := fs.String("run", "", "stream label (default: first trace's label)")
+	idFlag := fs.String("id", "", "stream id (default: daemon-assigned)")
+	metricNames := fs.String("metrics", "", "comma-separated metric names (empty = daemon default space)")
+	minVar := fs.Float64("minvar", 0.03, "minimum |trend movement| to print")
+	lenientFlag(fs)
+	fs.Parse(args)
+
+	spec, err := parseWindowSpec(*window)
+	if err != nil {
+		return err
+	}
+	if *chunkSize < 1 {
+		return fmt.Errorf("-chunk must be at least 1")
+	}
+	traces, err := loadTraces(fs.Args())
+	if err != nil {
+		return err
+	}
+	eps, err := parseEndpoints(*addr)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := daemonContext(*timeout)
+	defer cancel()
+	client := &http.Client{}
+
+	label := *runLabel
+	if label == "" {
+		label = traces[0].Meta.Label
+	}
+	req := service.StreamRequest{
+		ID:     *idFlag,
+		Label:  label,
+		Ranks:  traces[0].Meta.Ranks,
+		Window: spec,
+		Series: *series,
+	}
+	for _, name := range strings.Split(*metricNames, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			req.Metrics = append(req.Metrics, name)
+		}
+	}
+
+	var view service.StreamView
+	if err := streamPost(ctx, eps, client, "/v1/streams", mustJSON(req), "application/json", &view); err != nil {
+		return fmt.Errorf("creating stream: %w", err)
+	}
+	fmt.Printf("stream %s on %s (window %s", view.ID, eps.base(), *window)
+	if view.Series != "" {
+		fmt.Printf(", series %s", view.Series)
+	}
+	fmt.Println(")")
+
+	var pace time.Duration
+	if *rate > 0 {
+		pace = time.Duration(float64(time.Second) / *rate)
+	}
+	next := time.Now()
+	sent := 0
+	for _, tr := range traces {
+		for off := 0; off < len(tr.Bursts); off += *chunkSize {
+			end := min(off+*chunkSize, len(tr.Bursts))
+			var buf bytes.Buffer
+			if err := trace.Write(&buf, &trace.Trace{Meta: tr.Meta, Bursts: tr.Bursts[off:end]}); err != nil {
+				return err
+			}
+			if pace > 0 {
+				next = next.Add(time.Duration(end-off) * pace)
+				if d := time.Until(next); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return ctxErr(ctx, "pacing appends")
+					}
+				}
+			}
+			var ar service.StreamAppendResponse
+			if err := streamPost(ctx, eps, client, "/v1/streams/"+view.ID+"/bursts", buf.Bytes(), "text/plain", &ar); err != nil {
+				return fmt.Errorf("appending bursts %d..%d: %w", sent, sent+end-off, err)
+			}
+			sent += end - off
+			for _, d := range ar.Sealed {
+				printDelta(d, *minVar)
+			}
+		}
+	}
+
+	var fin struct {
+		Sealed []*stream.Delta    `json:"sealed"`
+		Stream service.StreamView `json:"stream"`
+	}
+	if err := streamPost(ctx, eps, client, "/v1/streams/"+view.ID+"/finish", nil, "application/json", &fin); err != nil {
+		return fmt.Errorf("finishing stream: %w", err)
+	}
+	for _, d := range fin.Sealed {
+		printDelta(d, *minVar)
+	}
+	st := fin.Stream.Stats
+	fmt.Printf("finished: %d windows sealed, %d bursts appended (%d quarantined, %d dropped)\n",
+		st.WindowsSealed, st.Appended, st.Quarantined, st.DroppedEarly+st.DroppedLate)
+	return nil
+}
+
+// streamPost posts body to path with sticky failover, retrying the same
+// request after Retry-After on 429 backpressure, and decodes the JSON
+// response into out.
+func streamPost(ctx context.Context, eps *endpoints, client *http.Client, path string, body []byte, contentType string, out any) error {
+	for {
+		resp, err := eps.do(ctx, client, func(base string) (*http.Request, error) {
+			r, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			r.Header.Set("Content-Type", contentType)
+			return r, nil
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctxErr(ctx, "posting to "+eps.base()+path)
+			}
+			return err
+		}
+		respBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			wait := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			fmt.Fprintf(os.Stderr, "trackctl: backpressure from %s, pausing %s\n", eps.base(), wait)
+			select {
+			case <-time.After(wait):
+				continue
+			case <-ctx.Done():
+				return ctxErr(ctx, "waiting out backpressure")
+			}
+		}
+		if resp.StatusCode >= 300 {
+			var e struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(respBody, &e) == nil && e.Error != "" {
+				return fmt.Errorf("%s: %s", resp.Status, e.Error)
+			}
+			return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(respBody)))
+		}
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(respBody, out)
+	}
+}
+
+// printDelta renders one rolling window delta: the sealed frame on the
+// first line, then any spanning-region trend that moved past -minvar.
+func printDelta(d *stream.Delta, minVar float64) {
+	mode := "incremental"
+	if !d.Incremental {
+		mode = "reclustered"
+	}
+	line := fmt.Sprintf("w%-3d %-16s bursts=%-5d clusters=%-3d %s", d.Window, d.Label, d.Bursts, d.NumClusters, mode)
+	switch {
+	case d.EvalError != "":
+		fmt.Printf("%s  (not yet trackable: %s)\n", line, d.EvalError)
+		return
+	case d.Degraded:
+		fmt.Printf("%s  (degraded: %s)\n", line, d.DegradedReason)
+	default:
+		fmt.Printf("%s  regions=%d spanning=%d k=%d coverage=%.0f%%\n",
+			line, d.Regions, d.TrackedRegions, d.OptimalK, 100*d.Coverage)
+	}
+	for _, t := range d.Trends {
+		if t.RelDelta >= minVar || t.RelDelta <= -minVar {
+			fmt.Printf("     region %-3d %-14s mean=%-12.4g %+.1f%%\n", t.Region, t.Metric, t.Mean, 100*t.RelDelta)
+		}
+	}
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -9,6 +9,7 @@
 //	       [-store DIR] [-store-segment-bytes N] [-store-sync-every N]
 //	       [-store-retries N] [-no-journal] [-journal-sync-every N]
 //	       [-breaker-threshold N] [-breaker-cooldown D]
+//	       [-stream-sessions N] [-stream-pending N] [-stream-events N]
 //	       [-node-id ID -peers ID=URL,...] [-replicas N] [-probe-interval D]
 //	       [-pprof-addr HOST:PORT]
 //
@@ -29,6 +30,17 @@
 // sustained failures trip a circuit breaker (-breaker-threshold,
 // -breaker-cooldown) that degrades the daemon to read-only 503s instead
 // of losing work.
+//
+// The daemon also hosts live streams (POST /v1/streams): resident
+// sessions that ingest burst chunks as a run executes, seal fixed- or
+// count-based windows incrementally, and fan rolling deltas out to
+// SSE/long-poll subscribers on /v1/streams/{id}/events. With -store,
+// every sealed window is persisted before its append is acknowledged
+// and live streams resume from their sealed windows after a crash
+// (only the open window is lost). -stream-sessions caps resident
+// sessions, -stream-pending bounds the append chunks racing for one
+// session before 429 backpressure, and -stream-events sizes the
+// per-stream event replay ring.
 //
 // With -node-id and -peers (which requires -store), trackd joins a
 // sharded cluster: jobs route by consistent hashing over their content
@@ -81,6 +93,9 @@ func main() {
 		journalSync  = flag.Int("journal-sync-every", 0, "journal resolution fsync batch size (0 = default 8; intents always fsync)")
 		brkThreshold = flag.Int("breaker-threshold", 0, "consecutive failures that open a circuit breaker (0 = default 5)")
 		brkCooldown  = flag.Duration("breaker-cooldown", 0, "cooldown before an open breaker admits a probe (0 = default 5s)")
+		streamMax    = flag.Int("stream-sessions", 0, "resident live-stream session cap (0 = default 64)")
+		streamPend   = flag.Int("stream-pending", 0, "append chunks racing per stream before 429 backpressure (0 = default 4)")
+		streamEvents = flag.Int("stream-events", 0, "per-stream event replay ring size (0 = default 256)")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
 		nodeID       = flag.String("node-id", "", "this node's id in a sharded cluster (requires -peers and -store)")
 		peersFlag    = flag.String("peers", "", "full cluster membership as comma-separated id=URL pairs, including this node")
@@ -125,6 +140,9 @@ func main() {
 		JournalSyncEvery:     *journalSync,
 		BreakerThreshold:     *brkThreshold,
 		BreakerCooldown:      *brkCooldown,
+		StreamMaxSessions:    *streamMax,
+		StreamMaxPending:     *streamPend,
+		StreamEventBuffer:    *streamEvents,
 		Mesh:                 meshCfg,
 	})
 	if err != nil {
@@ -152,6 +170,9 @@ func main() {
 			if jst := jn.Stats(); jst.Pending > 0 {
 				log.Printf("trackd: journal replaying %d pending jobs (readyz answers 503 until done)", jst.Pending)
 			}
+		}
+		if h := srv.Healthz(); h.Streams.Resumed > 0 {
+			log.Printf("trackd: resumed %d live streams from their sealed windows", h.Streams.Resumed)
 		}
 	}
 

@@ -10,6 +10,14 @@
 //	trackload [-addr URL,URL,...] [-qps Q] [-duration D] [-cached F]
 //	          [-warm N] [-ranks N] [-iters N] [-phases N] [-seed N]
 //	          [-name LABEL] [-o FILE]
+//	trackload -streams N [-qps Q] [-duration D] [-chunk N] [-window N] ...
+//
+// With -streams N the generator switches to stream bench mode: N live
+// streams, each driven by an open-loop appender pacing burst chunks at
+// -qps appends/second, with count windows of -window bursts. The JSON
+// scenario separates plain-append latency from window-close latency
+// (the appends that sealed a window) — the shape BENCH_stream.json
+// records.
 //
 // Traffic model: submissions arrive open-loop on a fixed tick (no
 // back-to-back closed-loop coordination, so queueing delay is visible
@@ -56,6 +64,9 @@ func main() {
 		inflight = flag.Int("inflight", 256, "in-flight job cap; arrivals beyond it are shed (counted, not sent)")
 		name     = flag.String("name", "", "scenario label in the JSON output (default derived from node count)")
 		outPath  = flag.String("o", "", "write the scenario JSON to this file (default stdout)")
+		streams  = flag.Int("streams", 0, "stream bench mode: drive N live streams with open-loop appenders instead of the job mix")
+		chunkB   = flag.Int("chunk", 32, "stream mode: bursts per append request")
+		windowN  = flag.Int("window", 64, "stream mode: count-window size in bursts")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -77,6 +88,21 @@ func main() {
 		label = fmt.Sprintf("%d-node", len(bases))
 	}
 
+	if *streams > 0 {
+		scen, err := streamBench(bases, &http.Client{Timeout: 30 * time.Second},
+			*streams, *qps, *duration, *chunkB, *windowN, *ranks, *iters, *phases, *seed)
+		if scen != nil {
+			scen.Name = label
+			scen.Nodes = len(bases)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trackload:", err)
+			os.Exit(1)
+		}
+		writeScenario(scen, *outPath)
+		return
+	}
+
 	lg := &loadgen{
 		bases:  bases,
 		client: &http.Client{Timeout: 30 * time.Second},
@@ -90,15 +116,19 @@ func main() {
 	scen := lg.run(*qps, *duration, *cachedF, *inflight)
 	scen.Name = label
 	scen.Nodes = len(bases)
+	writeScenario(scen, *outPath)
+}
 
+// writeScenario marshals any scenario shape to -o or stdout.
+func writeScenario(scen any, outPath string) {
 	enc, err := json.MarshalIndent(scen, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trackload:", err)
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *outPath != "" {
-		if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+	if outPath != "" {
+		if err := os.WriteFile(outPath, enc, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "trackload:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,190 @@
+package main
+
+// Stream bench mode (-streams N): instead of the job mix, trackload
+// drives N concurrent live streams — one open-loop appender per stream,
+// each pacing burst chunks at -qps appends/second against its stream's
+// home node (streams are node-local; creation round-robins across the
+// -addr list, appends stick). The report separates the two latency
+// populations that matter for live ingestion: plain appends (index
+// insertion only) and the appends that sealed a window (clustering
+// seal + frame correlation + delta fan-out + durable persist), each as
+// p50/p95/p99. Backpressure 429s are counted and retried on the next
+// tick, so a saturated daemon shows up as rate loss + backpressure
+// count, not client-side queueing.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"perftrack/internal/oracle"
+	"perftrack/internal/service"
+	"perftrack/internal/stream"
+	"perftrack/internal/trace"
+)
+
+type streamScenario struct {
+	Name          string   `json:"name"`
+	Nodes         int      `json:"nodes"`
+	Streams       int      `json:"streams"`
+	TargetAPS     float64  `json:"targetAppendsPerSecPerStream"`
+	AchievedAPS   float64  `json:"achievedAppendsPerSecTotal"`
+	Duration      string   `json:"duration"`
+	ChunkBursts   int      `json:"chunkBursts"`
+	WindowCountN  int      `json:"windowCountN"`
+	Appends       int      `json:"appends"`
+	Bursts        int      `json:"bursts"`
+	WindowsSealed int      `json:"windowsSealed"`
+	Backpressure  int      `json:"backpressure"`
+	Errors        int      `json:"errors"`
+	Append        latStats `json:"append"`
+	WindowClose   latStats `json:"windowClose"`
+}
+
+// streamBench runs the -streams mode and reduces the sample.
+func streamBench(bases []string, client *http.Client, streams int, qps float64, window time.Duration,
+	chunkBursts, countN, ranks, iters, phases int, seed uint64) (*streamScenario, error) {
+	type result struct {
+		appendMs  []float64
+		closeMs   []float64
+		appends   int
+		bursts    int
+		windows   int
+		pressured int
+		errors    int
+	}
+	results := make([]result, streams)
+	var wg sync.WaitGroup
+	// Stream ids are node-unique for the daemon's lifetime; salt them so
+	// repeated bench runs against a long-lived daemon don't collide.
+	salt := time.Now().UnixNano() & 0xffffff
+	start := time.Now()
+	for i := 0; i < streams; i++ {
+		base := bases[i%len(bases)]
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			r := &results[i]
+			// Pre-generate this appender's burst pool once; the
+			// measurement loop cycles through it.
+			tr := oracle.GenTraces(seed*1_000_003+uint64(i), fmt.Sprintf("load%d", i), ranks, iters, phases)
+			id := fmt.Sprintf("load-%d-%x-%d", seed, salt, i)
+			body, err := json.Marshal(service.StreamRequest{
+				ID:     id,
+				Label:  tr.Meta.Label,
+				Ranks:  tr.Meta.Ranks,
+				Window: stream.WindowSpec{CountN: countN, MaxWindows: 1 << 20},
+			})
+			if err != nil {
+				r.errors++
+				return
+			}
+			resp, err := client.Post(base+"/v1/streams", "application/json", bytes.NewReader(body))
+			if err != nil {
+				r.errors++
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				r.errors++
+				return
+			}
+			defer func() {
+				resp, err := client.Post(base+"/v1/streams/"+id+"/finish", "application/json", nil)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}()
+
+			interval := time.Duration(float64(time.Second) / qps)
+			next := time.Now()
+			stop := time.Now().Add(window)
+			off := 0
+			for time.Now().Before(stop) {
+				// Open loop: ticks are scheduled on the wall clock, not
+				// after the previous response.
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				next = next.Add(interval)
+				chunk := make([]trace.Burst, chunkBursts)
+				for j := range chunk {
+					chunk[j] = tr.Bursts[(off+j)%len(tr.Bursts)]
+				}
+				off = (off + chunkBursts) % len(tr.Bursts)
+				var buf bytes.Buffer
+				if err := trace.Write(&buf, &trace.Trace{Meta: tr.Meta, Bursts: chunk}); err != nil {
+					r.errors++
+					continue
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/streams/"+id+"/bursts", "text/plain", bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					r.errors++
+					continue
+				}
+				respBody, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var ar service.StreamAppendResponse
+					if err := json.Unmarshal(respBody, &ar); err != nil {
+						r.errors++
+						continue
+					}
+					r.appends++
+					r.bursts += ar.Appended
+					if n := len(ar.Sealed); n > 0 {
+						r.windows += n
+						r.closeMs = append(r.closeMs, ms)
+					} else {
+						r.appendMs = append(r.appendMs, ms)
+					}
+				case http.StatusTooManyRequests:
+					r.pressured++
+				default:
+					r.errors++
+				}
+			}
+		}(i, base)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	scen := &streamScenario{
+		Streams:      streams,
+		TargetAPS:    qps,
+		Duration:     window.String(),
+		ChunkBursts:  chunkBursts,
+		WindowCountN: countN,
+	}
+	var appendMs, closeMs []float64
+	for i := range results {
+		r := &results[i]
+		scen.Appends += r.appends
+		scen.Bursts += r.bursts
+		scen.WindowsSealed += r.windows
+		scen.Backpressure += r.pressured
+		scen.Errors += r.errors
+		appendMs = append(appendMs, r.appendMs...)
+		closeMs = append(closeMs, r.closeMs...)
+	}
+	scen.AchievedAPS = float64(scen.Appends) / elapsed.Seconds()
+	scen.Append = reduce(appendMs)
+	scen.WindowClose = reduce(closeMs)
+	if scen.Appends == 0 {
+		return scen, fmt.Errorf("no appends completed (%d errors)", scen.Errors)
+	}
+	if strings.Contains(scen.Duration, "m0s") { // cosmetic: 1m0s -> 1m
+		scen.Duration = strings.TrimSuffix(scen.Duration, "0s")
+	}
+	return scen, nil
+}

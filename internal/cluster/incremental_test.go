@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"perftrack/internal/oracle"
+)
+
+// flatCanon lays the scenario points out in canonical (generation)
+// order as strided storage.
+func flatCanon(points [][]float64) ([]float64, int) {
+	if len(points) == 0 {
+		return nil, 0
+	}
+	dims := len(points[0])
+	x := make([]float64, 0, len(points)*dims)
+	for _, p := range points {
+		x = append(x, p...)
+	}
+	return x, dims
+}
+
+func incrementalConfig(seed uint64, sc oracle.Scenario) Config {
+	cfg := Config{Eps: sc.Eps, MinPts: sc.MinPts}
+	switch seed % 4 {
+	case 1:
+		cfg.MaxClusters = 2
+	case 2:
+		cfg.MinClusterWeight = 0.2
+	case 3:
+		cfg.MaxClusters = 3
+		cfg.MinClusterWeight = 0.05
+	}
+	return cfg
+}
+
+// TestIncrementalSealDifferential proves the heart of the streaming
+// path: for hundreds of seeded scenarios and randomized insertion
+// orders, sealing the incremental index under the canonical order is
+// bit-exact with the batch RunFlat over the same points in that order.
+func TestIncrementalSealDifferential(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		sc := oracle.GenScenario(seed)
+		x, dims := flatCanon(sc.Points)
+		n := len(sc.Points)
+		rng := rand.New(rand.NewPCG(seed, 0x1ec5))
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = float64(1+rng.IntN(5)) * 1e6
+		}
+		cfg := incrementalConfig(seed, sc)
+		want, err := RunFlat(x, dims, weights, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: RunFlat: %v", seed, err)
+		}
+
+		inc, err := NewIncremental(dims, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: NewIncremental: %v", seed, err)
+		}
+		// Insert in a random order; Seal receives the inverse map back to
+		// canonical positions.
+		order := rng.Perm(n)
+		canon := make([]int, n)
+		for step, ci := range order {
+			canon[ci] = step
+		}
+		for _, ci := range order {
+			inc.Add(sc.Points[ci], weights[ci])
+		}
+		got, err := inc.Seal(canon)
+		if err != nil {
+			t.Fatalf("seed %d: Seal: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got.Labels, want.Labels) {
+			t.Fatalf("seed %d: labels diverge\n inc:   %v\n batch: %v", seed, got.Labels, want.Labels)
+		}
+		if got.NumClusters != want.NumClusters || got.Eps != want.Eps || got.MinPts != want.MinPts {
+			t.Fatalf("seed %d: result header diverges: got %+v want %+v", seed, got, want)
+		}
+	}
+}
+
+// TestIncrementalSealIsNonDestructive seals the index mid-stream,
+// checks the prefix against batch, keeps inserting and seals again:
+// the resident index serves both windows exactly.
+func TestIncrementalSealIsNonDestructive(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		sc := oracle.GenScenario(seed)
+		n := len(sc.Points)
+		if n < 4 {
+			continue
+		}
+		dims := len(sc.Points[0])
+		cfg := Config{Eps: sc.Eps, MinPts: sc.MinPts}
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = float64(1 + i%7)
+		}
+		inc, err := NewIncremental(dims, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := n / 2
+		for i := 0; i < cut; i++ {
+			inc.Add(sc.Points[i], weights[i])
+		}
+		x, _ := flatCanon(sc.Points[:cut])
+		want, err := RunFlat(x, dims, weights[:cut], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := inc.Seal(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Labels, want.Labels) {
+			t.Fatalf("seed %d: prefix labels diverge", seed)
+		}
+		for i := cut; i < n; i++ {
+			inc.Add(sc.Points[i], weights[i])
+		}
+		x, _ = flatCanon(sc.Points)
+		want, err = RunFlat(x, dims, weights, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = inc.Seal(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Labels, want.Labels) {
+			t.Fatalf("seed %d: full labels diverge after mid-stream seal", seed)
+		}
+	}
+}
+
+// TestIncrementalSeparatedDifferential runs the planted-truth corpus:
+// beyond matching batch exactly, the separated scenarios make any
+// wrong merge/split blatant.
+func TestIncrementalSeparatedDifferential(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		sc, _ := oracle.GenSeparated(seed)
+		x, dims := flatCanon(sc.Points)
+		n := len(sc.Points)
+		cfg := Config{Eps: sc.Eps, MinPts: sc.MinPts}
+		want, err := RunFlat(x, dims, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := NewIncremental(dims, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Unit weights: Seal must tolerate them like RunFlat does.
+		rng := rand.New(rand.NewPCG(seed, 0x5e9a))
+		order := rng.Perm(n)
+		canon := make([]int, n)
+		for step, ci := range order {
+			canon[ci] = step
+		}
+		for _, ci := range order {
+			inc.Add(sc.Points[ci], 1)
+		}
+		got, err := inc.Seal(canon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Labels, want.Labels) {
+			t.Fatalf("seed %d: separated labels diverge", seed)
+		}
+	}
+}
+
+// TestIncrementalRebuilds feeds monotonically growing coordinates — the
+// adversarial case where every insertion extends the normalisation
+// range — and checks the index still seals exactly and reports its
+// rebuild count.
+func TestIncrementalRebuilds(t *testing.T) {
+	cfg := Config{Eps: 0.1, MinPts: 3}
+	inc, err := NewIncremental(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts [][]float64
+	for i := 0; i < 64; i++ {
+		p := []float64{float64(i), float64(i % 5)}
+		pts = append(pts, p)
+		inc.Add(p, 1)
+	}
+	if inc.Stats().Rebuilds == 0 {
+		t.Fatal("expected range-extension rebuilds on monotone input")
+	}
+	x, dims := flatCanon(pts)
+	want, err := RunFlat(x, dims, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inc.Seal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Labels, want.Labels) {
+		t.Fatal("labels diverge under adversarial rebuild load")
+	}
+}
+
+// TestIncrementalRejectsEstimatorConfigs pins the contract: data-driven
+// eps/minPts need the whole window and are batch-only.
+func TestIncrementalRejectsEstimatorConfigs(t *testing.T) {
+	cases := []Config{
+		{Eps: 0, MinPts: 4},
+		{Eps: 0.1, MinPts: 0},
+		{Algorithm: AlgoKMeans, Eps: 0.1, MinPts: 4},
+	}
+	for i, cfg := range cases {
+		if _, err := NewIncremental(2, cfg); err == nil {
+			t.Fatalf("case %d: config %+v unexpectedly accepted", i, cfg)
+		}
+	}
+	if _, err := NewIncremental(0, Config{Eps: 0.1, MinPts: 4}); err == nil {
+		t.Fatal("zero dims unexpectedly accepted")
+	}
+}
+
+// TestIncrementalStats sanity-checks the live counters against a known
+// two-blob layout.
+func TestIncrementalStats(t *testing.T) {
+	cfg := Config{Eps: 0.15, MinPts: 3}
+	inc, err := NewIncremental(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := func(cx, cy float64) {
+		for i := 0; i < 5; i++ {
+			inc.Add([]float64{cx + float64(i)*0.001, cy + float64(i)*0.001}, 1)
+		}
+	}
+	blob(0.1, 0.1)
+	blob(0.9, 0.9)
+	st := inc.Stats()
+	if st.Points != 10 {
+		t.Fatalf("points = %d", st.Points)
+	}
+	if st.Components != 2 {
+		t.Fatalf("components = %d (cores %d)", st.Components, st.Cores)
+	}
+	if st.Cells == 0 {
+		t.Fatal("no populated cells")
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"perftrack/internal/cluster"
+	"perftrack/internal/metrics"
+	"perftrack/internal/trace"
+)
+
+// This file is the ingest half of the streaming split: a WindowBuilder
+// accepts bursts one at a time, quarantining and filtering at arrival
+// (the same classification buildFrame applies to a whole trace), and
+// feeds an incremental cluster index when the configuration allows it.
+// Sealing produces a Frame bit-exact with buildFrame over the same
+// bursts laid out in the canonical window order.
+
+// AcceptStatus classifies what happened to one appended burst.
+type AcceptStatus int
+
+const (
+	// BurstAccepted: the burst is part of the window.
+	BurstAccepted AcceptStatus = iota
+	// BurstQuarantined: the burst was corrupt; the fault class is
+	// recorded in the frame diagnostics.
+	BurstQuarantined
+	// BurstFiltered: the burst was dropped by the MinBurstDurationNS
+	// filter (no diagnostic trail, matching the batch pipeline).
+	BurstFiltered
+)
+
+// IncrementalEligible reports whether cfg can be served by the
+// incremental cluster index. Data-driven eps/minPts estimation and the
+// top-duration filter need the whole window at once; those
+// configurations fall back to a seal-time batch clustering run.
+func IncrementalEligible(cfg Config) bool {
+	cfg = cfg.withDefaults()
+	c := cfg.Cluster
+	if c.Algorithm != "" && c.Algorithm != cluster.AlgoDBSCAN {
+		return false
+	}
+	if c.Eps <= 0 || c.MinPts <= 0 {
+		return false
+	}
+	if cfg.TopDurationFrac > 0 && cfg.TopDurationFrac < 1 {
+		return false
+	}
+	return true
+}
+
+// WindowBuilder accumulates the bursts of one open window. It is not
+// safe for concurrent use; the stream session serialises appends.
+type WindowBuilder struct {
+	cfg    Config
+	meta   trace.Metadata
+	bursts []trace.Burst
+
+	quarantined map[string]int
+	qcount      int
+
+	// inc is the resident incremental index, nil when the configuration
+	// is not eligible (then Seal runs the batch clustering).
+	inc      *cluster.Incremental
+	rowBuf   []float64
+	coordBuf []float64
+}
+
+// NewWindowBuilder opens a window for one experiment/window label. The
+// metadata's Label becomes the sealed frame's label and Ranks drives
+// task-range quarantine and scale normalisation, exactly as a batch
+// trace's metadata would.
+func NewWindowBuilder(meta trace.Metadata, cfg Config) (*WindowBuilder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	wb := &WindowBuilder{cfg: cfg, meta: meta}
+	if IncrementalEligible(cfg) {
+		inc, err := cluster.NewIncremental(len(cfg.Metrics), cfg.Cluster)
+		if err != nil {
+			return nil, fmt.Errorf("core: incremental index: %w", err)
+		}
+		wb.inc = inc
+		wb.rowBuf = make([]float64, len(cfg.Metrics))
+		wb.coordBuf = make([]float64, len(cfg.Metrics))
+	}
+	return wb, nil
+}
+
+// Incremental reports whether the window maintains cluster labels
+// incrementally (vs. a seal-time batch run).
+func (wb *WindowBuilder) Incremental() bool { return wb.inc != nil }
+
+// Len returns the number of accepted bursts in the open window.
+func (wb *WindowBuilder) Len() int { return len(wb.bursts) }
+
+// Accept classifies and files one burst. Quarantine and the
+// minimum-duration filter run at arrival so the resident index only
+// ever sees bursts the batch pipeline would cluster.
+func (wb *WindowBuilder) Accept(b trace.Burst) (AcceptStatus, string) {
+	if fault := burstFault(b, wb.meta.Ranks); fault != "" {
+		if wb.quarantined == nil {
+			wb.quarantined = map[string]int{}
+		}
+		wb.quarantined[fault]++
+		wb.qcount++
+		return BurstQuarantined, fault
+	}
+	if wb.cfg.MinBurstDurationNS > 0 && b.DurationNS < wb.cfg.MinBurstDurationNS {
+		return BurstFiltered, ""
+	}
+	wb.bursts = append(wb.bursts, b)
+	if wb.inc != nil {
+		row := metrics.SpaceInto(wb.rowBuf, wb.cfg.Metrics, b.Sample())
+		transformSpaceInto(wb.coordBuf, wb.cfg.Metrics, row, 1)
+		wb.inc.Add(wb.coordBuf, float64(b.DurationNS))
+	}
+	return BurstAccepted, ""
+}
+
+// canonicalOrder returns the permutation that lays the accepted bursts
+// out in the canonical window order: a stable sort by (Task, StartNS,
+// Thread) over arrival order — the same ordering trace.SortByTaskTime
+// produces. Ties across all three keys preserve arrival order; that
+// tie-break is part of the streaming contract (the batch side of the
+// differential gate builds its window traces the same way).
+func (wb *WindowBuilder) canonicalOrder() []int {
+	order := make([]int, len(wb.bursts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := wb.bursts[order[i]], wb.bursts[order[j]]
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		if a.StartNS != b.StartNS {
+			return a.StartNS < b.StartNS
+		}
+		return a.Thread < b.Thread
+	})
+	return order
+}
+
+// Seal closes the window into a Frame, bit-exact with buildFrame over
+// the canonical window trace. index is the frame's position in the
+// stream sequence. The builder must not be used after Seal.
+func (wb *WindowBuilder) Seal(index int) (*Frame, error) {
+	order := wb.canonicalOrder()
+	ft := &trace.Trace{Meta: wb.meta, Bursts: make([]trace.Burst, 0, len(wb.bursts))}
+	for _, oi := range order {
+		ft.Bursts = append(ft.Bursts, wb.bursts[oi])
+	}
+	if wb.inc == nil && wb.cfg.TopDurationFrac > 0 && wb.cfg.TopDurationFrac < 1 {
+		ft = ft.FilterTopDuration(wb.cfg.TopDurationFrac)
+	}
+	f := &Frame{
+		Index:         index,
+		Label:         wb.meta.Label,
+		Ranks:         wb.meta.Ranks,
+		Trace:         ft,
+		Quarantined:   wb.qcount,
+		QuarantinedBy: wb.quarantined,
+	}
+	if len(ft.Bursts) == 0 {
+		f.Degraded = true
+		f.DegradedReason = "no bursts after quarantine and filtering"
+		return f, nil
+	}
+	nb := len(ft.Bursts)
+	dims := len(wb.cfg.Metrics)
+	flat := make([]float64, nb*dims)
+	coords := make([]float64, nb*dims)
+	points := make([][]float64, nb)
+	weights := make([]float64, nb)
+	for i, b := range ft.Bursts {
+		row := flat[i*dims : (i+1)*dims : (i+1)*dims]
+		points[i] = metrics.SpaceInto(row, wb.cfg.Metrics, b.Sample())
+		transformSpaceInto(coords[i*dims:(i+1)*dims], wb.cfg.Metrics, row, 1)
+		weights[i] = float64(b.DurationNS)
+	}
+	var res *cluster.Result
+	var err error
+	if wb.inc != nil {
+		// The index holds points in arrival order; order maps canonical
+		// position -> arrival position, which is exactly Seal's contract.
+		res, err = wb.inc.Seal(order)
+	} else {
+		res, err = cluster.RunFlat(coords, dims, weights, wb.cfg.Cluster)
+	}
+	if err != nil {
+		return nil, err
+	}
+	f.Points = points
+	f.Labels = res.Labels
+	f.NumClusters = res.NumClusters
+	if res.NumClusters == 0 {
+		f.Degraded = true
+		f.DegradedReason = "clustering found no objects"
+	}
+	return f, nil
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"perftrack/internal/store"
@@ -182,7 +183,15 @@ func (s *Server) handleSeriesList(w http.ResponseWriter, r *http.Request) {
 		s.mm.scatters.Inc()
 		names = s.scatterSeriesNames(r.Context(), names)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"series": names})
+	// The per-stream raw series are crash-resume plumbing, not run
+	// histories; keep them out of the public catalog.
+	public := names[:0]
+	for _, n := range names {
+		if !strings.HasPrefix(n, streamShadowPrefix) {
+			public = append(public, n)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"series": public})
 }
 
 // loadSeriesRuns reads every stored result of a series, oldest first, and

@@ -13,6 +13,12 @@
 //	GET  /v1/series           the named run series present in the store
 //	GET  /v1/series/{name}/trajectories  cross-run trajectory chaining
 //	GET  /v1/series/{name}/regressions   changepoint verdicts per trajectory
+//	POST /v1/streams          open a live-ingestion stream (journaled, resumable)
+//	GET  /v1/streams          list resident streams
+//	GET  /v1/streams/{id}     stream status
+//	POST /v1/streams/{id}/bursts  append a burst chunk (429 under backpressure)
+//	POST /v1/streams/{id}/finish  seal the open window and retire the stream
+//	GET  /v1/streams/{id}/events  rolling per-window deltas (SSE or long-poll)
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness + degraded-mode diagnostics
 //	GET  /readyz              readiness: 503 during journal replay or open breakers
@@ -103,6 +109,14 @@ type Config struct {
 	// StoreFS, when set, substitutes the filesystem under the store and
 	// journal — the chaos tests plug in faults.FaultFS here.
 	StoreFS faults.FS
+	// StreamMaxSessions bounds the resident streaming sessions (default
+	// 64); creations beyond it answer 429. StreamMaxPending bounds the
+	// in-flight burst chunks per stream before backpressure kicks in
+	// (default 4). StreamEventBuffer is the per-stream delta ring a slow
+	// subscriber can lag behind before missing events (default 256).
+	StreamMaxSessions int
+	StreamMaxPending  int
+	StreamEventBuffer int
 	// Mesh enables cluster mode when Mesh.NodeID is set: jobs route to
 	// ring owners, results replicate to Mesh.Replicas nodes, and read
 	// endpoints scatter-gather the whole cluster. Requires StoreDir.
@@ -154,6 +168,15 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
 	}
+	if c.StreamMaxSessions <= 0 {
+		c.StreamMaxSessions = 64
+	}
+	if c.StreamMaxPending <= 0 {
+		c.StreamMaxPending = 4
+	}
+	if c.StreamEventBuffer <= 0 {
+		c.StreamEventBuffer = 256
+	}
 	return c
 }
 
@@ -178,6 +201,13 @@ type Server struct {
 	mesh        *mesh.Node
 	meshJournal *store.Journal
 	rebalanceMu sync.Mutex
+
+	// streams holds the resident live-ingestion sessions; streamJournal
+	// (under <store>/streams) records which of them must survive a
+	// restart.
+	streams       *streamRegistry
+	streamJournal *store.Journal
+	stm           streamMetrics
 
 	reg *Registry
 	m   serverMetrics
@@ -341,6 +371,18 @@ func New(cfg Config) (*Server, error) {
 				return nil, err
 			}
 		}
+	}
+	// Streams come after the store (resume restores sealed windows from
+	// it) and before the HTTP surface can serve.
+	if err := s.openStreams(); err != nil {
+		if s.store != nil {
+			s.store.Close()
+		}
+		if s.journal != nil {
+			s.journal.Close()
+		}
+		s.cancel()
+		return nil, err
 	}
 	if cfg.Mesh.NodeID != "" {
 		if cfg.StoreDir == "" {
@@ -890,6 +932,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = cerr
 		}
 	}
+	if cerr := s.closeStreams(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -908,6 +953,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/series", s.handleSeriesList)
 	mux.HandleFunc("GET /v1/series/{name}/trajectories", s.handleTrajectories)
 	mux.HandleFunc("GET /v1/series/{name}/regressions", s.handleRegressions)
+	mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
+	mux.HandleFunc("GET /v1/streams", s.handleStreams)
+	mux.HandleFunc("GET /v1/streams/{id}", s.handleStream)
+	mux.HandleFunc("POST /v1/streams/{id}/bursts", s.handleStreamAppend)
+	mux.HandleFunc("POST /v1/streams/{id}/finish", s.handleStreamFinish)
+	mux.HandleFunc("GET /v1/streams/{id}/events", s.handleStreamEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -1107,6 +1158,18 @@ type Health struct {
 		StoreOpen bool `json:"storeOpen"`
 		ExecOpen  bool `json:"execOpen"`
 	} `json:"breakers"`
+	Streams struct {
+		Sessions      int            `json:"sessions"`
+		Created       uint64         `json:"created"`
+		Resumed       uint64         `json:"resumed"`
+		Bursts        uint64         `json:"bursts"`
+		WindowCloses  uint64         `json:"windowCloses"`
+		Backpressure  uint64         `json:"backpressure"`
+		PersistErrors uint64         `json:"persistErrors"`
+		Subscribers   int            `json:"subscribers"`
+		JournalLive   int            `json:"journalLive"`
+		PerStream     []StreamHealth `json:"perStream,omitempty"`
+	} `json:"streams"`
 	Mesh struct {
 		Enabled bool   `json:"enabled"`
 		NodeID  string `json:"nodeId,omitempty"`
@@ -1173,6 +1236,20 @@ func (s *Server) Healthz() Health {
 	}
 	h.Breakers.StoreOpen = s.storeBreaker.Open()
 	h.Breakers.ExecOpen = s.execBreaker.Open()
+	h.Streams.PerStream = s.streamHealth()
+	h.Streams.Sessions = len(h.Streams.PerStream)
+	h.Streams.Created = s.stm.created.Value()
+	h.Streams.Resumed = s.stm.resumed.Value()
+	h.Streams.Bursts = s.stm.bursts.Value()
+	h.Streams.WindowCloses = s.stm.windowCloses.Value()
+	h.Streams.Backpressure = s.stm.backpressure.Value()
+	h.Streams.PersistErrors = s.stm.persistErrors.Value()
+	for _, sh := range h.Streams.PerStream {
+		h.Streams.Subscribers += sh.Subscribers
+	}
+	if s.streamJournal != nil {
+		h.Streams.JournalLive = s.streamJournal.Stats().Pending
+	}
 	if s.mesh != nil {
 		h.Mesh.Enabled = true
 		h.Mesh.NodeID = s.mesh.Self()

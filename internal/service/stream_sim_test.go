@@ -1,0 +1,321 @@
+package service
+
+// Stream simulation: seeded schedules of append / crash / restart /
+// subscriber churn against the streams API, checking the two streaming
+// recovery invariants after every step:
+//
+//  1. No sealed window is lost: a window acknowledged as sealed before
+//     a crash is present (restored, not recomputed) after the restart.
+//  2. No window is evaluated twice: across every restart, the sealed
+//     window indices observed by the client form exactly the sequence
+//     0,1,2,... with no duplicate and no gap.
+//
+// Each schedule ends with a differential check: the persisted export of
+// the final window is bit-exact with the batch pipeline over the same
+// arrival-order chunks.
+//
+// `go test` runs a quick default; `make stream-sim` sets
+// STREAM_SIM_SCHEDULES=300 for the full sweep under -race.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"perftrack/internal/oracle"
+	"perftrack/internal/stream"
+	"perftrack/internal/trace"
+)
+
+// simWorkloads are the decoded burst sequences schedules draw from
+// (decoded once: the codec round-trip is what the daemon sees).
+var simWorkloads = func() []*trace.Trace {
+	var out []*trace.Trace
+	for seed := uint64(0); seed < 4; seed++ {
+		tr := oracle.GenTraces(seed, "sim", 6, 8, 2) // 96 bursts
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, tr); err != nil {
+			panic(err)
+		}
+		dec, _, err := trace.ReadWith(bytes.NewReader(buf.Bytes()), trace.DecodeOptions{Strict: false})
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, dec)
+	}
+	return out
+}()
+
+func TestStreamSim(t *testing.T) {
+	schedules := 60
+	if v := os.Getenv("STREAM_SIM_SCHEDULES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("STREAM_SIM_SCHEDULES=%q", v)
+		}
+		schedules = n
+	}
+	for i := 0; i < schedules; i++ {
+		t.Run(fmt.Sprintf("schedule-%03d", i), func(t *testing.T) {
+			t.Parallel()
+			runStreamSchedule(t, uint64(i))
+		})
+	}
+}
+
+// churnSubscriber long-polls the event feed for one server life,
+// checking that delivered events are strictly ordered. It stops when
+// ctx is canceled or the server closes; ordering violations land in
+// subErr (the schedule checks it after all subscribers drain — the
+// goroutine must not touch t once the subtest may have returned).
+func churnSubscriber(ctx context.Context, subErr *atomic.Value, client *http.Client, base, id string) {
+	after := int64(0)
+	for ctx.Err() == nil {
+		req, err := http.NewRequestWithContext(ctx, "GET",
+			base+"/v1/streams/"+id+"/events?after="+fmt.Sprint(after)+"&wait=100ms", nil)
+		if err != nil {
+			return
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return // server life over
+		}
+		var poll struct {
+			Events []streamEvent `json:"events"`
+			Next   int64         `json:"next"`
+		}
+		json.NewDecoder(resp.Body).Decode(&poll)
+		resp.Body.Close()
+		for _, ev := range poll.Events {
+			if ev.Seq <= after {
+				subErr.Store(fmt.Sprintf("subscriber saw seq %d after %d", ev.Seq, after))
+				return
+			}
+			after = ev.Seq
+		}
+		if poll.Next > after {
+			after = poll.Next
+		}
+	}
+}
+
+func runStreamSchedule(t *testing.T, seed uint64) {
+	rng := rand.New(rand.NewSource(int64(seed)*2654435761 + 17))
+	tr := simWorkloads[int(seed)%len(simWorkloads)]
+	bursts := tr.Bursts
+	countN := 16 + rng.Intn(17) // 16..32
+	total := (len(bursts) + countN - 1) / countN
+	id := fmt.Sprintf("sim-%04d", seed)
+	series := fmt.Sprintf("sim-series-%04d", seed)
+	dir := t.TempDir()
+	base := Config{Workers: 1, StoreDir: dir, JournalDisabled: true}
+
+	// Crash points: after which appended-chunk counts to kill the daemon.
+	crashes := map[int]bool{}
+	for n := rng.Intn(3); n > 0; n-- {
+		crashes[1+rng.Intn(8)] = true
+	}
+
+	var subs sync.WaitGroup
+	var subErr atomic.Value
+
+	type life struct {
+		s      *Server
+		srv    *httptest.Server
+		cancel context.CancelFunc
+	}
+	open := func(first bool) life {
+		s, err := New(base)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		srv := httptest.NewServer(s.Handler())
+		ctx, cancel := context.WithCancel(context.Background())
+		if !first {
+			// Subscriber churn: each server life gets its own pollers,
+			// killed with the life (connection churn).
+			for n := rng.Intn(3); n > 0; n-- {
+				subs.Add(1)
+				go func() {
+					defer subs.Done()
+					churnSubscriber(ctx, &subErr, srv.Client(), srv.URL, id)
+				}()
+			}
+		}
+		return life{s: s, srv: srv, cancel: cancel}
+	}
+	kill := func(l life) {
+		l.cancel()
+		l.srv.Close()
+		if err := l.s.Shutdown(context.Background()); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	}
+
+	l := open(true)
+	client := l.srv.Client()
+	var view StreamView
+	resp := postJSON(t, client, l.srv.URL+"/v1/streams", StreamRequest{
+		ID:     id,
+		Label:  "sim",
+		Ranks:  tr.Meta.Ranks,
+		Window: stream.WindowSpec{CountN: countN},
+		Series: series,
+	}, &view)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	ctx, cancelSubs := context.WithCancel(context.Background())
+	defer cancelSubs()
+	for n := rng.Intn(3); n > 0; n-- {
+		subs.Add(1)
+		firstClient, firstURL := client, l.srv.URL
+		go func() {
+			defer subs.Done()
+			churnSubscriber(ctx, &subErr, firstClient, firstURL, id)
+		}()
+	}
+
+	var labels []string
+	var finals []*stream.Delta
+	note := func(ds []*stream.Delta) {
+		for _, d := range ds {
+			// Invariant 2: windows seal exactly once, in order, across
+			// every crash and restart.
+			if d.Window != len(labels) {
+				t.Fatalf("window %d sealed out of order (want %d); labels %v", d.Window, len(labels), labels)
+			}
+			labels = append(labels, d.Label)
+			finals = append(finals, d)
+		}
+	}
+
+	pos, chunks := 0, 0
+	for pos < len(bursts) {
+		if crashes[chunks] {
+			delete(crashes, chunks)
+			kill(l)
+			l = open(false)
+			client = l.srv.Client()
+			var v StreamView
+			r, err := client.Get(l.srv.URL + "/v1/streams/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.StatusCode != http.StatusOK {
+				t.Fatalf("stream lost across restart: status %d", r.StatusCode)
+			}
+			json.NewDecoder(r.Body).Decode(&v)
+			r.Body.Close()
+			// Invariant 1: every window acknowledged as sealed before the
+			// crash survived it.
+			if v.Stats.WindowsSealed != len(labels) {
+				t.Fatalf("restart restored %d windows, client saw %d sealed", v.Stats.WindowsSealed, len(labels))
+			}
+			if !v.Resumed {
+				t.Fatal("restarted stream not marked resumed")
+			}
+			// The open window's bursts died with the daemon, by contract:
+			// resend from the sealed boundary.
+			pos = len(labels) * countN
+		}
+		n := 1 + rng.Intn(24)
+		end := min(pos+n, len(bursts))
+		var ar StreamAppendResponse
+		r := postBytes(t, client, l.srv.URL+"/v1/streams/"+id+"/bursts",
+			encodeChunk(t, tr.Meta, bursts[pos:end]), &ar)
+		if r.StatusCode == http.StatusTooManyRequests {
+			continue // backpressure: retry the same chunk
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("append: status %d", r.StatusCode)
+		}
+		note(ar.Sealed)
+		pos = end
+		chunks++
+	}
+	var fin struct {
+		Sealed []*stream.Delta `json:"sealed"`
+	}
+	if r := postJSON(t, client, l.srv.URL+"/v1/streams/"+id+"/finish", nil, &fin); r.StatusCode != http.StatusOK {
+		t.Fatalf("finish: status %d", r.StatusCode)
+	}
+	note(fin.Sealed)
+	if len(labels) != total {
+		t.Fatalf("sealed %d windows, want %d", len(labels), total)
+	}
+
+	// Every window has exactly one raw record in the store (resume
+	// input), no index missing, none duplicated.
+	indices := map[int]int{}
+	for _, m := range l.s.Store().Series(shadowSeries(id)) {
+		payload, ok, err := l.s.Store().Get(m.Key)
+		if err != nil || !ok {
+			t.Fatalf("raw record %s: ok=%v err=%v", m.Key, ok, err)
+		}
+		var w stream.SealedWindow
+		if err := json.Unmarshal(payload, &w); err != nil {
+			t.Fatalf("raw record %s: %v", m.Key, err)
+		}
+		indices[w.Index]++
+	}
+	for i := 0; i < total; i++ {
+		if indices[i] != 1 {
+			t.Fatalf("window %d has %d raw records; map %v", i, indices[i], indices)
+		}
+	}
+
+	// Differential close: the persisted export of the last cleanly
+	// evaluated window matches the batch pipeline over the same
+	// arrival-order chunk prefix. (A tail window too small to cluster
+	// can carry an EvalError and has no export record, by design.)
+	last := -1
+	for j := range finals {
+		if finals[j].EvalError == "" {
+			last = j
+		}
+	}
+	if last >= 0 {
+		e, ok := l.s.streams.get(id)
+		if !ok {
+			t.Fatal("stream entry missing after finish")
+		}
+		cfg := e.sess.Config().Pipeline
+		cfg.Metrics = e.sess.Metrics()
+		key := streamExportKey(id, last)
+		got, ok, err := l.s.Store().Get(key)
+		if err != nil || !ok {
+			t.Fatalf("export %s: ok=%v err=%v", key, ok, err)
+		}
+		end := min((last+1)*countN, len(bursts))
+		want := batchWindowExport(t, bursts[:end], countN, tr.Meta.Ranks, labels[:last+1], cfg)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("streaming export for window %d diverges from batch", last)
+		}
+	}
+
+	cancelSubs()
+	kill(l)
+	subs.Wait()
+	if e := subErr.Load(); e != nil {
+		t.Fatal(e)
+	}
+	// One last restart: the finished stream stays finished.
+	s2, err := New(base)
+	if err != nil {
+		t.Fatalf("final New: %v", err)
+	}
+	defer s2.Shutdown(context.Background())
+	if _, ok := s2.streams.get(id); ok {
+		t.Fatal("finished stream resurrected")
+	}
+}

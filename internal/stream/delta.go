@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"sort"
+
+	"perftrack/internal/core"
+	"perftrack/internal/metrics"
+)
+
+// TrendDelta is one rolling trend observation: the latest
+// duration-weighted mean of one metric over one spanning region, plus
+// the relative change since the region first appeared.
+type TrendDelta struct {
+	Region   int     `json:"region"`
+	Metric   string  `json:"metric"`
+	Mean     float64 `json:"mean"`
+	RelDelta float64 `json:"relDelta"`
+}
+
+// Delta is the rolling update emitted when a window seals. It is the
+// event payload streamed to subscribers: what the window contained, how
+// the sealed frame clustered, and where the tracked study stands now.
+type Delta struct {
+	// Window is the sealed window's index; Label its frame label.
+	Window int    `json:"window"`
+	Label  string `json:"label"`
+	// Bursts/Quarantined describe the sealed window's population.
+	Bursts      int  `json:"bursts"`
+	Quarantined int  `json:"quarantined,omitempty"`
+	NumClusters int  `json:"numClusters"`
+	Degraded    bool `json:"degraded,omitempty"`
+	// DegradedReason says why the frame was unusable.
+	DegradedReason string `json:"degradedReason,omitempty"`
+	// Incremental reports whether cluster labels were maintained
+	// incrementally (vs a seal-time batch run); Epoch is the
+	// normalisation epoch after this close (bumps mean the series was
+	// renormalised).
+	Incremental bool `json:"incremental"`
+	Epoch       int  `json:"epoch"`
+
+	// Evaluation rollup over the whole sequence so far. EvalError is
+	// set (and the rollup zero) when the sequence is not yet trackable,
+	// e.g. every window so far is degraded.
+	EvalError        string       `json:"evalError,omitempty"`
+	Windows          int          `json:"windows"`
+	Regions          int          `json:"regions,omitempty"`
+	TrackedRegions   int          `json:"trackedRegions,omitempty"`
+	OptimalK         int          `json:"optimalK,omitempty"`
+	Coverage         float64      `json:"coverage,omitempty"`
+	FramesBridged    int          `json:"framesBridged,omitempty"`
+	FramesDegraded   int          `json:"framesDegraded,omitempty"`
+	TotalQuarantined int          `json:"totalQuarantined,omitempty"`
+	Trends           []TrendDelta `json:"trends,omitempty"`
+
+	// Result is the full evaluation backing the rollup (nil when
+	// EvalError is set). Not serialised: subscribers get the rollup,
+	// persistence exports the result separately.
+	Result *core.Result `json:"-"`
+	// Sealed is the durable form of the closed window (nil only for
+	// callers that disabled it). Not serialised into the event payload.
+	Sealed *SealedWindow `json:"-"`
+}
+
+// buildDelta assembles the event for one sealed frame and (optional)
+// sequence evaluation.
+func buildDelta(f *core.Frame, res *core.Result, evalErr error, incremental bool, epoch int, ms []metrics.Metric) *Delta {
+	d := &Delta{
+		Window:         f.Index,
+		Label:          f.Label,
+		Bursts:         len(f.Labels),
+		Quarantined:    f.Quarantined,
+		NumClusters:    f.NumClusters,
+		Degraded:       f.Degraded,
+		DegradedReason: f.DegradedReason,
+		Incremental:    incremental,
+		Epoch:          epoch,
+		Windows:        f.Index + 1,
+	}
+	if evalErr != nil {
+		d.EvalError = evalErr.Error()
+		return d
+	}
+	d.Result = res
+	d.Regions = len(res.Regions)
+	d.TrackedRegions = res.SpanningCount
+	d.OptimalK = res.OptimalK
+	d.Coverage = res.Coverage
+	d.FramesBridged = res.Diagnostics.FramesBridged
+	d.FramesDegraded = res.Diagnostics.FramesDegraded
+	d.TotalQuarantined = res.Diagnostics.BurstsQuarantined
+	// The sealed frame may carry a stale degraded flag from before the
+	// evaluation re-derived the collapse rule; mirror the live state.
+	d.Degraded = f.Degraded
+	d.DegradedReason = f.DegradedReason
+	for _, tr := range res.Regions {
+		if !tr.Spanning {
+			continue
+		}
+		for _, m := range ms {
+			rt, err := res.Trend(tr.ID, m)
+			if err != nil {
+				continue
+			}
+			td := TrendDelta{Region: tr.ID, Metric: m.Name, RelDelta: rt.RelDeltaMean()}
+			for i := len(rt.Points) - 1; i >= 0; i-- {
+				if rt.Points[i].Present {
+					td.Mean = rt.Points[i].Mean
+					break
+				}
+			}
+			d.Trends = append(d.Trends, td)
+		}
+	}
+	sort.Slice(d.Trends, func(i, j int) bool {
+		if d.Trends[i].Region != d.Trends[j].Region {
+			return d.Trends[i].Region < d.Trends[j].Region
+		}
+		return d.Trends[i].Metric < d.Trends[j].Metric
+	})
+	return d
+}

@@ -1,0 +1,330 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"math/rand/v2"
+	"testing"
+
+	"perftrack/internal/metrics"
+	"perftrack/internal/oracle"
+	"perftrack/internal/trace"
+)
+
+func mustSession(t *testing.T, cfg Config) *Session {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func healthyBurst(task int, startNS int64) trace.Burst {
+	var ctrs metrics.CounterVector
+	ctrs[metrics.CtrInstructions] = 1e6
+	ctrs[metrics.CtrCycles] = 1e6
+	return trace.Burst{Task: task, StartNS: startNS, DurationNS: 10, Counters: ctrs}
+}
+
+func TestWindowSpecValidate(t *testing.T) {
+	bad := []WindowSpec{
+		{},
+		{WindowNS: 100, CountN: 10},
+		{CountN: -1},
+		{WindowNS: -5},
+		{CountN: 10, OriginNS: 50},
+		{WindowNS: 10, MaxWindows: -1},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Fatalf("spec %d (%+v) unexpectedly valid", i, w)
+		}
+	}
+	good := []WindowSpec{
+		{WindowNS: 100},
+		{WindowNS: 100, OriginNS: -50, MaxWindows: 8},
+		{CountN: 1},
+	}
+	for i, w := range good {
+		if err := w.Validate(); err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+	}
+}
+
+// TestStreamAppendPolicy pins the windowing decisions: early and late
+// bursts drop, far-future bursts are rejected at the horizon, and a
+// future burst seals everything before its own window.
+func TestStreamAppendPolicy(t *testing.T) {
+	sess := mustSession(t, Config{
+		Meta:     trace.Metadata{Label: "policy", Ranks: 4},
+		Window:   WindowSpec{WindowNS: 100, OriginNS: 100, MaxWindows: 3},
+		Pipeline: pipelineConfig(0),
+	})
+	ctx := context.Background()
+	step := func(b trace.Burst, want AppendStatus, sealed int) AppendResult {
+		t.Helper()
+		res, err := sess.Append(ctx, b)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if res.Status != want || len(res.Sealed) != sealed {
+			t.Fatalf("append @%d: status %v (%d sealed), want %v (%d)",
+				b.StartNS, res.Status, len(res.Sealed), want, sealed)
+		}
+		return res
+	}
+	step(healthyBurst(0, 50), DroppedEarly, 0)
+	step(healthyBurst(0, 150), Accepted, 0)
+	// Window 2 burst seals windows 0 and 1 (1 is empty -> degraded).
+	res := step(healthyBurst(1, 310), Accepted, 2)
+	if res.Sealed[0].Window != 0 || res.Sealed[1].Window != 1 {
+		t.Fatalf("sealed windows %d,%d", res.Sealed[0].Window, res.Sealed[1].Window)
+	}
+	if !res.Sealed[1].Degraded || res.Sealed[1].Bursts != 0 {
+		t.Fatalf("empty window not degraded: %+v", res.Sealed[1])
+	}
+	step(healthyBurst(2, 120), DroppedLate, 0)
+	step(healthyBurst(3, 100+3*100), RejectedHorizon, 0)
+	st := sess.Stats()
+	if st.DroppedEarly != 1 || st.DroppedLate != 1 || st.RejectedHorizon != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.WindowsSealed != 2 || st.OpenWindow != 2 {
+		t.Fatalf("windows: %+v", st)
+	}
+	if got := sess.windowLabel(0); got != "policy/w1" {
+		t.Fatalf("label %q", got)
+	}
+}
+
+// TestStreamPermutationInvariance is the metamorphic gate: appending a
+// window's bursts in any order yields byte-identical evaluations — the
+// canonical seal order makes arrival order irrelevant within a window.
+// Window membership is decided by timestamp, so feeding the windows in
+// sequence with each window's bursts shuffled exercises exactly the
+// within-window reordering a live producer's races would cause.
+func TestStreamPermutationInvariance(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		tr := oracle.GenTraces(seed, "perm", 4, 4, 2)
+		cfg := pipelineConfig(seed)
+		nWin := 4
+		start, end := tr.Span()
+		width := (end - start + int64(nWin) - 1) / int64(nWin)
+		windows := tr.SplitWindows(nWin)
+		var baseline []byte
+		for round := 0; round < 3; round++ {
+			rng := rand.New(rand.NewPCG(seed, uint64(round)*0x9e37+1))
+			sess := mustSession(t, Config{
+				Meta:     tr.Meta,
+				Window:   WindowSpec{WindowNS: width, OriginNS: start, MaxWindows: nWin},
+				Pipeline: cfg,
+			})
+			ctx := context.Background()
+			var deltas []*Delta
+			for _, w := range windows {
+				for _, bi := range rng.Perm(len(w.Bursts)) {
+					res, err := sess.Append(ctx, w.Bursts[bi])
+					if err != nil {
+						t.Fatal(err)
+					}
+					deltas = append(deltas, res.Sealed...)
+				}
+			}
+			fin, err := sess.Finish(ctx, nWin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			deltas = append(deltas, fin...)
+			if len(deltas) != nWin {
+				t.Fatalf("seed %d round %d: %d windows sealed, want %d", seed, round, len(deltas), nWin)
+			}
+			final := deltas[nWin-1]
+			var export []byte
+			if final.EvalError == "" {
+				export = resultBytes(t, final.Result, cfg)
+			} else {
+				export = []byte(final.EvalError)
+			}
+			if round == 0 {
+				baseline = export
+				continue
+			}
+			if !bytes.Equal(export, baseline) {
+				t.Fatalf("seed %d round %d: permuted replay diverges", seed, round)
+			}
+		}
+	}
+}
+
+// TestStreamCrashResumeDifferential kills a session at every window
+// boundary and resumes a fresh one from the sealed-window records: the
+// restored session must evaluate byte-identically to one that never
+// crashed, without re-clustering any sealed window.
+func TestStreamCrashResumeDifferential(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		tr := oracle.GenTraces(seed, "resume", 4, 5, 2)
+		cfg := pipelineConfig(seed)
+		nWin := 4
+		deltas, _ := replayDuration(t, tr, nWin, cfg)
+		if len(deltas) != nWin {
+			t.Fatalf("seed %d: %d deltas", seed, len(deltas))
+		}
+		var sealed []*SealedWindow
+		for _, d := range deltas {
+			if d.Sealed == nil {
+				t.Fatalf("seed %d: delta %d lacks sealed record", seed, d.Window)
+			}
+			sealed = append(sealed, d.Sealed)
+		}
+		finalRef := deltas[nWin-1]
+
+		ordered := tr.Clone()
+		ordered.SortByTime()
+		start, end := tr.Span()
+		width := (end - start + int64(nWin) - 1) / int64(nWin)
+		for crashAt := 1; crashAt <= nWin; crashAt++ {
+			sess := mustSession(t, Config{
+				Meta:     tr.Meta,
+				Window:   WindowSpec{WindowNS: width, OriginNS: start, MaxWindows: nWin},
+				Pipeline: cfg,
+			})
+			for _, w := range sealed[:crashAt] {
+				if err := sess.Restore(*w); err != nil {
+					t.Fatalf("seed %d crash %d: Restore: %v", seed, crashAt, err)
+				}
+			}
+			if sess.Windows() != crashAt {
+				t.Fatalf("restored %d windows, want %d", sess.Windows(), crashAt)
+			}
+			ctx := context.Background()
+			var rest []*Delta
+			for _, b := range ordered.Bursts {
+				// Bursts of already-sealed windows drop as late; the
+				// open window's bursts replay cleanly.
+				res, err := sess.Append(ctx, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rest = append(rest, res.Sealed...)
+			}
+			fin, err := sess.Finish(ctx, nWin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rest = append(rest, fin...)
+			if len(rest) != nWin-crashAt {
+				t.Fatalf("seed %d crash %d: resumed session sealed %d more windows, want %d",
+					seed, crashAt, len(rest), nWin-crashAt)
+			}
+			var final *Delta
+			if len(rest) > 0 {
+				final = rest[len(rest)-1]
+			}
+			if final == nil {
+				// Crashed after the last window: evaluate the restored
+				// sequence directly.
+				res, err := sess.Evaluate(ctx)
+				if finalRef.EvalError != "" {
+					if err == nil || err.Error() != finalRef.EvalError {
+						t.Fatalf("seed %d: restored eval error %v, want %q", seed, err, finalRef.EvalError)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("seed %d: restored eval: %v", seed, err)
+				}
+				if !bytes.Equal(resultBytes(t, res, cfg), resultBytes(t, finalRef.Result, cfg)) {
+					t.Fatalf("seed %d: restore-only evaluation diverges", seed)
+				}
+				continue
+			}
+			if finalRef.EvalError != "" {
+				if final.EvalError != finalRef.EvalError {
+					t.Fatalf("seed %d crash %d: eval error %q, want %q", seed, crashAt, final.EvalError, finalRef.EvalError)
+				}
+				continue
+			}
+			if final.EvalError != "" {
+				t.Fatalf("seed %d crash %d: unexpected eval error %q", seed, crashAt, final.EvalError)
+			}
+			if !bytes.Equal(resultBytes(t, final.Result, cfg), resultBytes(t, finalRef.Result, cfg)) {
+				t.Fatalf("seed %d crash %d: resumed evaluation diverges from uninterrupted run", seed, crashAt)
+			}
+		}
+	}
+}
+
+// TestStreamRestoreGuards pins the resume contract: restores must come
+// before appends and in index order, with matching label/burst counts.
+func TestStreamRestoreGuards(t *testing.T) {
+	cfg := Config{
+		Meta:     trace.Metadata{Label: "guards", Ranks: 2},
+		Window:   WindowSpec{CountN: 4},
+		Pipeline: pipelineConfig(0),
+	}
+	sess := mustSession(t, cfg)
+	if err := sess.Restore(SealedWindow{Index: 3}); err == nil {
+		t.Fatal("out-of-order restore accepted")
+	}
+	if err := sess.Restore(SealedWindow{Index: 0, Labels: []int{1}}); err == nil {
+		t.Fatal("label/burst mismatch accepted")
+	}
+	if _, err := sess.Append(context.Background(), healthyBurst(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Restore(SealedWindow{Index: 0}); err == nil {
+		t.Fatal("restore after append accepted")
+	}
+}
+
+// TestStreamEvalRecovery: a stream whose early windows are all
+// degraded reports the evaluation error per delta, then recovers as
+// soon as a trackable window arrives.
+func TestStreamEvalRecovery(t *testing.T) {
+	tr := oracle.GenTraces(3, "recover", 4, 4, 2)
+	ordered := tr.Clone()
+	ordered.SortByTime()
+	start, end := tr.Span()
+	width := (end - start + 3) / 4
+	sess := mustSession(t, Config{
+		Meta:     tr.Meta,
+		Window:   WindowSpec{WindowNS: width, OriginNS: start - 2*width, MaxWindows: 8},
+		Pipeline: pipelineConfig(0),
+	})
+	ctx := context.Background()
+	var deltas []*Delta
+	for _, b := range ordered.Bursts {
+		res, err := sess.Append(ctx, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltas = append(deltas, res.Sealed...)
+	}
+	fin, err := sess.Finish(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas = append(deltas, fin...)
+	if len(deltas) < 3 {
+		t.Fatalf("only %d windows sealed", len(deltas))
+	}
+	// The first two windows predate the data (shifted origin): both
+	// must be degraded-empty with an eval error.
+	for i := 0; i < 2; i++ {
+		if !deltas[i].Degraded || deltas[i].EvalError == "" {
+			t.Fatalf("window %d: %+v", i, deltas[i])
+		}
+	}
+	final := deltas[len(deltas)-1]
+	if final.EvalError != "" {
+		t.Fatalf("stream never recovered: %q", final.EvalError)
+	}
+	if sess.Last() == nil {
+		t.Fatal("Last() nil after successful evaluation")
+	}
+	if final.Windows != len(deltas) {
+		t.Fatalf("final delta windows %d, want %d", final.Windows, len(deltas))
+	}
+}

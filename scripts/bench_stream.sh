@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# bench_stream.sh — measures the live-ingestion path end to end and
+# rewrites BENCH_stream.json. Two measurements:
+#
+#   1. HTTP appenders: boots a trackd with a store and drives STREAMS
+#      concurrent live streams with the trackload generator, recording
+#      append p50/p95/p99 and window-close latency separately.
+#   2. Incremental vs batch window close: the internal/stream
+#      microbenchmarks close the 10th window of a live session
+#      (incremental index + frame-pair correlation) and re-run the
+#      whole 10-window batch pipeline; the ratio is the reason the
+#      streaming subsystem exists (gate: >= 3x).
+#
+#   STREAMS=8 QPS=50 DURATION=10s OUT=BENCH_stream.json scripts/bench_stream.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STREAMS=${STREAMS:-8}
+QPS=${QPS:-50}
+DURATION=${DURATION:-10s}
+CHUNK=${CHUNK:-32}
+WINDOW=${WINDOW:-64}
+OUT=${OUT:-BENCH_stream.json}
+
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "building trackd and trackload..." >&2
+go build -o "$tmp/trackd" ./cmd/trackd
+go build -o "$tmp/trackload" ./cmd/trackload
+
+PORT=7107
+"$tmp/trackd" -addr "127.0.0.1:$PORT" -workers 4 -store "$tmp/db" \
+    >"$tmp/trackd.log" 2>&1 &
+pids+=($!)
+for _ in $(seq 1 600); do
+    grep -q "trackd: listening on" "$tmp/trackd.log" && break
+    sleep 0.05
+done
+grep -q "trackd: listening on" "$tmp/trackd.log" || {
+    echo "trackd never started; log follows" >&2
+    cat "$tmp/trackd.log" >&2
+    exit 1
+}
+
+echo "stream bench: streams=$STREAMS qps=$QPS duration=$DURATION chunk=$CHUNK window=$WINDOW" >&2
+"$tmp/trackload" -addr "http://127.0.0.1:$PORT" -streams "$STREAMS" -qps "$QPS" \
+    -duration "$DURATION" -chunk "$CHUNK" -window "$WINDOW" \
+    -ranks 4 -iters 5 -phases 2 -name "live-http" -o "$tmp/http.json"
+
+echo "window-close microbench: incremental vs batch rerun..." >&2
+go test -run '^$' -bench 'BenchmarkWindowClose10' -benchtime 5x ./internal/stream/ \
+    | tee "$tmp/bench.txt" >&2
+inc=$(awk '/BenchmarkWindowClose10Incremental/ {print $3}' "$tmp/bench.txt")
+batch=$(awk '/BenchmarkWindowClose10BatchRerun/ {print $3}' "$tmp/bench.txt")
+ratio=$(awk -v i="$inc" -v b="$batch" 'BEGIN {printf "%.2f", b / i}')
+
+{
+    echo '{'
+    echo '  "suite": "trackd live streams",'
+    echo "  \"date\": \"$(date -u +%F)\","
+    echo "  \"go\": \"$(go version | awk '{print $3}')\","
+    echo "  \"command\": \"scripts/bench_stream.sh (trackload -streams $STREAMS -qps $QPS -duration $DURATION -chunk $CHUNK -window $WINDOW)\","
+    echo '  "workload": "Open-loop live ingestion: N resident streams on one trackd with a persistent store, each appender pacing 32-burst chunks at the target rate; count windows seal every 64 bursts, and each seal clusters the window incrementally, correlates it against the previous frame, persists the sealed window + cumulative export durably, and fans the rolling delta out to subscribers. The append population is the pure index-insertion path; the windowClose population carries the seal.",'
+    echo '  "windowClose10": {'
+    echo "    \"incrementalNsOp\": $inc,"
+    echo "    \"batchRerunNsOp\": $batch,"
+    echo "    \"speedup\": $ratio,"
+    echo '    "gate": "incremental close must be >= 3x cheaper than re-running the 10-window batch pipeline"'
+    echo '  },'
+    echo '  "scenarios": ['
+    sed 's/^/    /' "$tmp/http.json"
+    echo '  ]'
+    echo '}'
+} >"$OUT"
+
+awk -v r="$ratio" 'BEGIN { if (r < 3.0) { print "bench_stream: FAIL: incremental/batch speedup " r " < 3x"; exit 1 } }' >&2
+echo "wrote $OUT (incremental window close ${ratio}x cheaper than batch rerun)" >&2
