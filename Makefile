@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race oracle sim mesh-sim stream-sim chaos fuzz-short cover serve-smoke store-smoke cluster-smoke check fuzz bench-core bench-compare bench-cluster bench-stream clean
+.PHONY: all build test vet race oracle sim mesh-sim stream-sim chaos fuzz-short cover serve-smoke store-smoke cluster-smoke trackeval check fuzz bench-core bench-compare bench-cluster bench-stream clean
 
 all: build
 
@@ -88,6 +88,15 @@ fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzDisplacementDifferential -fuzztime=5s ./internal/core/
 	$(GO) test -run=^$$ -fuzz=FuzzAlignDifferential -fuzztime=5s ./internal/align/
 	$(GO) test -run=^$$ -fuzz=FuzzStreamAppend -fuzztime=5s ./internal/stream/
+	$(GO) test -run=^$$ -fuzz=FuzzScenarioRoundTrip -fuzztime=5s ./internal/trackeval/
+
+# trackeval runs the tracking-quality gate: the pinned planted-truth
+# scenario corpus (all seeds, all families, fault-degraded frames) plus
+# the root-cause diagnosis corpus must clear the scorecard floors in
+# internal/trackeval/scorecard.go, and the scorecard must be seed-sweep
+# deterministic. `trackctl eval -gate` runs the same floors from the CLI.
+trackeval:
+	$(GO) test -count=1 -run 'TestGate|TestScorecardSeedSweepDeterminism|TestDiagnosisCorpusAllSeeds' ./internal/trackeval/
 
 # cover writes the aggregate statement-coverage profile; the ratchet in
 # scripts/check_coverage.sh enforces the floor in CI.
@@ -98,10 +107,10 @@ cover:
 # check is the pre-merge gate: static analysis, the full suite under the
 # race detector, the oracle harness, the chaos/fault-injection schedules,
 # the whole-cluster mesh simulation, the live-stream crash/churn
-# simulation, a short fuzz pass, and the daemon end-to-end smokes
-# (including the kill -9 crash-recovery smoke and the 3-node SIGKILL
-# cluster smoke).
-check: vet race oracle chaos mesh-sim stream-sim fuzz-short serve-smoke store-smoke cluster-smoke
+# simulation, the tracking-quality gate, a short fuzz pass, and the
+# daemon end-to-end smokes (including the kill -9 crash-recovery smoke
+# and the 3-node SIGKILL cluster smoke).
+check: vet race oracle chaos mesh-sim stream-sim trackeval fuzz-short serve-smoke store-smoke cluster-smoke
 
 # bench-core runs the analysis-core microbenchmark suite (clustering, NN,
 # alignment, end-to-end tracking on the largest catalog studies). The

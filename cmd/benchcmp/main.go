@@ -10,6 +10,10 @@
 // reported but ignored by the gate. The geomean (rather than a per-bench
 // gate) keeps single-benchmark noise on busy CI machines from tripping the
 // alarm while still catching a real broad regression.
+//
+// Baseline entries with zero, negative, or non-finite ns/op — the residue
+// of a botched baseline regeneration — are skipped with a warning rather
+// than silently dropped or allowed to poison the geomean.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"regexp"
@@ -27,66 +32,79 @@ import (
 type baselineFile struct {
 	Suite   string `json:"suite"`
 	Results []struct {
-		Name   string  `json:"name"`
+		Name    string  `json:"name"`
 		NsPerOp float64 `json:"ns_per_op"`
 	} `json:"results"`
 }
 
 // benchLine matches e.g. "BenchmarkCoreNNNearest-8   655   3784987 ns/op ..."
 // (the -N GOMAXPROCS suffix is optional: single-CPU runs omit it).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+(?:[eE][+-]?\d+)?) ns/op`)
 
-func main() {
-	baselinePath := flag.String("baseline", "BENCH_core.json", "committed baseline JSON")
-	tolerance := flag.Float64("tolerance", 1.15, "maximum allowed geomean time ratio (current/baseline)")
-	flag.Parse()
+// usable reports whether a ns/op value can participate in a ratio: a
+// zero baseline would divide to +Inf, a NaN or Inf would absorb the
+// whole geomean.
+func usable(ns float64) bool {
+	return ns > 0 && !math.IsInf(ns, 0) && !math.IsNaN(ns)
+}
 
-	raw, err := os.ReadFile(*baselinePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
-		os.Exit(2)
-	}
+// loadBaseline parses the committed baseline, returning the usable
+// measurements and one warning per entry skipped as unusable.
+func loadBaseline(raw []byte, path string) (suite string, baseline map[string]float64, warnings []string, err error) {
 	var base baselineFile
 	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchcmp: parsing %s: %v\n", *baselinePath, err)
-		os.Exit(2)
+		return "", nil, nil, fmt.Errorf("parsing %s: %w", path, err)
 	}
-	baseline := map[string]float64{}
+	baseline = map[string]float64{}
 	for _, r := range base.Results {
-		if r.NsPerOp > 0 {
-			baseline[r.Name] = r.NsPerOp
+		if !usable(r.NsPerOp) {
+			warnings = append(warnings,
+				fmt.Sprintf("baseline %s: skipping %s: unusable ns_per_op %v", path, r.Name, r.NsPerOp))
+			continue
 		}
+		baseline[r.Name] = r.NsPerOp
 	}
 	if len(baseline) == 0 {
-		fmt.Fprintf(os.Stderr, "benchcmp: no usable results in %s\n", *baselinePath)
-		os.Exit(2)
+		return "", nil, warnings, fmt.Errorf("no usable results in %s", path)
 	}
+	return base.Suite, baseline, warnings, nil
+}
 
+// parseBench scans `go test -bench` output, echoing every line to echo,
+// and returns the first measurement of each benchmark (later -count runs
+// of the same name would skew toward warmed caches). Unusable values are
+// skipped with a warning.
+func parseBench(r io.Reader, echo io.Writer) (map[string]float64, []string, error) {
 	current := map[string]float64{}
-	sc := bufio.NewScanner(os.Stdin)
+	var warnings []string
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line) // pass the raw output through
+		fmt.Fprintln(echo, line) // pass the raw output through
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[3], 64)
-		if err != nil || ns <= 0 {
+		if err != nil || !usable(ns) {
+			warnings = append(warnings, fmt.Sprintf("skipping %s: unusable measurement %q", m[1], m[3]))
 			continue
 		}
-		// Keep the first measurement of each benchmark (later -count runs
-		// of the same name would skew toward warmed caches).
 		if _, seen := current[m[1]]; !seen {
 			current[m[1]] = ns
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchcmp: reading stdin: %v\n", err)
-		os.Exit(2)
+		return nil, warnings, fmt.Errorf("reading stdin: %w", err)
 	}
+	return current, warnings, nil
+}
 
+// compare prints the per-benchmark table and the geomean verdict to out.
+// It returns exit code 0 (within tolerance), 1 (regressed), or 2 (no
+// benchmark matched the baseline).
+func compare(out, errOut io.Writer, baselinePath, suite string, baseline, current map[string]float64, tolerance float64) int {
 	names := make([]string, 0, len(current))
 	for name := range current {
 		names = append(names, name)
@@ -95,21 +113,21 @@ func main() {
 
 	var logSum float64
 	matched := 0
-	fmt.Printf("\nbenchcmp vs %s (%s):\n", *baselinePath, base.Suite)
+	fmt.Fprintf(out, "\nbenchcmp vs %s (%s):\n", baselinePath, suite)
 	for _, name := range names {
 		bn, ok := baseline[name]
 		if !ok {
-			fmt.Printf("  %-40s %12.0f ns/op  (no baseline, ignored)\n", name, current[name])
+			fmt.Fprintf(out, "  %-40s %12.0f ns/op  (no baseline, ignored)\n", name, current[name])
 			continue
 		}
 		ratio := current[name] / bn
 		logSum += math.Log(ratio)
 		matched++
-		fmt.Printf("  %-40s %12.0f ns/op  baseline %12.0f  ratio %.3f\n", name, current[name], bn, ratio)
+		fmt.Fprintf(out, "  %-40s %12.0f ns/op  baseline %12.0f  ratio %.3f\n", name, current[name], bn, ratio)
 	}
 	if matched == 0 {
-		fmt.Fprintln(os.Stderr, "benchcmp: no benchmarks matched the baseline")
-		os.Exit(2)
+		fmt.Fprintln(errOut, "benchcmp: no benchmarks matched the baseline")
+		return 2
 	}
 	missing := 0
 	for name := range baseline {
@@ -118,14 +136,56 @@ func main() {
 		}
 	}
 	if missing > 0 {
-		fmt.Printf("  (%d baseline benchmark(s) not exercised in this run)\n", missing)
+		fmt.Fprintf(out, "  (%d baseline benchmark(s) not exercised in this run)\n", missing)
 	}
 	geomean := math.Exp(logSum / float64(matched))
-	fmt.Printf("geomean time ratio over %d benchmarks: %.3f (tolerance %.2f)\n", matched, geomean, *tolerance)
-	if geomean > *tolerance {
-		fmt.Fprintf(os.Stderr, "benchcmp: FAIL — geomean regression %.1f%% exceeds %.1f%%\n",
-			(geomean-1)*100, (*tolerance-1)*100)
-		os.Exit(1)
+	fmt.Fprintf(out, "geomean time ratio over %d benchmarks: %.3f (tolerance %.2f)\n", matched, geomean, tolerance)
+	if geomean > tolerance {
+		fmt.Fprintf(errOut, "benchcmp: FAIL — geomean regression %.1f%% exceeds %.1f%%\n",
+			(geomean-1)*100, (tolerance-1)*100)
+		return 1
 	}
-	fmt.Println("benchcmp: OK")
+	fmt.Fprintln(out, "benchcmp: OK")
+	return 0
+}
+
+// run is the whole command with its streams and exit code surfaced for
+// testing.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "BENCH_core.json", "committed baseline JSON")
+	tolerance := fs.Float64("tolerance", 1.15, "maximum allowed geomean time ratio (current/baseline)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 2
+	}
+	suite, baseline, warnings, err := loadBaseline(raw, *baselinePath)
+	for _, w := range warnings {
+		fmt.Fprintf(stderr, "benchcmp: warning: %s\n", w)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 2
+	}
+
+	current, warnings, err := parseBench(stdin, stdout)
+	for _, w := range warnings {
+		fmt.Fprintf(stderr, "benchcmp: warning: %s\n", w)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 2
+	}
+
+	return compare(stdout, stderr, *baselinePath, suite, baseline, current, *tolerance)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }

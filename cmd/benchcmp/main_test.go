@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadBaselineEdgeCases(t *testing.T) {
+	tests := []struct {
+		name      string
+		json      string
+		wantErr   bool
+		wantKeys  []string
+		wantWarns int
+	}{
+		{
+			name:     "clean",
+			json:     `{"suite":"core","results":[{"name":"BenchmarkA","ns_per_op":100},{"name":"BenchmarkB","ns_per_op":2.5}]}`,
+			wantKeys: []string{"BenchmarkA", "BenchmarkB"},
+		},
+		{
+			name:      "zero entry skipped with warning",
+			json:      `{"results":[{"name":"BenchmarkA","ns_per_op":0},{"name":"BenchmarkB","ns_per_op":50}]}`,
+			wantKeys:  []string{"BenchmarkB"},
+			wantWarns: 1,
+		},
+		{
+			name:      "negative entry skipped with warning",
+			json:      `{"results":[{"name":"BenchmarkA","ns_per_op":-3},{"name":"BenchmarkB","ns_per_op":50}]}`,
+			wantKeys:  []string{"BenchmarkB"},
+			wantWarns: 1,
+		},
+		{
+			// encoding/json rejects out-of-range numbers like 1e999, so
+			// an Inf can only enter through a hand-edited file — it must
+			// surface as a loading error, not a silent pass.
+			name:    "out-of-range entry is a parse error",
+			json:    `{"results":[{"name":"BenchmarkA","ns_per_op":1e999},{"name":"BenchmarkB","ns_per_op":50}]}`,
+			wantErr: true,
+		},
+		{
+			name:      "all entries unusable is an error",
+			json:      `{"results":[{"name":"BenchmarkA","ns_per_op":0},{"name":"BenchmarkB","ns_per_op":-1}]}`,
+			wantErr:   true,
+			wantWarns: 2,
+		},
+		{
+			name:    "empty results is an error",
+			json:    `{"suite":"core","results":[]}`,
+			wantErr: true,
+		},
+		{
+			name:    "malformed json is an error",
+			json:    `{"results":`,
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, baseline, warns, err := loadBaseline([]byte(tt.json), "test.json")
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if len(warns) != tt.wantWarns {
+				t.Errorf("warnings = %v, want %d", warns, tt.wantWarns)
+			}
+			if tt.wantErr {
+				return
+			}
+			if len(baseline) != len(tt.wantKeys) {
+				t.Fatalf("baseline = %v, want keys %v", baseline, tt.wantKeys)
+			}
+			for _, k := range tt.wantKeys {
+				if !usable(baseline[k]) {
+					t.Errorf("baseline[%s] = %v, want usable", k, baseline[k])
+				}
+			}
+		})
+	}
+}
+
+func TestParseBenchEdgeCases(t *testing.T) {
+	tests := []struct {
+		name      string
+		input     string
+		want      map[string]float64
+		wantWarns int
+	}{
+		{
+			name:  "typical output",
+			input: "goos: linux\nBenchmarkCoreTrack-8   655   3784987 ns/op   12 B/op\nPASS\n",
+			want:  map[string]float64{"BenchmarkCoreTrack": 3784987},
+		},
+		{
+			name:  "no GOMAXPROCS suffix",
+			input: "BenchmarkX 10 125.5 ns/op\n",
+			want:  map[string]float64{"BenchmarkX": 125.5},
+		},
+		{
+			name:  "first measurement wins on -count repeats",
+			input: "BenchmarkX-4 10 100 ns/op\nBenchmarkX-4 10 90 ns/op\n",
+			want:  map[string]float64{"BenchmarkX": 100},
+		},
+		{
+			// A zero ns/op line (seen from sub-nanosecond ops rounded
+			// down) must not enter the geomean as a 0-ratio.
+			name:      "zero measurement skipped with warning",
+			input:     "BenchmarkX-4 1000000000 0 ns/op\nBenchmarkY-4 10 50 ns/op\n",
+			want:      map[string]float64{"BenchmarkY": 50},
+			wantWarns: 1,
+		},
+		{
+			name:  "unrelated lines ignored",
+			input: "ok  \tperftrack/internal/core\t1.2s\n--- PASS: TestX\n",
+			want:  map[string]float64{},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var echo bytes.Buffer
+			got, warns, err := parseBench(strings.NewReader(tt.input), &echo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(warns) != tt.wantWarns {
+				t.Errorf("warnings = %v, want %d", warns, tt.wantWarns)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("parsed %v, want %v", got, tt.want)
+			}
+			for k, v := range tt.want {
+				if got[k] != v {
+					t.Errorf("%s = %v, want %v", k, got[k], v)
+				}
+			}
+			if echo.String() != tt.input {
+				t.Errorf("echo = %q, want the raw input passed through", echo.String())
+			}
+		})
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	baseline := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200}
+	tests := []struct {
+		name     string
+		current  map[string]float64
+		wantCode int
+		wantOut  string
+	}{
+		{
+			name:     "within tolerance",
+			current:  map[string]float64{"BenchmarkA": 105, "BenchmarkB": 210},
+			wantCode: 0,
+			wantOut:  "benchcmp: OK",
+		},
+		{
+			name:     "regressed",
+			current:  map[string]float64{"BenchmarkA": 200, "BenchmarkB": 400},
+			wantCode: 1,
+		},
+		{
+			name:     "improvement on one side offsets the other",
+			current:  map[string]float64{"BenchmarkA": 50, "BenchmarkB": 400},
+			wantCode: 0,
+		},
+		{
+			name:     "nothing matched",
+			current:  map[string]float64{"BenchmarkNew": 10},
+			wantCode: 2,
+		},
+		{
+			name:     "new benchmark ignored by the gate",
+			current:  map[string]float64{"BenchmarkA": 100, "BenchmarkNew": 1e9},
+			wantCode: 0,
+			wantOut:  "(no baseline, ignored)",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			code := compare(&out, &errOut, "test.json", "core", baseline, tt.current, 1.15)
+			if code != tt.wantCode {
+				t.Fatalf("exit code = %d, want %d\nstdout: %s\nstderr: %s", code, tt.wantCode, out.String(), errOut.String())
+			}
+			if tt.wantOut != "" && !strings.Contains(out.String(), tt.wantOut) {
+				t.Errorf("stdout misses %q:\n%s", tt.wantOut, out.String())
+			}
+		})
+	}
+}
+
+// TestRunEndToEnd drives the command whole: flag parsing, baseline file,
+// stdin scan, verdict and exit code.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	base := `{"suite":"test","results":[
+		{"name":"BenchmarkA","ns_per_op":100},
+		{"name":"BenchmarkBroken","ns_per_op":0},
+		{"name":"BenchmarkGone","ns_per_op":500}]}`
+	if err := os.WriteFile(path, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-baseline", path},
+		strings.NewReader("BenchmarkA-8 100 104 ns/op\n"), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"ratio 1.040", "1 baseline benchmark(s) not exercised", "benchcmp: OK"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout misses %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "BenchmarkBroken") {
+		t.Errorf("stderr misses the unusable-baseline warning:\n%s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	code = run([]string{"-baseline", path, "-tolerance", "1.1"},
+		strings.NewReader("BenchmarkA-8 100 150 ns/op\n"), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("regression exit code = %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "FAIL") {
+		t.Errorf("stderr misses FAIL:\n%s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code = run([]string{"-baseline", filepath.Join(dir, "missing.json")}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("missing baseline exit code = %d, want 2", code)
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"perftrack/internal/store"
+	"perftrack/internal/trackeval"
+)
+
+// cmdEval runs the tracking-quality evaluation suite: the planted-truth
+// scenario corpus is generated, tracked, and scored against its ground
+// truth, and the scorecard is printed as per-family quality tables. With
+// -gate the command fails when any scorecard floor is missed (the CI
+// quality gate); with -store DIR the scorecard is filed into a perfdb
+// directory under -series, where `trackctl regressions` (or a trackd
+// serving that store) can judge quality history like any other series.
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	seedList := fs.String("seeds", "", "comma-separated corpus seeds (default: the pinned sweep)")
+	ranks := fs.Int("ranks", 0, "ranks per generated trace (0 = corpus default)")
+	iters := fs.Int("iters", 0, "iterations per rank (0 = corpus default)")
+	severity := fs.Float64("severity", 0, "fault severity for degraded scenarios (0 = corpus default)")
+	gate := fs.Bool("gate", false, "exit non-zero when a quality floor is missed")
+	timing := fs.Bool("timing", false, "also print the per-stage timing table")
+	noDiag := fs.Bool("nodiag", false, "skip the root-cause diagnosis corpus")
+	out := fs.String("o", "", "write the canonical scorecard JSON to this file")
+	storeDir := fs.String("store", "", "append the scorecard document to this perfdb directory")
+	series := fs.String("series", "trackeval", "series name used with -store")
+	runLabel := fs.String("run", "", "run label used with -store (default: the unix time)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("eval takes no positional arguments")
+	}
+
+	opts := trackeval.Options{
+		Ranks:         *ranks,
+		Iters:         *iters,
+		Severity:      *severity,
+		SkipDiagnosis: *noDiag,
+	}
+	if *seedList != "" {
+		for _, s := range strings.Split(*seedList, ",") {
+			seed, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad seed %q: %w", s, err)
+			}
+			opts.Seeds = append(opts.Seeds, seed)
+		}
+	}
+
+	card, err := trackeval.Evaluate(opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(card.Table())
+	if *timing {
+		fmt.Println(card.TimingTable())
+	}
+
+	if *out != "" {
+		canon, err := card.CanonicalJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, canon, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trackctl: scorecard written to %s\n", *out)
+	}
+
+	if *storeDir != "" {
+		if err := fileScorecard(card, *storeDir, *series, *runLabel); err != nil {
+			return err
+		}
+	}
+
+	if *gate {
+		if err := card.Gate(); err != nil {
+			return fmt.Errorf("quality gate: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "trackctl: quality gate passed")
+	}
+	return nil
+}
+
+// fileScorecard appends the scorecard's perfdb document to a store
+// directory. The key hashes payload AND run label: re-filing the same
+// run supersedes it, while two commits with identical quality still
+// occupy two points of the series history.
+func fileScorecard(card *trackeval.Scorecard, dir, series, runLabel string) error {
+	payload, err := card.PerfDBDocument()
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	if runLabel == "" {
+		runLabel = now.UTC().Format("2006-01-02T15:04:05Z")
+	}
+	h := sha256.New()
+	h.Write(payload)
+	h.Write([]byte(runLabel))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	rec := store.Record{
+		Key:      hex.EncodeToString(sum[:16]),
+		Series:   series,
+		Label:    runLabel,
+		UnixNano: now.UnixNano(),
+		Payload:  payload,
+	}
+	if err := st.Append(rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trackctl: scorecard filed in %s as %s (series %s, run %s)\n",
+		dir, rec.Key, series, runLabel)
+	return st.Close()
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perftrack/internal/service"
+	"perftrack/internal/trackeval"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed — cmdEval and cmdRegressions write their reports to stdout.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+// TestEvalFilesAndRegressionsSurfaces closes the loop the evaluation
+// layer exists for, entirely through the CLI: `trackctl eval -store`
+// files scorecards for a series of "commits" (the newest from a tracker
+// missing its displacement evaluator), a daemon boots over the store,
+// and `trackctl regressions -series trackeval -metric MOTA` reports the
+// quality regression.
+func TestEvalFilesAndRegressionsSurfaces(t *testing.T) {
+	dir := t.TempDir()
+
+	// Five healthy commits. cmdEval would re-evaluate identically each
+	// time, so file the clean scorecard under distinct run labels via
+	// the same path cmdEval -store uses.
+	clean, err := trackeval.Evaluate(trackeval.Options{Seeds: []uint64{1}, SkipDiagnosis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"c1", "c2", "c3", "c4", "c5"} {
+		if err := fileScorecard(clean, dir, "trackeval", label); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The sixth commit loses the displacement evaluator; run the whole
+	// eval subcommand for it, gate included — the gate must fail.
+	nerfCfg := trackeval.DefaultConfig()
+	nerfCfg.DisableDisplacement = true
+	nerfed, err := trackeval.Evaluate(trackeval.Options{
+		Seeds: []uint64{1}, SkipDiagnosis: true, Config: &nerfCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nerfed.Gate(); err == nil {
+		t.Fatal("nerfed scorecard passed the gate; the regression under test vanished")
+	}
+	if err := fileScorecard(nerfed, dir, "trackeval", "c6"); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := service.New(service.Config{Workers: 1, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	out, err := captureStdout(t, func() error {
+		return cmdRegressions([]string{
+			"-addr", srv.URL,
+			"-series", "trackeval",
+			"-metric", "MOTA",
+			"-minrel", "0.02",
+		})
+	})
+	if err != nil {
+		t.Fatalf("trackctl regressions: %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(out, "6 runs") {
+		t.Errorf("output misses the run count:\n%s", out)
+	}
+	if !strings.Contains(out, "regressed") || !strings.Contains(out, "MOTA") {
+		t.Errorf("quality drop did not surface as a MOTA regression:\n%s", out)
+	}
+	if strings.Contains(out, "no regressions detected") {
+		t.Errorf("regression reported as clean:\n%s", out)
+	}
+}
+
+// TestEvalWritesScorecard covers the plain local path: table to stdout,
+// canonical JSON to -o, gate passing on a healthy tracker.
+func TestEvalWritesScorecard(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "scorecard.json")
+	stdout, err := captureStdout(t, func() error {
+		return cmdEval([]string{"-seeds", "1", "-nodiag", "-gate", "-o", out})
+	})
+	if err != nil {
+		t.Fatalf("trackctl eval: %v", err)
+	}
+	for _, want := range []string{"Tracking quality by scenario family", "TOTAL", "mergesplit"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("eval output misses %q:\n%s", want, stdout)
+		}
+	}
+	canon, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(canon, []byte(`"mota"`)) || !bytes.Contains(canon, []byte(`"version"`)) {
+		t.Errorf("scorecard JSON misses expected fields:\n%.200s", canon)
+	}
+}

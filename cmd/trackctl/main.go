@@ -16,6 +16,7 @@
 //	trackctl history [-addr URL] [-timeout D] [-series S]
 //	trackctl diff    [-addr URL] [-timeout D] [-metric M] KEYA KEYB
 //	trackctl regressions [-addr URL] [-timeout D] -series S [-metric M] [-window N] [-mads X] [-minrel X]
+//	trackctl eval    [-seeds S1,S2] [-severity F] [-gate] [-timing] [-o FILE] [-store DIR] [-series S] [-run L]
 //	trackctl info    TRACE...
 //
 // cluster renders the frame of a single experiment; track correlates a
@@ -79,6 +80,8 @@ func main() {
 		err = cmdDiff(os.Args[2:])
 	case "regressions":
 		err = cmdRegressions(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -104,6 +107,7 @@ func usage() {
   trackctl history [-addr URL] [-timeout D] [-series S]
   trackctl diff    [-addr URL] [-timeout D] [-metric M] KEYA KEYB
   trackctl regressions [-addr URL] [-timeout D] -series S [-metric M] [-window N] [-mads X] [-minrel X]
+  trackctl eval    [-seeds S1,S2] [-severity F] [-gate] [-timing] [-o FILE] [-store DIR] [-series S] [-run L]
   trackctl info    TRACE...
 
 submit sends the analysis to a running trackd daemon instead of
@@ -117,6 +121,12 @@ history,
 diff and regressions read the daemon's persistent store: the result
 listing, an object-level diff of two stored runs, and the trajectory
 engine's changepoint verdicts over a series.
+
+eval runs the tracking-quality evaluation suite against the planted
+ground-truth scenario corpus and prints per-family MOT-style quality
+tables; -gate enforces the scorecard floors (the CI quality gate), and
+-store files the scorecard into a perfdb directory so regressions can
+judge quality history like any other series.
 
 -addr accepts a comma-separated list of base URLs (the nodes of a
 sharded trackd cluster): a refused connection fails over to the next

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// deadAddr returns a base URL whose port was just released: connecting
+// to it is refused, the transport failure that triggers failover.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := "http://" + ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// fakeDaemon is just enough of trackd's job API for cmdSubmit: it
+// accepts a job, serves 202 for pendingPolls result polls, then the
+// result payload. Every request increments hits.
+type fakeDaemon struct {
+	hits         atomic.Int64
+	resultPolls  atomic.Int64
+	pendingPolls int64
+	result       string
+	// breakPoll, when non-zero, hijacks and severs the connection on
+	// that result poll (1-based) instead of answering — a node dying
+	// mid-poll rather than refusing cleanly.
+	breakPoll int64
+}
+
+func (d *fakeDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		d.hits.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": "job-1", "state": "running"})
+	})
+	mux.HandleFunc("GET /v1/jobs/job-1/result", func(w http.ResponseWriter, r *http.Request) {
+		d.hits.Add(1)
+		n := d.resultPolls.Add(1)
+		if d.breakPoll != 0 && n >= d.breakPoll {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("test server does not support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				panic(err)
+			}
+			conn.Close() // the poll sees a reset, not an HTTP answer
+			return
+		}
+		if n <= d.pendingPolls {
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(map[string]string{"id": "job-1", "state": "running"})
+			return
+		}
+		fmt.Fprint(w, d.result)
+	})
+	mux.HandleFunc("GET /v1/jobs/job-1", func(w http.ResponseWriter, r *http.Request) {
+		d.hits.Add(1)
+		json.NewEncoder(w).Encode(map[string]string{"id": "job-1", "state": "done"})
+	})
+	return mux
+}
+
+// TestSubmitAllEndpointsDown: when every -addr endpoint refuses the
+// connection, submit must fail with the transport error naming the
+// submission, not hang or misreport an empty result.
+func TestSubmitAllEndpointsDown(t *testing.T) {
+	err := cmdSubmit([]string{
+		"-addr", deadAddr(t) + "," + deadAddr(t),
+		"-timeout", "5s",
+		"-study", "Synthetic",
+	})
+	if err == nil {
+		t.Fatal("submit against two dead endpoints succeeded")
+	}
+	if !strings.Contains(err.Error(), "submitting to") {
+		t.Errorf("error %q does not name the submission step", err)
+	}
+}
+
+// TestSubmitFailsOverAndPinsPolls: the first endpoint is dead, the
+// second is a live daemon. The submission must fail over to the live
+// node, and every result poll must stay pinned there — the job ID is
+// node-local, so polls never rotate endpoints.
+func TestSubmitFailsOverAndPinsPolls(t *testing.T) {
+	live := &fakeDaemon{pendingPolls: 2, result: `{"regions":[]}`}
+	srv := httptest.NewServer(live.handler())
+	defer srv.Close()
+
+	out := filepath.Join(t.TempDir(), "result.json")
+	err := cmdSubmit([]string{
+		"-addr", deadAddr(t) + "," + srv.URL,
+		"-timeout", "10s",
+		"-study", "Synthetic",
+		"-o", out,
+	})
+	if err != nil {
+		t.Fatalf("submit with failover: %v", err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != live.result {
+		t.Errorf("result file = %q, want %q", got, live.result)
+	}
+	// 1 submit + 3 result polls (two pending, one final) + 1 view fetch.
+	if polls := live.resultPolls.Load(); polls != 3 {
+		t.Errorf("result polls = %d, want 3 (two pending, one final)", polls)
+	}
+}
+
+// TestSubmitMidPollDeathStaysPinned: the accepting node dies between
+// polls. Because the job ID only exists there, the poll must surface
+// the transport error instead of failing over to the second endpoint,
+// where the same ID would 404 and look like a finished-and-gone job.
+func TestSubmitMidPollDeathStaysPinned(t *testing.T) {
+	dying := &fakeDaemon{pendingPolls: 1, breakPoll: 2, result: `{"regions":[]}`}
+	srvA := httptest.NewServer(dying.handler())
+	defer srvA.Close()
+
+	bystander := &fakeDaemon{result: `{"regions":[]}`}
+	srvB := httptest.NewServer(bystander.handler())
+	defer srvB.Close()
+
+	err := cmdSubmit([]string{
+		"-addr", srvA.URL + "," + srvB.URL,
+		"-timeout", "10s",
+		"-study", "Synthetic",
+	})
+	if err == nil {
+		t.Fatal("submit survived its node dying mid-poll")
+	}
+	if hits := bystander.hits.Load(); hits != 0 {
+		t.Errorf("second endpoint got %d requests; polls must stay pinned to the accepting node", hits)
+	}
+}

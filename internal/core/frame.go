@@ -58,11 +58,14 @@ type Config struct {
 	// sequence evaluator to bind two clusters when splitting a wide
 	// relation.
 	SequenceThreshold float64
-	// DisableSPMD, DisableCallstack and DisableSequence switch individual
-	// evaluators off (ablation studies).
-	DisableSPMD      bool
-	DisableCallstack bool
-	DisableSequence  bool
+	// DisableSPMD, DisableCallstack, DisableSequence and
+	// DisableDisplacement switch individual evaluators off (ablation
+	// studies; the trackeval quality gate nerfs the tracker through these
+	// to prove the gate actually bites).
+	DisableSPMD         bool
+	DisableCallstack    bool
+	DisableSequence     bool
+	DisableDisplacement bool
 }
 
 // Validate reports a descriptive error for unusable configurations; zero

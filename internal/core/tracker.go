@@ -237,8 +237,16 @@ func (tk *Tracker) trackPair(ctx context.Context, a, b *Frame, spmdA, spmdB *Mat
 	if ctx.Err() != nil {
 		return nil
 	}
-	pr.DispAB = Displacement(a, b, cfg)
-	pr.DispBA = Displacement(b, a, cfg)
+	if cfg.DisableDisplacement {
+		// Ablation: empty matrices yield no displacement links, leaving
+		// the call-stack rescue, SPMD widening and sequence evaluators to
+		// carry the correlation on their own.
+		pr.DispAB = NewMatrix("displacement", a.Index, b.Index, a.NumClusters, b.NumClusters)
+		pr.DispBA = NewMatrix("displacement", b.Index, a.Index, b.NumClusters, a.NumClusters)
+	} else {
+		pr.DispAB = Displacement(a, b, cfg)
+		pr.DispBA = Displacement(b, a, cfg)
+	}
 	if ctx.Err() != nil {
 		return nil
 	}

@@ -14,6 +14,7 @@ const (
 	streamScenario  = 0x5ce7a210
 	streamSeparated = 0x5e9a7a7e
 	streamTraces    = 0x77ace5
+	streamSequence  = 0x3e9ce11c
 )
 
 // quantum is the coordinate lattice spacing for free-form scenarios. All
@@ -168,6 +169,92 @@ func GenTraces(seed uint64, label string, ranks, iters, phases int) *trace.Trace
 	}
 	t.SortByTaskTime()
 	return t
+}
+
+// PhaseTrack plants one ground-truth region along a frame sequence for
+// GenSequence. IPC and Instr give the phase's per-frame position in the
+// performance space; a non-positive entry means the phase is absent from
+// that frame (cluster birth/death). Two tracks that share the same
+// position in some frame intentionally collide there (merge/split
+// stress). NoStack strips the source references, forcing the tracker to
+// correlate on displacement, simultaneity and sequence evidence alone.
+type PhaseTrack struct {
+	// ID is the planted phase annotation (must be >= 1 and unique).
+	ID int
+	// IPC and Instr are per-frame values; both slices share the corpus
+	// frame count. <= 0 marks the phase absent in that frame.
+	IPC   []float64
+	Instr []float64
+	// NoStack leaves every burst of this track without a call-stack
+	// reference.
+	NoStack bool
+}
+
+// GenSequence generalises GenTraces from static phases to per-frame phase
+// schedules: it builds one trace per frame, each running the present
+// tracks in order with barrier semantics (1 cycle/ns) and a ±1% per-burst
+// jitter, every burst annotated with its ground-truth Phase. Each frame
+// draws from an independent seeded stream, so frame fi of a scenario is
+// reproducible regardless of how many frames surround it. The frame count
+// is len(tracks[0].IPC); shorter tracks are treated as absent past their
+// end.
+func GenSequence(seed uint64, label string, ranks, iters int, tracks []PhaseTrack) []*trace.Trace {
+	frames := 0
+	for _, tk := range tracks {
+		if len(tk.IPC) > frames {
+			frames = len(tk.IPC)
+		}
+	}
+	out := make([]*trace.Trace, 0, frames)
+	for fi := 0; fi < frames; fi++ {
+		rng := rand.New(rand.NewPCG(seed+uint64(fi)*0x9e3779b97f4a7c15, streamSequence))
+		t := &trace.Trace{Meta: trace.Metadata{
+			App:   "trackeval",
+			Label: fmt.Sprintf("%s-f%02d", label, fi),
+			Ranks: ranks,
+		}}
+		clock := make([]int64, ranks)
+		for it := 0; it < iters; it++ {
+			for _, tk := range tracks {
+				if fi >= len(tk.IPC) || fi >= len(tk.Instr) ||
+					tk.IPC[fi] <= 0 || tk.Instr[fi] <= 0 {
+					continue
+				}
+				var maxEnd int64
+				for r := 0; r < ranks; r++ {
+					ipc := tk.IPC[fi] * (1 + (rng.Float64()-0.5)*0.02)
+					instr := tk.Instr[fi] * (1 + (rng.Float64()-0.5)*0.02)
+					cycles := instr / ipc
+					b := trace.Burst{
+						Task:       r,
+						StartNS:    clock[r],
+						DurationNS: int64(cycles),
+						Phase:      tk.ID,
+					}
+					if !tk.NoStack {
+						b.Stack = trace.CallstackRef{
+							Function: fmt.Sprintf("phase_%d", tk.ID),
+							File:     "trackeval.f90",
+							Line:     100 * tk.ID,
+						}
+					}
+					b.Counters[metrics.CtrInstructions] = instr
+					b.Counters[metrics.CtrCycles] = cycles
+					t.Bursts = append(t.Bursts, b)
+					clock[r] += int64(cycles)
+					if clock[r] > maxEnd {
+						maxEnd = clock[r]
+					}
+				}
+				for r := range clock {
+					clock[r] = maxEnd + 1000
+				}
+			}
+		}
+		t.SortByTaskTime()
+		out = append(out, t)
+	}
+	return out
 }
 
 func pow(base float64, exp int) float64 {

@@ -123,6 +123,10 @@ func (t *Table) Markdown() string {
 // Pct formats a fraction as a percentage with no decimals ("88%").
 func Pct(f float64) string { return fmt.Sprintf("%.0f%%", 100*f) }
 
+// SignedPct formats a fractional change as an explicitly signed
+// percentage ("+3.2%", "-36.0%") for trend and diagnosis evidence.
+func SignedPct(f float64) string { return fmt.Sprintf("%+.1f%%", 100*f) }
+
 // F formats a float compactly.
 func F(v float64, prec int) string {
 	return fmt.Sprintf("%.*f", prec, v)

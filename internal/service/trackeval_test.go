@@ -1,0 +1,114 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"perftrack/internal/store"
+	"perftrack/internal/trackeval"
+	"perftrack/internal/trajectory"
+)
+
+// TestTrackevalScorecardRegressions is the full perfdb round trip of the
+// evaluation layer: real scorecards (one per "commit", the newest from a
+// tracker with its displacement evaluator disabled) are filed into a
+// store under the trackeval series, a daemon boots over that store, and
+// /v1/series/trackeval/regressions must flag the quality drop on MOTA —
+// exactly what `trackctl regressions -series trackeval` shows a user.
+func TestTrackevalScorecardRegressions(t *testing.T) {
+	clean, err := trackeval.Evaluate(trackeval.Options{Seeds: []uint64{1}, SkipDiagnosis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nerfCfg := trackeval.DefaultConfig()
+	nerfCfg.DisableDisplacement = true
+	nerfed, err := trackeval.Evaluate(trackeval.Options{
+		Seeds: []uint64{1}, SkipDiagnosis: true, Config: &nerfCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nerfed.Aggregate.MOTA >= clean.Aggregate.MOTA {
+		t.Fatalf("nerfed MOTA %v not below clean %v; the regression under test vanished",
+			nerfed.Aggregate.MOTA, clean.Aggregate.MOTA)
+	}
+
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nRuns = 6
+	for i := 0; i < nRuns; i++ {
+		card := clean
+		if i == nRuns-1 {
+			card = nerfed
+		}
+		payload, err := card.PerfDBDocument()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := store.Record{
+			Key:      fmt.Sprintf("scorecard-%d", i),
+			Series:   "trackeval",
+			Label:    fmt.Sprintf("commit-%d", i),
+			UnixNano: int64(i + 1),
+			Payload:  payload,
+		}
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := newTest(t, Config{Workers: 1, StoreDir: dir})
+	defer shutdown(t, s)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// The displacement nerf costs a few percent of MOTA — a real but
+	// modest drop, so the check runs at a tighter minRel than the default
+	// 5%, the way a quality series would be configured.
+	resp, err := http.Get(srv.URL + "/v1/series/trackeval/regressions?metric=MOTA&minRel=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rres struct {
+		Runs     []map[string]any     `json:"runs"`
+		Verdicts []trajectory.Verdict `json:"verdicts"`
+		Notable  int                  `json:"notable"`
+	}
+	if err := json.Unmarshal(body, &rres); err != nil {
+		t.Fatal(err)
+	}
+	if len(rres.Runs) != nRuns {
+		t.Fatalf("%d runs in series, want %d", len(rres.Runs), nRuns)
+	}
+	if rres.Notable == 0 {
+		t.Fatalf("quality drop not notable; verdicts: %s", body)
+	}
+	regressed := 0
+	for _, v := range rres.Verdicts {
+		if v.Kind != trajectory.KindRegressed {
+			continue
+		}
+		regressed++
+		if v.RelChange >= 0 {
+			t.Errorf("regressed verdict with non-negative relChange: %+v", v)
+		}
+	}
+	if regressed == 0 {
+		t.Fatalf("no regressed verdict on the nerfed commit; verdicts: %s", body)
+	}
+}

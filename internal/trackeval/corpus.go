@@ -1,0 +1,236 @@
+// Package trackeval is the tracking-quality evaluation layer: it scores
+// the tracker the way the multi-object-tracking (MOT) community scores
+// video trackers — against planted ground truth — instead of only
+// checking that the pipeline is fast and deterministic.
+//
+// The package provides four things:
+//
+//  1. A seeded scenario corpus (corpus.go) of planted-truth frame
+//     sequences that stress the combiner: cluster birth/death,
+//     merge/split, drift, crossing trends, callstack-free tracks, and
+//     fault-injected degraded frames from internal/faults.
+//  2. MOT-style metrics (mot.go) computed against the planted Phase
+//     annotations: ID switches, track fragmentation, track purity,
+//     coverage-vs-truth and a MOTA-like composite, plus a per-stage
+//     timing breakdown.
+//  3. Deterministic scorecards (scorecard.go) with quality floors
+//     (`make trackeval`), exported as byte-stable JSON and as a
+//     perfdb-compatible document, so tracking *quality* gets the same
+//     cross-run regression detection trajectories give *performance*.
+//  4. An automatic diagnosis pass (diagnose.go) that classifies
+//     tracked-region trends into named causes — load imbalance,
+//     contention knee, cache-capacity cliff, compiler effect — using
+//     internal/machine's model, and flags anomalous ranks by similarity
+//     analysis in the spirit of the SPMD performance-debugging work
+//     (Liu & Zhan, arXiv 1002.4264 / 0906.1326).
+package trackeval
+
+import (
+	"fmt"
+
+	"perftrack/internal/faults"
+	"perftrack/internal/oracle"
+	"perftrack/internal/trace"
+)
+
+// corpusFrames is the frame count of every corpus scenario.
+const corpusFrames = 8
+
+// Instruction levels of the planted tracks: factors of 8 apart, like the
+// oracle's static generator, so tracks stay separable on the log axis.
+const (
+	lvl0 = 1e6
+	lvl1 = 8e6
+	lvl2 = 6.4e7
+)
+
+// Scenario is one planted-truth tracking problem.
+type Scenario struct {
+	// Name is "<family>@<seed>", unique inside a multi-seed corpus.
+	Name string `json:"name"`
+	// Family names the stress pattern (steady, drift, crossing, ...).
+	Family string `json:"family"`
+	// Seed derives every random draw of the scenario.
+	Seed uint64 `json:"seed"`
+	// Traces is the frame sequence, each burst annotated with its
+	// ground-truth Phase (never consumed by the pipeline itself).
+	Traces []*trace.Trace `json:"-"`
+	// Fault names the injector applied to FaultFrames ("" = clean).
+	Fault string `json:"fault,omitempty"`
+	// Severity is the injector's severity fraction (0 = clean).
+	Severity float64 `json:"severity,omitempty"`
+}
+
+// CorpusSpec parametrises one seed's worth of corpus scenarios.
+type CorpusSpec struct {
+	// Seed derives every scenario of this corpus slice.
+	Seed uint64
+	// Ranks and Iters size each frame (defaults 8 and 2).
+	Ranks, Iters int
+	// Severity is the fault fraction of the degraded families
+	// (default 0.10 — the acceptance point of the quality gate).
+	Severity float64
+}
+
+func (s CorpusSpec) withDefaults() CorpusSpec {
+	if s.Ranks <= 0 {
+		s.Ranks = 8
+	}
+	if s.Iters <= 0 {
+		s.Iters = 2
+	}
+	if s.Severity <= 0 {
+		s.Severity = 0.10
+	}
+	return s
+}
+
+// series helpers: per-frame value vectors for PhaseTracks.
+
+func constSeries(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func rampSeries(from, to float64, n int) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = from
+		return out
+	}
+	for i := range out {
+		out[i] = from + (to-from)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// zeroRange marks frames [from, to) absent (birth/death).
+func zeroRange(vals []float64, from, to int) []float64 {
+	out := append([]float64(nil), vals...)
+	for i := from; i < to && i < len(out); i++ {
+		out[i] = 0
+	}
+	return out
+}
+
+func noStack(tracks []oracle.PhaseTrack) []oracle.PhaseTrack {
+	out := append([]oracle.PhaseTrack(nil), tracks...)
+	for i := range out {
+		out[i].NoStack = true
+	}
+	return out
+}
+
+// Track geometries shared by the clean and the callstack-free families.
+
+func driftTracks(n int) []oracle.PhaseTrack {
+	return []oracle.PhaseTrack{
+		{ID: 1, IPC: rampSeries(0.9, 1.5, n), Instr: constSeries(lvl0, n)},
+		{ID: 2, IPC: rampSeries(2.6, 1.9, n), Instr: constSeries(lvl1, n)},
+		{ID: 3, IPC: constSeries(1.7, n), Instr: constSeries(lvl2, n)},
+	}
+}
+
+func crossingTracks(n int) []oracle.PhaseTrack {
+	// Tracks 1 and 2 swap their IPC ordering mid-sequence; the log-instr
+	// axis keeps their clusters separate, so the displacement evaluator
+	// must follow each through the crossing instead of swapping them.
+	return []oracle.PhaseTrack{
+		{ID: 1, IPC: rampSeries(0.8, 2.2, n), Instr: constSeries(lvl0, n)},
+		{ID: 2, IPC: rampSeries(2.3, 0.9, n), Instr: constSeries(lvl2, n)},
+		{ID: 3, IPC: constSeries(2.6, n), Instr: constSeries(lvl1, n)},
+	}
+}
+
+func birthDeathTracks(n int) []oracle.PhaseTrack {
+	return []oracle.PhaseTrack{
+		{ID: 1, IPC: constSeries(1.2, n), Instr: constSeries(lvl0, n)},
+		{ID: 2, IPC: zeroRange(constSeries(2.0, n), 0, 3), Instr: constSeries(lvl1, n)},
+		{ID: 3, IPC: zeroRange(constSeries(2.6, n), n-3, n), Instr: constSeries(lvl2, n)},
+	}
+}
+
+func mergeSplitTracks(n int) []oracle.PhaseTrack {
+	// Tracks 1 and 2 share the instruction level and converge onto the
+	// SAME position for the two middle frames: the clusterer merges them
+	// there and the combiner must group the regions in doubt (a wide
+	// relation) rather than swap or drop them.
+	ipc1 := constSeries(1.0, n)
+	ipc2 := constSeries(2.0, n)
+	for i := 3; i <= 4 && i < n; i++ {
+		ipc1[i], ipc2[i] = 1.5, 1.5
+	}
+	return []oracle.PhaseTrack{
+		{ID: 1, IPC: ipc1, Instr: constSeries(lvl1, n)},
+		{ID: 2, IPC: ipc2, Instr: constSeries(lvl1, n)},
+		{ID: 3, IPC: constSeries(2.6, n), Instr: constSeries(lvl2, n)},
+	}
+}
+
+// Corpus derives the full scenario family set for one seed: five clean
+// combinator stresses, three callstack-free variants (the tracker must
+// survive on displacement, simultaneity and sequence evidence alone),
+// four fault-injected variants at spec.Severity on two mid-sequence
+// frames, and one dead frame the tracker must bridge.
+func Corpus(spec CorpusSpec) []Scenario {
+	spec = spec.withDefaults()
+	n := corpusFrames
+
+	mk := func(family string, tracks []oracle.PhaseTrack) Scenario {
+		return Scenario{
+			Name:   fmt.Sprintf("%s@%04d", family, spec.Seed),
+			Family: family,
+			Seed:   spec.Seed,
+			Traces: oracle.GenSequence(spec.Seed, family, spec.Ranks, spec.Iters, tracks),
+		}
+	}
+	faulted := func(inj faults.Injector, severity float64, frames ...int) Scenario {
+		sc := mk("fault-"+inj.Name(), driftTracks(n))
+		sc.Fault = inj.Name()
+		sc.Severity = severity
+		for _, fi := range frames {
+			if fi < len(sc.Traces) {
+				t, _ := inj.Apply(sc.Traces[fi], spec.Seed+uint64(fi))
+				sc.Traces[fi] = t
+			}
+		}
+		return sc
+	}
+
+	sev := spec.Severity
+	return []Scenario{
+		mk("steady", []oracle.PhaseTrack{
+			{ID: 1, IPC: constSeries(0.9, n), Instr: constSeries(lvl0, n)},
+			{ID: 2, IPC: constSeries(1.6, n), Instr: constSeries(lvl1, n)},
+			{ID: 3, IPC: constSeries(2.3, n), Instr: constSeries(lvl2, n)},
+		}),
+		mk("drift", driftTracks(n)),
+		mk("crossing", crossingTracks(n)),
+		mk("birthdeath", birthDeathTracks(n)),
+		mk("mergesplit", mergeSplitTracks(n)),
+		mk("nostack-drift", noStack(driftTracks(n))),
+		mk("nostack-crossing", noStack(crossingTracks(n))),
+		mk("nostack-birthdeath", noStack(birthDeathTracks(n))),
+		mk("nostack-mergesplit", noStack(mergeSplitTracks(n))),
+		faulted(faults.DropRanks{Frac: sev}, sev, 2, 5),
+		faulted(faults.CorruptCounters{Frac: sev, Mode: faults.ModeZero}, sev, 2, 5),
+		faulted(faults.DuplicateBursts{Frac: sev}, sev, 2, 5),
+		faulted(faults.SkewClocks{Frac: sev, MaxSkewNS: 5_000_000}, sev, 2, 5),
+		// A frame whose every counter read died: the pipeline must mark it
+		// degraded and bridge across it rather than abort or mistrack.
+		faulted(faults.CorruptCounters{Frac: 1, Mode: faults.ModeZero}, 1, 4),
+	}
+}
+
+// PinnedSeeds is the seed set of the quality gate: the scorecard over
+// these seeds is the corpus CI ratchets on.
+func PinnedSeeds() []uint64 {
+	out := make([]uint64, 10)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
+}

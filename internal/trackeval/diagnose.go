@@ -1,0 +1,379 @@
+package trackeval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"perftrack/internal/core"
+	"perftrack/internal/machine"
+	"perftrack/internal/metrics"
+	"perftrack/internal/report"
+)
+
+// Cause names one of the performance-evolution explanations the paper's
+// case studies exhibit; Diagnose assigns one per tracked region.
+type Cause string
+
+const (
+	// CauseSteady marks a region whose trends explain nothing remarkable.
+	CauseSteady Cause = "steady"
+	// CauseLoadImbalance marks a region whose per-rank time differs far
+	// more than its per-rank behaviour (some ranks simply do more work).
+	CauseLoadImbalance Cause = "load-imbalance"
+	// CauseContentionKnee marks an IPC decline that accelerates as node
+	// packing grows while miss densities stay flat — the MR-Genesis
+	// bandwidth saturation shape (paper Fig. 11).
+	CauseContentionKnee Cause = "contention-knee"
+	// CauseCacheCliff marks an IPC drop coinciding with a step in miss
+	// density — a working set overflowing a cache level (HydroC, Fig. 12).
+	CauseCacheCliff Cause = "cache-capacity-cliff"
+	// CauseCompilerEffect marks proportional instruction/IPC shifts at a
+	// toolchain boundary with flat duration (CGPOP, Table 3).
+	CauseCompilerEffect Cause = "compiler-effect"
+)
+
+// Diagnosis explains one tracked region's evolution.
+type Diagnosis struct {
+	// Region is the tracked-region id the diagnosis is about.
+	Region int `json:"region"`
+	// Cause is the named explanation.
+	Cause Cause `json:"cause"`
+	// Confidence grows when internal/machine's model corroborates the
+	// shape (0.5–0.9).
+	Confidence float64 `json:"confidence"`
+	// Evidence is a one-line human-readable justification.
+	Evidence string `json:"evidence"`
+	// AnomalousRanks lists ranks whose share of the region's time sits
+	// more than three scaled MADs above the median — the similarity-
+	// analysis outlier flagging of the SPMD debugging literature.
+	AnomalousRanks []int `json:"anomalousRanks,omitempty"`
+}
+
+// regionSeries carries the per-present-frame trend means Diagnose
+// reasons over, plus the frame indices they came from.
+type regionSeries struct {
+	fis    []int
+	ipc    []float64
+	instr  []float64
+	l1mpki []float64
+	l2mpki []float64
+	durms  []float64
+	l2raw  []float64
+	cycles []float64
+}
+
+func seriesFor(res *core.Result, regionID int) (regionSeries, bool) {
+	var s regionSeries
+	pull := func(m metrics.Metric) ([]float64, bool) {
+		tr, err := res.Trend(regionID, m)
+		if err != nil {
+			return nil, false
+		}
+		var out []float64
+		for fi, p := range tr.Points {
+			if !p.Present || res.Frames[fi].Degraded {
+				continue
+			}
+			if m.Name == metrics.IPC.Name { // first pull records the frames
+				s.fis = append(s.fis, fi)
+			}
+			out = append(out, p.Mean)
+		}
+		return out, true
+	}
+	var ok bool
+	if s.ipc, ok = pull(metrics.IPC); !ok {
+		return s, false
+	}
+	s.instr, _ = pull(metrics.Instructions)
+	s.l1mpki, _ = pull(metrics.L1MissesPerKInstr)
+	s.l2mpki, _ = pull(metrics.L2MissesPerKInstr)
+	s.durms, _ = pull(metrics.DurationMS)
+	s.l2raw, _ = pull(metrics.L2DMisses)
+	s.cycles, _ = pull(metrics.Cycles)
+	return s, len(s.fis) >= 2
+}
+
+// Diagnose classifies every spanning tracked region's trends into a
+// named cause, corroborating each hypothesis against internal/machine's
+// analytic model where the trace metadata names a known platform or
+// toolchain. Rules are checked most-specific first: a compiler boundary
+// explains proportional instruction/IPC shifts before a cache-shaped
+// story is even considered.
+func Diagnose(res *core.Result) []Diagnosis {
+	var out []Diagnosis
+	for _, reg := range res.Regions {
+		if !reg.Spanning {
+			continue
+		}
+		s, ok := seriesFor(res, reg.ID)
+		if !ok {
+			continue
+		}
+		d := Diagnosis{Region: reg.ID, Cause: CauseSteady, Confidence: 0.5}
+		anom, disp := anomalousRanks(res, reg.ID)
+
+		if c, okc := diagnoseCompiler(res, s); okc {
+			d = c
+		} else if c, okc := diagnoseCacheCliff(res, s); okc {
+			d = c
+		} else if c, okc := diagnoseContention(res, s); okc {
+			d = c
+		} else if disp >= 0.20 && len(anom) > 0 {
+			d = Diagnosis{
+				Cause:      CauseLoadImbalance,
+				Confidence: 0.8,
+				Evidence: fmt.Sprintf(
+					"per-rank region time spread %s above mean; ranks %v dominate",
+					report.SignedPct(disp), anom),
+			}
+		} else {
+			d.Evidence = "no compiler boundary, miss-density step, packing knee or rank skew detected"
+		}
+		d.Region = reg.ID
+		d.AnomalousRanks = anom
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Region < out[j].Region })
+	return out
+}
+
+func meta(res *core.Result, fi int) (machineName, compiler string, tpn int) {
+	f := res.Frames[fi]
+	if f.Trace == nil {
+		return "", "", 0
+	}
+	m := f.Trace.Meta
+	return m.Machine, m.Compiler, m.TasksPerNode
+}
+
+func rel(to, from float64) float64 {
+	if from == 0 {
+		return 0
+	}
+	return (to - from) / from
+}
+
+// diagnoseCompiler fires on a toolchain change between consecutive
+// frames where instructions and IPC move together proportionally while
+// the elapsed time stays flat — the CGPOP compiler trade.
+func diagnoseCompiler(res *core.Result, s regionSeries) (Diagnosis, bool) {
+	for k := 1; k < len(s.fis); k++ {
+		_, c1, _ := meta(res, s.fis[k-1])
+		_, c2, _ := meta(res, s.fis[k])
+		if c1 == "" || c2 == "" || c1 == c2 {
+			continue
+		}
+		dInstr := rel(s.instr[k], s.instr[k-1])
+		dIPC := rel(s.ipc[k], s.ipc[k-1])
+		dDur := 0.0
+		if len(s.durms) == len(s.fis) {
+			dDur = rel(s.durms[k], s.durms[k-1])
+		}
+		if math.Abs(dInstr) < 0.08 || dInstr*dIPC <= 0 {
+			continue
+		}
+		ratio := dIPC / dInstr
+		if ratio < 0.5 || ratio > 1.5 || math.Abs(dDur) > 0.10 {
+			continue
+		}
+		conf := 0.7
+		if m1, ok1 := machine.CompilerByName(c1); ok1 {
+			if m2, ok2 := machine.CompilerByName(c2); ok2 {
+				expect := m2.InstrFactor/m1.InstrFactor - 1
+				if math.Abs(dInstr-expect) <= 0.10 {
+					conf = 0.9
+				}
+			}
+		}
+		return Diagnosis{
+			Cause:      CauseCompilerEffect,
+			Confidence: conf,
+			Evidence: fmt.Sprintf(
+				"%s→%s: instructions %s with IPC %s and duration %s — a compiler trade, not a behaviour change",
+				c1, c2, report.SignedPct(dInstr), report.SignedPct(dIPC), report.SignedPct(dDur)),
+		}, true
+	}
+	return Diagnosis{}, false
+}
+
+// diagnoseCacheCliff fires on a step in miss density coinciding with an
+// IPC drop, cross-checked against the platform's miss penalties.
+func diagnoseCacheCliff(res *core.Result, s regionSeries) (Diagnosis, bool) {
+	if len(s.l1mpki) != len(s.fis) || len(s.l2mpki) != len(s.fis) {
+		return Diagnosis{}, false
+	}
+	const tiny = 1e-9
+	for k := 1; k < len(s.fis); k++ {
+		j1 := s.l1mpki[k] / math.Max(s.l1mpki[k-1], tiny)
+		j2 := s.l2mpki[k] / math.Max(s.l2mpki[k-1], tiny)
+		if j1 < 1.8 && j2 < 1.8 {
+			continue
+		}
+		if s.ipc[k] > 0.92*s.ipc[k-1] {
+			continue
+		}
+		level := "L1"
+		if j2 > j1 {
+			level = "L2"
+		}
+		conf := 0.6
+		if mn, _, _ := meta(res, s.fis[k]); mn != "" {
+			if arch, ok := machine.ArchByName(mn); ok && s.ipc[k] > 0 && s.ipc[k-1] > 0 {
+				predicted := (s.l1mpki[k]-s.l1mpki[k-1])/1000*arch.L1PenaltyCycles +
+					(s.l2mpki[k]-s.l2mpki[k-1])/1000*arch.MemPenaltyCycles
+				observed := 1/s.ipc[k] - 1/s.ipc[k-1]
+				if predicted > 0 && observed > 0 {
+					r := observed / predicted
+					if r >= 0.25 && r <= 4 {
+						conf = 0.9
+					}
+				}
+			}
+		}
+		return Diagnosis{
+			Cause:      CauseCacheCliff,
+			Confidence: conf,
+			Evidence: fmt.Sprintf(
+				"%s miss density jumps %.1fx between frames %d and %d while IPC falls %s — working set overflowed the %s",
+				level, math.Max(j1, j2), s.fis[k-1], s.fis[k],
+				report.SignedPct(rel(s.ipc[k], s.ipc[k-1])), level),
+		}, true
+	}
+	return Diagnosis{}, false
+}
+
+// diagnoseContention fires when IPC decays faster and faster as the
+// node packing grows while miss densities stay flat: the work didn't
+// change, the shared memory channel saturated.
+func diagnoseContention(res *core.Result, s regionSeries) (Diagnosis, bool) {
+	n := len(s.fis)
+	if n < 3 || len(s.l2mpki) != n {
+		return Diagnosis{}, false
+	}
+	tpn := make([]int, n)
+	for i, fi := range s.fis {
+		_, _, tpn[i] = meta(res, fi)
+		if tpn[i] <= 0 {
+			return Diagnosis{}, false
+		}
+		if i > 0 && tpn[i] < tpn[i-1] {
+			return Diagnosis{}, false
+		}
+	}
+	if tpn[n-1] <= tpn[0] {
+		return Diagnosis{}, false
+	}
+	if s.ipc[n-1] > 0.90*s.ipc[0] {
+		return Diagnosis{}, false
+	}
+	minM, maxM := math.Inf(1), 0.0
+	for _, v := range s.l2mpki {
+		minM = math.Min(minM, v)
+		maxM = math.Max(maxM, v)
+	}
+	if minM <= 0 || maxM/minM >= 1.4 {
+		return Diagnosis{}, false
+	}
+	// Accelerating decline: the RELATIVE IPC loss per added co-located
+	// process grows in the second half (the 1/(1-u) shape; absolute loss
+	// cannot accelerate since IPC is bounded below by zero).
+	mid := n / 2
+	if tpn[mid] <= tpn[0] || tpn[n-1] <= tpn[mid] || s.ipc[0] <= 0 || s.ipc[mid] <= 0 {
+		return Diagnosis{}, false
+	}
+	early := (1 - s.ipc[mid]/s.ipc[0]) / float64(tpn[mid]-tpn[0])
+	late := (1 - s.ipc[n-1]/s.ipc[mid]) / float64(tpn[n-1]-tpn[mid])
+	if late <= early {
+		return Diagnosis{}, false
+	}
+	// Corroborate with the platform model: per-process bandwidth demand,
+	// measured at the LIGHTEST packing (the saturated frames understate
+	// demand by construction), extrapolated to the final packing, should
+	// approach the node's memory bandwidth.
+	conf := 0.6
+	util := 0.0
+	if mn, _, _ := meta(res, s.fis[0]); mn != "" {
+		if arch, ok := machine.ArchByName(mn); ok &&
+			len(s.l2raw) == n && len(s.cycles) == n && s.cycles[0] > 0 {
+			perProcBW := s.l2raw[0] / s.cycles[0] * arch.LineBytes * arch.FreqGHz
+			util = perProcBW * float64(tpn[n-1]) / arch.NodeMemBWGBs
+			if util >= 0.35 {
+				conf = 0.9
+			}
+		}
+	}
+	return Diagnosis{
+		Cause:      CauseContentionKnee,
+		Confidence: conf,
+		Evidence: fmt.Sprintf(
+			"IPC %s as packing grows %d→%d with flat L2 miss density (max/min %.2fx); est. bandwidth demand %.0f%% of the node channel",
+			report.SignedPct(rel(s.ipc[n-1], s.ipc[0])), tpn[0], tpn[n-1], maxM/minM, 100*util),
+	}, true
+}
+
+// anomalousRanks flags ranks whose total time inside the region sits
+// more than three scaled MADs above the median rank time, and returns
+// the region's dispersion (max/mean - 1) alongside.
+func anomalousRanks(res *core.Result, regionID int) ([]int, float64) {
+	perRank := map[int]float64{}
+	for fi, f := range res.Frames {
+		if f.Degraded || f.Trace == nil {
+			continue
+		}
+		labels := res.RegionLabels(fi)
+		for i, b := range f.Trace.Bursts {
+			if i < len(labels) && labels[i] == regionID {
+				perRank[b.Task] += float64(b.DurationNS)
+			}
+		}
+	}
+	if len(perRank) < 4 {
+		return nil, 0
+	}
+	ranks := make([]int, 0, len(perRank))
+	vals := make([]float64, 0, len(perRank))
+	for r := range perRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		vals = append(vals, perRank[r])
+	}
+
+	med := median(append([]float64(nil), vals...))
+	devs := make([]float64, len(vals))
+	mean, max := 0.0, 0.0
+	for i, v := range vals {
+		devs[i] = math.Abs(v - med)
+		mean += v
+		max = math.Max(max, v)
+	}
+	mean /= float64(len(vals))
+	disp := 0.0
+	if mean > 0 {
+		disp = max/mean - 1
+	}
+	scaled := 1.4826 * median(devs)
+	floor := math.Max(scaled, 0.05*med)
+	var anom []int
+	for i, r := range ranks {
+		if vals[i] > med+3*floor {
+			anom = append(anom, r)
+		}
+	}
+	return anom, disp
+}
+
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

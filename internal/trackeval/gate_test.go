@@ -1,0 +1,80 @@
+package trackeval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGatePinnedCorpus is the quality gate CI runs (`make trackeval`):
+// the full pinned corpus at 10% fault severity must clear every floor.
+func TestGatePinnedCorpus(t *testing.T) {
+	card, err := Evaluate(Options{})
+	if err != nil {
+		t.Fatalf("evaluating pinned corpus: %v", err)
+	}
+	if err := card.Gate(); err != nil {
+		t.Fatalf("pinned corpus fails the quality gate: %v\n%s", err, card.Table().String())
+	}
+	a := card.Aggregate
+	if a.Scenarios != 14*len(PinnedSeeds()) {
+		t.Errorf("scenarios = %d, want %d (14 families x %d seeds)", a.Scenarios, 14*len(PinnedSeeds()), len(PinnedSeeds()))
+	}
+	if a.DegradedFrames != len(PinnedSeeds()) {
+		t.Errorf("degradedFrames = %d, want %d (one dead frame per seed)", a.DegradedFrames, len(PinnedSeeds()))
+	}
+	// The clean families must be tracked perfectly — any slack here means
+	// the corpus stopped exercising what it claims to.
+	for _, f := range card.Families {
+		switch f.Family {
+		case "steady", "drift", "crossing", "birthdeath":
+			if f.MOTA != 1 || f.Purity != 1 {
+				t.Errorf("clean family %s: mota=%v purity=%v, want exactly 1", f.Family, f.MOTA, f.Purity)
+			}
+		}
+	}
+	if a.DiagnosisAccuracy != 1 {
+		t.Errorf("diagnosis accuracy = %v, want 1 on the planted-cause corpus", a.DiagnosisAccuracy)
+	}
+}
+
+// TestGateCatchesNerf proves the gate bites: ablating the displacement
+// evaluator — the paper's primary correlation signal — must fail it.
+func TestGateCatchesNerf(t *testing.T) {
+	clean, err := Evaluate(Options{SkipDiagnosis: true})
+	if err != nil {
+		t.Fatalf("clean evaluate: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.DisableDisplacement = true
+	nerfed, err := Evaluate(Options{Config: &cfg, SkipDiagnosis: true})
+	if err != nil {
+		t.Fatalf("nerfed evaluate: %v", err)
+	}
+
+	if err := nerfed.Gate(); err == nil {
+		t.Fatalf("gate passed with the displacement evaluator disabled:\n%s", nerfed.Table().String())
+	} else if !strings.Contains(err.Error(), "mota") {
+		t.Errorf("gate failure should name the mota floor, got: %v", err)
+	}
+	if drop := clean.Aggregate.MOTA - nerfed.Aggregate.MOTA; drop < 0.03 {
+		t.Errorf("MOTA dropped only %.4f under ablation, want a clearly measurable (>= 0.03) drop", drop)
+	}
+	if nerfed.Aggregate.IDSwitches <= clean.Aggregate.IDSwitches {
+		t.Errorf("idSwitches clean=%d nerfed=%d, want the ablation to cost identity",
+			clean.Aggregate.IDSwitches, nerfed.Aggregate.IDSwitches)
+	}
+}
+
+func TestGateErrorListsEveryMiss(t *testing.T) {
+	card := &Scorecard{}
+	card.Aggregate = AggregateScore{Purity: 0.5, Coverage: 0.5, MOTA: 0.5, DiagnosisAccuracy: 0.5}
+	err := card.Gate()
+	if err == nil {
+		t.Fatal("gate passed an all-0.5 scorecard")
+	}
+	for _, want := range []string{"purity", "coverage", "mota", "diagnosis-accuracy"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("gate error misses %q: %v", want, err)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package trackeval
+
+import (
+	"sort"
+
+	"perftrack/internal/core"
+	"perftrack/internal/oracle"
+)
+
+// MOT holds multi-object-tracking quality metrics for one scenario,
+// computed against the planted Burst.Phase ground truth. All mass-based
+// metrics weight bursts by duration, so a mistracked long region hurts
+// more than a mistracked blip.
+type MOT struct {
+	// GTTracks is the number of distinct planted phases observed.
+	GTTracks int `json:"gtTracks"`
+	// ScoredFrames counts healthy (non-degraded) frames with annotated
+	// bursts; degraded frames are excluded from every metric.
+	ScoredFrames int `json:"scoredFrames"`
+	// IDSwitches counts frame transitions where a phase's majority
+	// tracked region changed identity (the classic MOT ID switch).
+	IDSwitches int `json:"idSwitches"`
+	// Fragmentation counts interruptions of a phase's coverage: each
+	// extra maximal run of tracked frames beyond the first.
+	Fragmentation int `json:"fragmentation"`
+	// Purity is the duration-weighted fraction of each tracked region's
+	// mass belonging to its majority phase, averaged over regions.
+	Purity float64 `json:"purity"`
+	// Coverage is coverage-vs-truth: the fraction of ground-truth mass
+	// captured by each phase's single globally-matched region.
+	Coverage float64 `json:"coverage"`
+	// MissRate is the fraction of ground-truth mass left untracked
+	// (noise or unlinked clusters).
+	MissRate float64 `json:"missRate"`
+	// MismatchRate is the fraction of ground-truth mass tracked, but by
+	// a region other than the phase's global match.
+	MismatchRate float64 `json:"mismatchRate"`
+	// MOTA is the MOTA-like composite:
+	// 1 - MissRate - MismatchRate - IDSwitchRate.
+	MOTA float64 `json:"mota"`
+	// MeanARI is the mean per-frame adjusted Rand index between the
+	// planted phases and the tracked-region labelling.
+	MeanARI float64 `json:"meanAri"`
+	// GTMass is the total annotated burst duration scored (the weight
+	// of this scenario inside corpus aggregates).
+	GTMass float64 `json:"gtMass"`
+}
+
+type phaseRegion struct{ phase, region int }
+
+// Score computes the MOT metrics of one tracked result against the
+// planted Phase annotations carried by the frames' filtered traces.
+func Score(res *core.Result) MOT {
+	var m MOT
+
+	phaseMass := map[int]float64{}        // phase -> total gt mass
+	pairMass := map[phaseRegion]float64{} // (phase, region) -> mass, region 0 = untracked
+	regionMass := map[int]float64{}       // region -> tracked mass (region > 0)
+
+	// Per-phase, per-scored-frame majority region (0 = missed), in frame
+	// order, for the ID-switch / fragmentation walk.
+	type frameMatch struct {
+		frame int
+		match map[int]int
+	}
+	var matches []frameMatch
+
+	ariSum, ariN := 0.0, 0
+
+	for fi, f := range res.Frames {
+		if f.Degraded || f.Trace == nil {
+			continue
+		}
+		labels := res.RegionLabels(fi)
+		truth := make([]int, len(f.Trace.Bursts))
+		local := map[phaseRegion]float64{}
+		any := false
+		for i, b := range f.Trace.Bursts {
+			truth[i] = b.Phase
+			if b.Phase <= 0 {
+				continue
+			}
+			any = true
+			w := float64(b.DurationNS)
+			if w <= 0 {
+				w = 1
+			}
+			r := 0
+			if i < len(labels) {
+				r = labels[i]
+			}
+			phaseMass[b.Phase] += w
+			pairMass[phaseRegion{b.Phase, r}] += w
+			local[phaseRegion{b.Phase, r}] += w
+			if r > 0 {
+				regionMass[r] += w
+			}
+		}
+		if !any {
+			continue
+		}
+		m.ScoredFrames++
+		if len(labels) == len(truth) {
+			ariSum += oracle.ARI(truth, labels)
+			ariN++
+		}
+		matches = append(matches, frameMatch{fi, argmaxRegions(local)})
+	}
+
+	total := 0.0
+	phases := make([]int, 0, len(phaseMass))
+	for p, w := range phaseMass {
+		phases = append(phases, p)
+		total += w
+	}
+	sort.Ints(phases)
+	m.GTTracks = len(phases)
+	m.GTMass = total
+	if total == 0 {
+		return m
+	}
+
+	// Global phase -> region matching (majority mass over all frames).
+	global := argmaxRegions(pairMass)
+
+	covered, missed := 0.0, 0.0
+	for _, p := range phases {
+		// A phase whose global match is 0 was never tracked anywhere: all
+		// its mass is missed, none covered.
+		if global[p] != 0 {
+			covered += pairMass[phaseRegion{p, global[p]}]
+		}
+		missed += pairMass[phaseRegion{p, 0}]
+	}
+	m.Coverage = covered / total
+	m.MissRate = missed / total
+	m.MismatchRate = (total - covered - missed) / total
+
+	// Purity: majority-phase mass fraction per region, mass-weighted.
+	regions := make([]int, 0, len(regionMass))
+	for r := range regionMass {
+		regions = append(regions, r)
+	}
+	sort.Ints(regions)
+	pureMass, trackedMass := 0.0, 0.0
+	for _, r := range regions {
+		best := 0.0
+		for _, p := range phases {
+			if w := pairMass[phaseRegion{p, r}]; w > best {
+				best = w
+			}
+		}
+		pureMass += best
+		trackedMass += regionMass[r]
+	}
+	if trackedMass > 0 {
+		m.Purity = pureMass / trackedMass
+	}
+
+	// ID switches and fragmentation along each phase's frame sequence.
+	transitions := 0
+	for _, p := range phases {
+		lastID, present, runs := 0, 0, 0
+		inRun := false
+		for _, fm := range matches {
+			r, ok := fm.match[p]
+			if !ok {
+				continue // phase absent from this frame (birth/death)
+			}
+			present++
+			if r == 0 {
+				inRun = false
+				continue
+			}
+			if !inRun {
+				runs++
+				inRun = true
+			}
+			if lastID != 0 && r != lastID {
+				m.IDSwitches++
+			}
+			lastID = r
+		}
+		if runs > 1 {
+			m.Fragmentation += runs - 1
+		}
+		if present > 1 {
+			transitions += present - 1
+		}
+	}
+
+	idswRate := 0.0
+	if transitions > 0 {
+		idswRate = float64(m.IDSwitches) / float64(transitions)
+	}
+	m.MOTA = 1 - m.MissRate - m.MismatchRate - idswRate
+	if ariN > 0 {
+		m.MeanARI = ariSum / float64(ariN)
+	}
+	return m
+}
+
+// argmaxRegions maps each phase present in mass to its heaviest tracked
+// region (region > 0; 0 when every burst of the phase went untracked).
+// Ties break toward the lower region id for determinism.
+func argmaxRegions(mass map[phaseRegion]float64) map[int]int {
+	keys := make([]phaseRegion, 0, len(mass))
+	for k := range mass {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].phase != keys[j].phase {
+			return keys[i].phase < keys[j].phase
+		}
+		return keys[i].region < keys[j].region
+	})
+	best := map[int]float64{}
+	out := map[int]int{}
+	for _, k := range keys {
+		if _, ok := out[k.phase]; !ok {
+			out[k.phase] = 0 // phase seen; may stay unmatched
+		}
+		if k.region == 0 {
+			continue
+		}
+		if w := mass[k]; w > best[k.phase] {
+			best[k.phase] = w
+			out[k.phase] = k.region
+		}
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+package trackeval
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"perftrack/internal/core"
+	"perftrack/internal/report"
+)
+
+// scorecardVersion versions the canonical scorecard JSON schema.
+const scorecardVersion = 1
+
+// Quality floors of the trackeval gate (`make trackeval`), checked on
+// the pinned corpus at 10% fault severity. Scorecard.Gate enforces them;
+// CI ratchets on them like the perf gates ratchet on BENCH_core.json.
+const (
+	// GatePurityFloor is the minimum duration-weighted track purity.
+	GatePurityFloor = 0.95
+	// GateCoverageFloor is the minimum coverage-vs-truth.
+	GateCoverageFloor = 0.90
+	// GateMOTAFloor is the minimum MOTA-like composite. The pinned
+	// corpus scores a clean 1.0; the floor sits close under it so any
+	// evaluator regression that miscorrelates even a few percent of the
+	// ground-truth mass (e.g. losing the displacement evaluator drops
+	// MOTA to ~0.96) fails the gate.
+	GateMOTAFloor = 0.99
+	// GateDiagnosisFloor is the minimum planted-cause diagnosis accuracy.
+	GateDiagnosisFloor = 0.90
+)
+
+// AggregateScore folds the whole corpus into one line: mass-weighted
+// means of the quality ratios, sums of the event counts.
+type AggregateScore struct {
+	Scenarios      int     `json:"scenarios"`
+	Frames         int     `json:"frames"`
+	DegradedFrames int     `json:"degradedFrames"`
+	GTTracks       int     `json:"gtTracks"`
+	IDSwitches     int     `json:"idSwitches"`
+	Fragmentation  int     `json:"fragmentation"`
+	Purity         float64 `json:"purity"`
+	Coverage       float64 `json:"coverage"`
+	MOTA           float64 `json:"mota"`
+	MeanARI        float64 `json:"meanAri"`
+	GTMass         float64 `json:"gtMass"`
+	// DiagnosisAccuracy is the fraction of planted-cause diagnosis
+	// scenarios whose dominant region got the planted cause (1 when the
+	// diagnosis corpus was skipped and no scenarios ran).
+	DiagnosisAccuracy float64 `json:"diagnosisAccuracy"`
+}
+
+// FamilyScore folds one scenario family across all seeds.
+type FamilyScore struct {
+	Family        string  `json:"family"`
+	Scenarios     int     `json:"scenarios"`
+	IDSwitches    int     `json:"idSwitches"`
+	Fragmentation int     `json:"fragmentation"`
+	Purity        float64 `json:"purity"`
+	Coverage      float64 `json:"coverage"`
+	MOTA          float64 `json:"mota"`
+	MeanARI       float64 `json:"meanAri"`
+	GTMass        float64 `json:"gtMass"`
+}
+
+// Scorecard is the deterministic quality report of one corpus
+// evaluation. CanonicalJSON of two runs with equal options is
+// byte-identical; Timing deliberately stays out of it.
+type Scorecard struct {
+	Version  int      `json:"version"`
+	Seeds    []uint64 `json:"seeds"`
+	Ranks    int      `json:"ranks"`
+	Iters    int      `json:"iters"`
+	Severity float64  `json:"severity"`
+
+	Aggregate AggregateScore   `json:"aggregate"`
+	Families  []FamilyScore    `json:"families"`
+	Scenarios []ScenarioScore  `json:"scenarios"`
+	Diagnoses []DiagnosisScore `json:"diagnoses,omitempty"`
+
+	Timing Timing `json:"-"`
+}
+
+// fold recomputes Aggregate and Families from Scenarios and Diagnoses.
+func (s *Scorecard) fold() {
+	famIdx := map[string]int{}
+	s.Families = s.Families[:0]
+	var agg AggregateScore
+
+	accum := func(dst *FamilyScore, ss *ScenarioScore) {
+		w := ss.GTMass
+		dst.Scenarios++
+		dst.IDSwitches += ss.IDSwitches
+		dst.Fragmentation += ss.Fragmentation
+		dst.Purity += w * ss.Purity
+		dst.Coverage += w * ss.Coverage
+		dst.MOTA += w * ss.MOTA
+		dst.MeanARI += w * ss.MeanARI
+		dst.GTMass += w
+	}
+	for i := range s.Scenarios {
+		ss := &s.Scenarios[i]
+		fi, ok := famIdx[ss.Family]
+		if !ok {
+			fi = len(s.Families)
+			famIdx[ss.Family] = fi
+			s.Families = append(s.Families, FamilyScore{Family: ss.Family})
+		}
+		accum(&s.Families[fi], ss)
+
+		w := ss.GTMass
+		agg.Scenarios++
+		agg.Frames += ss.Frames
+		agg.DegradedFrames += ss.DegradedFrames
+		agg.GTTracks += ss.GTTracks
+		agg.IDSwitches += ss.IDSwitches
+		agg.Fragmentation += ss.Fragmentation
+		agg.Purity += w * ss.Purity
+		agg.Coverage += w * ss.Coverage
+		agg.MOTA += w * ss.MOTA
+		agg.MeanARI += w * ss.MeanARI
+		agg.GTMass += w
+	}
+	norm := func(f *FamilyScore) {
+		if f.GTMass > 0 {
+			f.Purity /= f.GTMass
+			f.Coverage /= f.GTMass
+			f.MOTA /= f.GTMass
+			f.MeanARI /= f.GTMass
+		}
+	}
+	for i := range s.Families {
+		norm(&s.Families[i])
+	}
+	sort.Slice(s.Families, func(i, j int) bool {
+		return s.Families[i].Family < s.Families[j].Family
+	})
+	if agg.GTMass > 0 {
+		agg.Purity /= agg.GTMass
+		agg.Coverage /= agg.GTMass
+		agg.MOTA /= agg.GTMass
+		agg.MeanARI /= agg.GTMass
+	}
+
+	agg.DiagnosisAccuracy = 1
+	if n := len(s.Diagnoses); n > 0 {
+		hits := 0
+		for _, d := range s.Diagnoses {
+			if d.Hit {
+				hits++
+			}
+		}
+		agg.DiagnosisAccuracy = float64(hits) / float64(n)
+	}
+	s.Aggregate = agg
+}
+
+// CanonicalJSON renders the scorecard as deterministic, indented JSON:
+// equal evaluations yield byte-identical output (the seed-sweep test
+// pins this).
+func (s *Scorecard) CanonicalJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Gate checks the scorecard against the exported quality floors and
+// returns a single error naming every floor missed, or nil.
+func (s *Scorecard) Gate() error {
+	var fails []string
+	check := func(name string, got, floor float64) {
+		if got < floor {
+			fails = append(fails, fmt.Sprintf("%s %.4f < floor %.4f", name, got, floor))
+		}
+	}
+	check("purity", s.Aggregate.Purity, GatePurityFloor)
+	check("coverage", s.Aggregate.Coverage, GateCoverageFloor)
+	check("mota", s.Aggregate.MOTA, GateMOTAFloor)
+	check("diagnosis-accuracy", s.Aggregate.DiagnosisAccuracy, GateDiagnosisFloor)
+	if len(fails) > 0 {
+		return fmt.Errorf("trackeval gate: %s", strings.Join(fails, "; "))
+	}
+	return nil
+}
+
+// Table renders the per-family breakdown for terminals.
+func (s *Scorecard) Table() *report.Table {
+	t := &report.Table{
+		Title:  "Tracking quality by scenario family",
+		Header: []string{"family", "scen", "purity", "coverage", "MOTA", "ARI", "IDSW", "frag"},
+	}
+	for _, f := range s.Families {
+		t.AddRow(f.Family, fmt.Sprintf("%d", f.Scenarios),
+			report.Pct(f.Purity), report.Pct(f.Coverage),
+			report.F(f.MOTA, 3), report.F(f.MeanARI, 3),
+			fmt.Sprintf("%d", f.IDSwitches), fmt.Sprintf("%d", f.Fragmentation))
+	}
+	a := s.Aggregate
+	t.AddRow("TOTAL", fmt.Sprintf("%d", a.Scenarios),
+		report.Pct(a.Purity), report.Pct(a.Coverage),
+		report.F(a.MOTA, 3), report.F(a.MeanARI, 3),
+		fmt.Sprintf("%d", a.IDSwitches), fmt.Sprintf("%d", a.Fragmentation))
+	return t
+}
+
+// TimingTable renders the per-stage timing breakdown.
+func (s *Scorecard) TimingTable() *report.Table {
+	t := &report.Table{
+		Title:  "Evaluation stage timing",
+		Header: []string{"stage", "total"},
+	}
+	row := func(name string, ns int64) {
+		t.AddRow(name, fmt.Sprintf("%.1f ms", float64(ns)/1e6))
+	}
+	row("generate", s.Timing.GenerateNS)
+	row("build-frames", s.Timing.BuildNS)
+	row("track", s.Timing.TrackNS)
+	row("score", s.Timing.ScoreNS)
+	row("diagnose", s.Timing.DiagnoseNS)
+	row("TOTAL", s.Timing.TotalNS())
+	return t
+}
+
+// perfdb export: the scorecard rendered in the run-document schema
+// trajectory.ParseRun understands (the shape internal/core exports), so
+// quality scorecards file into the store and flow through
+// /v1/series/<s>/regressions and `trackctl regressions` unchanged.
+// Object 1 is the corpus aggregate; the family scores follow, each a
+// single-frame "region" whose trends carry the quality metrics.
+
+type pdbCluster struct {
+	ID         int     `json:"id"`
+	Size       int     `json:"size"`
+	DurationNS float64 `json:"durationNs"`
+	Region     int     `json:"region"`
+}
+
+type pdbFrame struct {
+	Index    int          `json:"index"`
+	Label    string       `json:"label"`
+	Bursts   int          `json:"bursts"`
+	Clusters []pdbCluster `json:"clusters"`
+}
+
+type pdbRegion struct {
+	ID         int                `json:"id"`
+	Spanning   bool               `json:"spanning"`
+	DurationNS float64            `json:"durationNs"`
+	Members    [][]int            `json:"members"`
+	Trends     core.OrderedTrends `json:"trends"`
+}
+
+type pdbDoc struct {
+	Frames         []pdbFrame  `json:"frames"`
+	Regions        []pdbRegion `json:"regions"`
+	TrackedRegions int         `json:"trackedRegions"`
+	Coverage       float64     `json:"coverage"`
+}
+
+// PerfDBDocument renders the scorecard as a perfdb run payload.
+func (s *Scorecard) PerfDBDocument() ([]byte, error) {
+	doc := pdbDoc{
+		TrackedRegions: 1 + len(s.Families),
+		Coverage:       s.Aggregate.Coverage,
+	}
+	frame := pdbFrame{Index: 0, Label: "trackeval-corpus"}
+
+	addRegion := func(id int, name string, mass float64, trends core.OrderedTrends) {
+		doc.Regions = append(doc.Regions, pdbRegion{
+			ID:         id,
+			Spanning:   true,
+			DurationNS: mass,
+			Members:    [][]int{{id}},
+			Trends:     trends,
+		})
+		frame.Clusters = append(frame.Clusters, pdbCluster{
+			ID: id, Size: s.Aggregate.Scenarios, DurationNS: mass, Region: id,
+		})
+		frame.Bursts += s.Aggregate.Scenarios
+		_ = name
+	}
+
+	a := s.Aggregate
+	addRegion(1, "aggregate", a.GTMass, core.OrderedTrends{
+		"MOTA":              {a.MOTA},
+		"Purity":            {a.Purity},
+		"Coverage":          {a.Coverage},
+		"ARI":               {a.MeanARI},
+		"IDSwitches":        {float64(a.IDSwitches)},
+		"Fragmentation":     {float64(a.Fragmentation)},
+		"DiagnosisAccuracy": {a.DiagnosisAccuracy},
+	})
+	for i, f := range s.Families {
+		addRegion(2+i, f.Family, f.GTMass, core.OrderedTrends{
+			"MOTA":          {f.MOTA},
+			"Purity":        {f.Purity},
+			"Coverage":      {f.Coverage},
+			"ARI":           {f.MeanARI},
+			"IDSwitches":    {float64(f.IDSwitches)},
+			"Fragmentation": {float64(f.Fragmentation)},
+		})
+	}
+	doc.Frames = []pdbFrame{frame}
+	return json.MarshalIndent(doc, "", "  ")
+}

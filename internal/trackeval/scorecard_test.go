@@ -1,0 +1,126 @@
+package trackeval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"perftrack/internal/trajectory"
+)
+
+// fakeCard builds a scorecard with the given aggregate quality numbers,
+// keeping the per-family structure realistic enough for perfdb export.
+func fakeCard(mota, purity, coverage float64) *Scorecard {
+	card := &Scorecard{Version: scorecardVersion, Seeds: []uint64{1}, Ranks: 8, Iters: 2, Severity: 0.1}
+	for i, fam := range []string{"steady", "drift", "crossing"} {
+		card.Scenarios = append(card.Scenarios, ScenarioScore{
+			Name:   fmt.Sprintf("%s@0001", fam),
+			Family: fam,
+			Seed:   1,
+			Frames: corpusFrames,
+			MOT: MOT{
+				GTTracks: 3,
+				Purity:   purity,
+				Coverage: coverage,
+				MOTA:     mota,
+				MeanARI:  mota,
+				GTMass:   1e9 * float64(i+1),
+			},
+		})
+	}
+	card.fold()
+	return card
+}
+
+func TestFoldWeightsByMass(t *testing.T) {
+	card := &Scorecard{}
+	card.Scenarios = []ScenarioScore{
+		{Family: "a", MOT: MOT{MOTA: 1.0, Purity: 1.0, Coverage: 1.0, GTMass: 3}},
+		{Family: "b", MOT: MOT{MOTA: 0.0, Purity: 0.5, Coverage: 0.5, GTMass: 1}},
+	}
+	card.fold()
+	if got := card.Aggregate.MOTA; math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("aggregate MOTA = %v, want 0.75 (3:1 mass weighting)", got)
+	}
+	if got := card.Aggregate.Purity; math.Abs(got-0.875) > 1e-12 {
+		t.Errorf("aggregate purity = %v, want 0.875", got)
+	}
+	if card.Aggregate.DiagnosisAccuracy != 1 {
+		t.Errorf("diagnosis accuracy = %v, want 1 when no diagnosis scenarios ran", card.Aggregate.DiagnosisAccuracy)
+	}
+	if len(card.Families) != 2 || card.Families[0].Family != "a" {
+		t.Errorf("families = %+v, want sorted [a b]", card.Families)
+	}
+}
+
+// TestPerfDBDocumentChainsAndDetects is the in-package half of the
+// perfdb round trip: a history of scorecard documents must parse with
+// trajectory.ParseRun, chain into stable trajectories, and a quality
+// drop in the newest run must come back as a regressed verdict on MOTA
+// — the exact machinery `trackctl regressions` runs server-side.
+func TestPerfDBDocumentChainsAndDetects(t *testing.T) {
+	var runs []trajectory.Run
+	for i := 0; i < 6; i++ {
+		card := fakeCard(1.0, 0.99, 1.0)
+		if i == 5 {
+			card = fakeCard(0.80, 0.90, 0.85) // the nerfed commit
+		}
+		payload, err := card.PerfDBDocument()
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		run, err := trajectory.ParseRun(payload, fmt.Sprintf("k%d", i), fmt.Sprintf("commit-%d", i), int64(i))
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if len(run.Objects) != 4 {
+			t.Fatalf("run %d: %d objects, want 4 (aggregate + 3 families)", i, len(run.Objects))
+		}
+		runs = append(runs, run)
+	}
+
+	trajs := trajectory.Chain(runs, trajectory.LinkConfig{})
+	if len(trajs) == 0 {
+		t.Fatal("no trajectories chained from scorecard history")
+	}
+	long := 0
+	for _, tr := range trajs {
+		if len(tr.Points) == 6 {
+			long++
+		}
+	}
+	if long < 4 {
+		t.Errorf("%d trajectories span all 6 runs, want all 4 objects to chain", long)
+	}
+
+	verdicts := trajectory.Detect(runs, trajs, trajectory.DetectorConfig{Metric: "MOTA"})
+	regressed := 0
+	for _, v := range verdicts {
+		if v.Kind == trajectory.KindRegressed {
+			regressed++
+			if v.RelChange > -0.05 {
+				t.Errorf("regression relChange = %v, want a clear drop", v.RelChange)
+			}
+		}
+	}
+	if regressed == 0 {
+		t.Fatalf("quality drop not detected; verdicts: %+v", verdicts)
+	}
+}
+
+func TestTableRendersEveryFamily(t *testing.T) {
+	card := fakeCard(1, 1, 1)
+	out := card.Table().String()
+	for _, fam := range []string{"steady", "drift", "crossing", "TOTAL"} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("table misses row %q:\n%s", fam, out)
+		}
+	}
+	timing := card.TimingTable().String()
+	for _, stage := range []string{"generate", "build-frames", "track", "score", "diagnose", "TOTAL"} {
+		if !strings.Contains(timing, stage) {
+			t.Errorf("timing table misses stage %q:\n%s", stage, timing)
+		}
+	}
+}

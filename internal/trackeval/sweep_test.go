@@ -1,0 +1,60 @@
+package trackeval
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestScorecardSeedSweepDeterminism pins the satellite requirement: for
+// every pinned seed, evaluating twice yields byte-identical canonical
+// scorecard JSON (the playbook of the repo-level seed-sweep suite). Any
+// map-iteration or float-accumulation nondeterminism in the evaluation
+// layer breaks this immediately.
+func TestScorecardSeedSweepDeterminism(t *testing.T) {
+	for _, seed := range PinnedSeeds() {
+		run := func() ([]byte, []byte) {
+			card, err := Evaluate(Options{Seeds: []uint64{seed}})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			canon, err := card.CanonicalJSON()
+			if err != nil {
+				t.Fatalf("seed %d: canonical json: %v", seed, err)
+			}
+			doc, err := card.PerfDBDocument()
+			if err != nil {
+				t.Fatalf("seed %d: perfdb document: %v", seed, err)
+			}
+			return canon, doc
+		}
+		c1, d1 := run()
+		c2, d2 := run()
+		if !bytes.Equal(c1, c2) {
+			t.Errorf("seed %d: scorecard JSON differs between identical runs", seed)
+		}
+		if !bytes.Equal(d1, d2) {
+			t.Errorf("seed %d: perfdb document differs between identical runs", seed)
+		}
+	}
+}
+
+// TestScorecardCanonicalJSONExcludesTimings guards the determinism
+// boundary: wall-clock timings must never leak into the canonical form.
+func TestScorecardCanonicalJSONExcludesTimings(t *testing.T) {
+	card, err := Evaluate(Options{Seeds: []uint64{1}, SkipDiagnosis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card.Timing.TotalNS() == 0 {
+		t.Fatal("timing breakdown empty; the per-stage instrumentation is gone")
+	}
+	canon, err := card.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leak := range []string{"generateNs", "buildNs", "trackNs", "scoreNs", "diagnoseNs"} {
+		if bytes.Contains(canon, []byte(leak)) {
+			t.Errorf("canonical JSON leaks timing field %q", leak)
+		}
+	}
+}

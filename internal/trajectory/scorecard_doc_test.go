@@ -1,0 +1,130 @@
+package trajectory
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// scorecardDoc is a literal trackeval scorecard document, as
+// trackeval.(*Scorecard).PerfDBDocument emits it: one synthetic frame,
+// region 1 the corpus aggregate, regions 2+ the scenario families, each
+// carrying the quality metrics as single-element trends. This test pins
+// the schema contract from the consumer side — if the exportDoc shape
+// drifts, the quality series silently stops chaining, and this fails
+// before any daemon does.
+func scorecardDoc(mota, purity float64) []byte {
+	return []byte(fmt.Sprintf(`{
+  "frames": [
+    {
+      "index": 0,
+      "label": "trackeval-corpus",
+      "bursts": 28,
+      "clusters": [
+        {"id": 1, "size": 14, "durationNs": 4e11, "region": 1},
+        {"id": 2, "size": 14, "durationNs": 1e11, "region": 2}
+      ]
+    }
+  ],
+  "regions": [
+    {
+      "id": 1,
+      "spanning": true,
+      "durationNs": 4e11,
+      "members": [[1]],
+      "trends": {
+        "ARI": [0.93],
+        "Coverage": [1],
+        "DiagnosisAccuracy": [1],
+        "Fragmentation": [0],
+        "IDSwitches": [0],
+        "MOTA": [%g],
+        "Purity": [%g]
+      }
+    },
+    {
+      "id": 2,
+      "spanning": true,
+      "durationNs": 1e11,
+      "members": [[2]],
+      "trends": {
+        "ARI": [0.56],
+        "Coverage": [1],
+        "Fragmentation": [0],
+        "IDSwitches": [0],
+        "MOTA": [%g],
+        "Purity": [%g]
+      }
+    }
+  ],
+  "trackedRegions": 2,
+  "coverage": 1
+}`, mota, purity, mota, purity))
+}
+
+func TestScorecardDocumentContract(t *testing.T) {
+	run, err := ParseRun(scorecardDoc(1.0, 0.98), "k1", "commit-1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Objects) != 2 {
+		t.Fatalf("parsed %d objects, want 2 (aggregate + family)", len(run.Objects))
+	}
+	agg := run.Objects[0]
+	if agg.Region != 1 || !agg.Spanning {
+		t.Fatalf("aggregate object = %+v, want spanning region 1", agg)
+	}
+	for name, want := range map[string]float64{"MOTA": 1.0, "Purity": 0.98, "Coverage": 1, "DiagnosisAccuracy": 1} {
+		if got := agg.Metrics[name]; got != want {
+			t.Errorf("aggregate %s = %v, want %v", name, got, want)
+		}
+	}
+	if agg.DurationShare <= agg.BurstShare/10 || agg.DurationShare >= 1 {
+		t.Errorf("aggregate durationShare = %v, want a proper fraction", agg.DurationShare)
+	}
+}
+
+// TestScorecardHistoryDetectsQualityDrop: a run history of scorecard
+// documents, the newest with lower MOTA, must chain into trajectories
+// and produce a regressed verdict — MOTA is higher-is-better, which the
+// detector must infer (LowerIsWorse defaults true).
+func TestScorecardHistoryDetectsQualityDrop(t *testing.T) {
+	var runs []Run
+	for i := 0; i < 6; i++ {
+		doc := scorecardDoc(1.0, 0.98)
+		if i == 5 {
+			doc = scorecardDoc(0.80, 0.90)
+		}
+		run, err := ParseRun(doc, fmt.Sprintf("k%d", i), fmt.Sprintf("commit-%d", i), int64(i))
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		runs = append(runs, run)
+	}
+	trajs := Chain(runs, LinkConfig{})
+	full := 0
+	for _, tr := range trajs {
+		if len(tr.Points) == 6 {
+			full++
+		}
+	}
+	if full < 2 {
+		t.Fatalf("%d trajectories span the full history, want both objects to chain", full)
+	}
+	verdicts := Detect(runs, trajs, DetectorConfig{Metric: "MOTA"})
+	regressed := 0
+	for _, v := range verdicts {
+		if v.Kind == KindRegressed {
+			regressed++
+			if v.RelChange > -0.1 {
+				t.Errorf("relChange = %v, want about -20%%", v.RelChange)
+			}
+			if !strings.Contains(v.String(), "MOTA") {
+				t.Errorf("verdict string does not name the metric: %s", v)
+			}
+		}
+	}
+	if regressed == 0 {
+		t.Fatalf("MOTA drop not flagged; verdicts: %+v", verdicts)
+	}
+}
