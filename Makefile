@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race oracle sim mesh-sim stream-sim chaos fuzz-short cover serve-smoke store-smoke cluster-smoke trackeval check fuzz bench-core bench-compare bench-cluster bench-stream clean
+.PHONY: all build test vet race oracle sim mesh-sim stream-sim chaos fuzz-short cover serve-smoke store-smoke cluster-smoke trackeval check fuzz bench-core bench-compare bench-cluster bench-stream bench-codec clean
 
 all: build
 
@@ -89,6 +89,7 @@ fuzz-short:
 	$(GO) test -run=^$$ -fuzz=FuzzAlignDifferential -fuzztime=5s ./internal/align/
 	$(GO) test -run=^$$ -fuzz=FuzzStreamAppend -fuzztime=5s ./internal/stream/
 	$(GO) test -run=^$$ -fuzz=FuzzScenarioRoundTrip -fuzztime=5s ./internal/trackeval/
+	$(GO) test -run=^$$ -fuzz=FuzzColbinRoundTrip -fuzztime=5s ./internal/trace/
 
 # trackeval runs the tracking-quality gate: the pinned planted-truth
 # scenario corpus (all seeds, all families, fault-degraded frames) plus
@@ -139,6 +140,13 @@ bench-cluster:
 # cheaper than the batch rerun.
 bench-stream:
 	scripts/bench_stream.sh
+
+# bench-codec runs the trace-codec microbenchmarks (text vs binary
+# columnar reads/writes over the same oracle trace), rewriting
+# BENCH_codec.json; fails if colbin decode is not >= 5x the text parse
+# or the cache-hit re-read (DecodeColbinInto) is not >= 10x.
+bench-codec:
+	scripts/bench_codec.sh
 
 # A short fuzzing pass over the trace decoders (lenient + strict + CSV).
 fuzz:

@@ -17,6 +17,7 @@
 //	trackctl diff    [-addr URL] [-timeout D] [-metric M] KEYA KEYB
 //	trackctl regressions [-addr URL] [-timeout D] -series S [-metric M] [-window N] [-mads X] [-minrel X]
 //	trackctl eval    [-seeds S1,S2] [-severity F] [-gate] [-timing] [-o FILE] [-store DIR] [-series S] [-run L]
+//	trackctl convert [-to colbin|text] [-o FILE] TRACE...
 //	trackctl info    TRACE...
 //
 // cluster renders the frame of a single experiment; track correlates a
@@ -82,6 +83,8 @@ func main() {
 		err = cmdRegressions(os.Args[2:])
 	case "eval":
 		err = cmdEval(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -108,6 +111,7 @@ func usage() {
   trackctl diff    [-addr URL] [-timeout D] [-metric M] KEYA KEYB
   trackctl regressions [-addr URL] [-timeout D] -series S [-metric M] [-window N] [-mads X] [-minrel X]
   trackctl eval    [-seeds S1,S2] [-severity F] [-gate] [-timing] [-o FILE] [-store DIR] [-series S] [-run L]
+  trackctl convert [-to colbin|text] [-o FILE] TRACE...
   trackctl info    TRACE...
 
 submit sends the analysis to a running trackd daemon instead of
@@ -136,6 +140,11 @@ every daemon subcommand accepts -timeout D: one deadline for the whole
 operation (submit retries, result polls, every request), enforced
 through a context rather than a per-request client timeout. Ctrl-C
 cancels cleanly at any point.
+
+convert translates between the text format and the binary columnar
+(colbin) format; every subcommand sniffs the input format, so .colbin
+files work anywhere a text trace does, including submit (which sends
+them as binary bodies the daemon ingests without a text parse).
 
 every subcommand accepts -lenient: tolerate malformed trace lines by
 quarantining them (diagnostics go to stderr) instead of failing.`)
@@ -188,22 +197,16 @@ func loadTraces(paths []string) ([]*trace.Trace, error) {
 	}
 	out := make([]*trace.Trace, 0, len(paths))
 	for _, p := range paths {
-		if lenientMode {
-			t, diag, err := trace.ReadFileWith(p, trace.DecodeOptions{Strict: false})
-			if err != nil {
-				return nil, err
-			}
-			if diag.Skipped() > 0 || diag.MissingHeader {
-				fmt.Fprintf(os.Stderr, "trackctl: %s: %s\n", p, diag.Summary())
-			}
-			linesSkipped += diag.Skipped()
-			out = append(out, t)
-			continue
-		}
-		t, err := trace.ReadFile(p)
+		// ReadFileAnyWith sniffs the colbin magic, so every subcommand
+		// accepts text and binary columnar traces interchangeably.
+		t, diag, err := trace.ReadFileAnyWith(p, trace.DecodeOptions{Strict: !lenientMode})
 		if err != nil {
 			return nil, err
 		}
+		if diag.Summary() != "" {
+			fmt.Fprintf(os.Stderr, "trackctl: %s: %s\n", p, diag.Summary())
+		}
+		linesSkipped += diag.Skipped()
 		out = append(out, t)
 	}
 	return out, nil

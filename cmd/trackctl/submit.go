@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"perftrack/internal/service"
+	"perftrack/internal/trace"
 )
 
 // cmdSubmit sends an analysis to a running trackd daemon instead of
@@ -66,11 +67,21 @@ func cmdSubmit(args []string) error {
 			return fmt.Errorf("submit needs -study NAME or trace files")
 		}
 		for _, p := range fs.Args() {
-			text, err := os.ReadFile(p)
+			raw, err := os.ReadFile(p)
 			if err != nil {
 				return err
 			}
-			req.Traces = append(req.Traces, string(text))
+			// Binary columnar files ride in tracesBin (base64 in the
+			// JSON body); forcing them through a string would mangle
+			// the bytes.
+			if trace.IsColbin(raw) {
+				req.TracesBin = append(req.TracesBin, raw)
+			} else {
+				req.Traces = append(req.Traces, string(raw))
+			}
+		}
+		if len(req.Traces) > 0 && len(req.TracesBin) > 0 {
+			return fmt.Errorf("submit cannot mix text and binary trace files; align them with trackctl convert")
 		}
 	} else if fs.NArg() != 0 {
 		return fmt.Errorf("-study and trace files are mutually exclusive")

@@ -8,6 +8,7 @@
 //	       [-stage-timeout D] [-cache-entries N] [-cache-bytes N]
 //	       [-store DIR] [-store-segment-bytes N] [-store-sync-every N]
 //	       [-store-retries N] [-no-journal] [-journal-sync-every N]
+//	       [-trace-cache DIR] [-trace-cache-bytes N] [-no-trace-cache]
 //	       [-breaker-threshold N] [-breaker-cooldown D]
 //	       [-stream-sessions N] [-stream-pending N] [-stream-events N]
 //	       [-node-id ID -peers ID=URL,...] [-replicas N] [-probe-interval D]
@@ -30,6 +31,14 @@
 // sustained failures trip a circuit breaker (-breaker-threshold,
 // -breaker-cooldown) that degrades the daemon to read-only 503s instead
 // of losing work.
+//
+// Trace ingestion accepts both the perftrack text format and the binary
+// columnar (colbin) format — POST bodies are sniffed by magic on
+// /v1/jobs and stream appends. With -store (or an explicit -trace-cache
+// DIR), text uploads are converted to colbin on first read and cached
+// content-addressed beside the perfdb segments, so repeat submissions
+// of the same text skip the text parse entirely (-trace-cache-bytes
+// bounds the cache; -no-trace-cache disables it).
 //
 // The daemon also hosts live streams (POST /v1/streams): resident
 // sessions that ingest burst chunks as a run executes, seal fixed- or
@@ -77,30 +86,33 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:7077", "listen address (use :0 for an ephemeral port)")
-		workers      = flag.Int("workers", defaultWorkers(), "worker pool size")
-		queueDepth   = flag.Int("queue", 64, "job queue depth (full queue replies 429)")
-		timeout      = flag.Duration("timeout", 2*time.Minute, "per-job execution timeout")
-		stageTimeout = flag.Duration("stage-timeout", 0, "per-pipeline-stage timeout inside the job timeout (0 disables)")
-		cacheEntries = flag.Int("cache-entries", 256, "result cache entry bound")
-		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "result cache byte bound")
-		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
-		storeDir     = flag.String("store", "", "perfdb directory; empty disables the persistent result store")
-		storeSegment = flag.Int64("store-segment-bytes", 0, "perfdb segment size bound (0 = default 64 MiB)")
-		storeSync    = flag.Int("store-sync-every", 0, "perfdb fsync batch size (0 = default 8, 1 = every append)")
-		storeRetries = flag.Int("store-retries", 0, "retries for a failed store append (0 = default 3)")
-		noJournal    = flag.Bool("no-journal", false, "disable the crash-durable job journal even with -store")
-		journalSync  = flag.Int("journal-sync-every", 0, "journal resolution fsync batch size (0 = default 8; intents always fsync)")
-		brkThreshold = flag.Int("breaker-threshold", 0, "consecutive failures that open a circuit breaker (0 = default 5)")
-		brkCooldown  = flag.Duration("breaker-cooldown", 0, "cooldown before an open breaker admits a probe (0 = default 5s)")
-		streamMax    = flag.Int("stream-sessions", 0, "resident live-stream session cap (0 = default 64)")
-		streamPend   = flag.Int("stream-pending", 0, "append chunks racing per stream before 429 backpressure (0 = default 4)")
-		streamEvents = flag.Int("stream-events", 0, "per-stream event replay ring size (0 = default 256)")
-		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
-		nodeID       = flag.String("node-id", "", "this node's id in a sharded cluster (requires -peers and -store)")
-		peersFlag    = flag.String("peers", "", "full cluster membership as comma-separated id=URL pairs, including this node")
-		replicas     = flag.Int("replicas", 0, "nodes holding each result record, owner included (0 = default 2)")
-		probeEvery   = flag.Duration("probe-interval", 0, "peer liveness probe period (0 = default 2s)")
+		addr          = flag.String("addr", "127.0.0.1:7077", "listen address (use :0 for an ephemeral port)")
+		workers       = flag.Int("workers", defaultWorkers(), "worker pool size")
+		queueDepth    = flag.Int("queue", 64, "job queue depth (full queue replies 429)")
+		timeout       = flag.Duration("timeout", 2*time.Minute, "per-job execution timeout")
+		stageTimeout  = flag.Duration("stage-timeout", 0, "per-pipeline-stage timeout inside the job timeout (0 disables)")
+		cacheEntries  = flag.Int("cache-entries", 256, "result cache entry bound")
+		cacheBytes    = flag.Int64("cache-bytes", 256<<20, "result cache byte bound")
+		retryAfter    = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		storeDir      = flag.String("store", "", "perfdb directory; empty disables the persistent result store")
+		storeSegment  = flag.Int64("store-segment-bytes", 0, "perfdb segment size bound (0 = default 64 MiB)")
+		storeSync     = flag.Int("store-sync-every", 0, "perfdb fsync batch size (0 = default 8, 1 = every append)")
+		storeRetries  = flag.Int("store-retries", 0, "retries for a failed store append (0 = default 3)")
+		noJournal     = flag.Bool("no-journal", false, "disable the crash-durable job journal even with -store")
+		traceCache    = flag.String("trace-cache", "", "trace conversion cache directory (default <store>/tracecache; requires -store or an explicit dir)")
+		traceCacheMax = flag.Int64("trace-cache-bytes", 0, "trace conversion cache byte bound (0 = default 256 MiB)")
+		noTraceCache  = flag.Bool("no-trace-cache", false, "disable the convert-on-first-read trace cache")
+		journalSync   = flag.Int("journal-sync-every", 0, "journal resolution fsync batch size (0 = default 8; intents always fsync)")
+		brkThreshold  = flag.Int("breaker-threshold", 0, "consecutive failures that open a circuit breaker (0 = default 5)")
+		brkCooldown   = flag.Duration("breaker-cooldown", 0, "cooldown before an open breaker admits a probe (0 = default 5s)")
+		streamMax     = flag.Int("stream-sessions", 0, "resident live-stream session cap (0 = default 64)")
+		streamPend    = flag.Int("stream-pending", 0, "append chunks racing per stream before 429 backpressure (0 = default 4)")
+		streamEvents  = flag.Int("stream-events", 0, "per-stream event replay ring size (0 = default 256)")
+		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables; keep it loopback-only)")
+		nodeID        = flag.String("node-id", "", "this node's id in a sharded cluster (requires -peers and -store)")
+		peersFlag     = flag.String("peers", "", "full cluster membership as comma-separated id=URL pairs, including this node")
+		replicas      = flag.Int("replicas", 0, "nodes holding each result record, owner included (0 = default 2)")
+		probeEvery    = flag.Duration("probe-interval", 0, "peer liveness probe period (0 = default 2s)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -138,6 +150,9 @@ func main() {
 		StoreRetries:         *storeRetries,
 		JournalDisabled:      *noJournal,
 		JournalSyncEvery:     *journalSync,
+		TraceCacheDir:        *traceCache,
+		TraceCacheMaxBytes:   *traceCacheMax,
+		TraceCacheDisabled:   *noTraceCache,
 		BreakerThreshold:     *brkThreshold,
 		BreakerCooldown:      *brkCooldown,
 		StreamMaxSessions:    *streamMax,

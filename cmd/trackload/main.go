@@ -9,7 +9,7 @@
 //
 //	trackload [-addr URL,URL,...] [-qps Q] [-duration D] [-cached F]
 //	          [-warm N] [-ranks N] [-iters N] [-phases N] [-seed N]
-//	          [-name LABEL] [-o FILE]
+//	          [-binary] [-name LABEL] [-o FILE]
 //	trackload -streams N [-qps Q] [-duration D] [-chunk N] [-window N] ...
 //
 // With -streams N the generator switches to stream bench mode: N live
@@ -64,6 +64,7 @@ func main() {
 		inflight = flag.Int("inflight", 256, "in-flight job cap; arrivals beyond it are shed (counted, not sent)")
 		name     = flag.String("name", "", "scenario label in the JSON output (default derived from node count)")
 		outPath  = flag.String("o", "", "write the scenario JSON to this file (default stdout)")
+		binary   = flag.Bool("binary", false, "submit jobs as raw binary columnar (colbin) bodies instead of JSON text uploads")
 		streams  = flag.Int("streams", 0, "stream bench mode: drive N live streams with open-loop appenders instead of the job mix")
 		chunkB   = flag.Int("chunk", 32, "stream mode: bursts per append request")
 		windowN  = flag.Int("window", 64, "stream mode: count-window size in bursts")
@@ -107,7 +108,7 @@ func main() {
 		bases:  bases,
 		client: &http.Client{Timeout: 30 * time.Second},
 		ranks:  *ranks, iters: *iters, phases: *phases,
-		seed: *seed,
+		seed: *seed, binary: *binary,
 	}
 	if err := lg.warmPool(*warm); err != nil {
 		fmt.Fprintln(os.Stderr, "trackload:", err)
@@ -179,6 +180,7 @@ type loadgen struct {
 	client               *http.Client
 	ranks, iters, phases int
 	seed                 uint64
+	binary               bool
 
 	warmBodies [][]byte // marshalled warm-pool requests (cache hits after warmup)
 	coldSeq    atomic.Uint64
@@ -191,19 +193,27 @@ type loadgen struct {
 
 // buildReq assembles one two-trace job request from the deterministic
 // oracle generator; distinct (salt, n) pairs yield distinct fingerprints.
+// With -binary the body is the two colbin encodings concatenated (the
+// daemon sniffs the magic and skips the text parse entirely); otherwise
+// it is the usual JSON text upload.
 func (lg *loadgen) buildReq(salt string, n uint64) ([]byte, error) {
-	enc := func(seed uint64, name string) (string, error) {
+	ta := oracle.GenTraces(lg.seed*7919+2*n, fmt.Sprintf("%s%da", salt, n), lg.ranks, lg.iters, lg.phases)
+	tb := oracle.GenTraces(lg.seed*7919+2*n+1, fmt.Sprintf("%s%db", salt, n), lg.ranks, lg.iters, lg.phases)
+	if lg.binary {
+		return append(trace.EncodeColbin(ta), trace.EncodeColbin(tb)...), nil
+	}
+	enc := func(t *trace.Trace) (string, error) {
 		var sb strings.Builder
-		if err := trace.Write(&sb, oracle.GenTraces(seed, name, lg.ranks, lg.iters, lg.phases)); err != nil {
+		if err := trace.Write(&sb, t); err != nil {
 			return "", err
 		}
 		return sb.String(), nil
 	}
-	a, err := enc(lg.seed*7919+2*n, fmt.Sprintf("%s%da", salt, n))
+	a, err := enc(ta)
 	if err != nil {
 		return nil, err
 	}
-	b, err := enc(lg.seed*7919+2*n+1, fmt.Sprintf("%s%db", salt, n))
+	b, err := enc(tb)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +242,11 @@ func (lg *loadgen) warmPool(n int) error {
 // state, returning the end-to-end latency.
 func (lg *loadgen) oneJob(base string, body []byte) (time.Duration, error) {
 	start := time.Now()
-	resp, err := lg.client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	ctype := "application/json"
+	if trace.IsColbin(body) {
+		ctype = "application/octet-stream"
+	}
+	resp, err := lg.client.Post(base+"/v1/jobs", ctype, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}

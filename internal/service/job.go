@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"perftrack/internal/cluster"
 	"perftrack/internal/core"
 	"perftrack/internal/metrics"
+	"perftrack/internal/store"
 	"perftrack/internal/trace"
 )
 
@@ -38,13 +40,20 @@ func (s JobState) Terminal() bool {
 }
 
 // JobRequest is the POST /v1/jobs body: either a catalog study by name or
-// an uploaded trace sequence in the perftrack text format, plus optional
-// pipeline configuration. Exactly one of Study and Traces must be set.
+// an uploaded trace sequence (text or binary columnar), plus optional
+// pipeline configuration. Exactly one of Study, Traces and TracesBin
+// must be set.
 type JobRequest struct {
 	// Study names a catalog study ("WRF", "Synthetic", ...).
 	Study string `json:"study,omitempty"`
 	// Traces holds one perftrack-text-format trace per experiment.
 	Traces []string `json:"traces,omitempty"`
+	// TracesBin holds one binary columnar (colbin) trace per experiment.
+	// JSON marshals each as base64, which is what lets a binary
+	// submission survive the journal intent and mesh forwarding paths
+	// unchanged. Raw colbin POST bodies are unpacked into this field at
+	// the HTTP boundary.
+	TracesBin [][]byte `json:"tracesBin,omitempty"`
 	// Windows > 1 splits a single trace (or single-run study) into time
 	// windows, the paper's evolution mode.
 	Windows int `json:"windows,omitempty"`
@@ -142,10 +151,30 @@ type jobSpec struct {
 	runLabel     string // this run's name inside the series
 }
 
-// resolve validates the request and computes its cache key.
+// resolve validates the request and computes its cache key, without a
+// conversion cache (tests and embedders; the daemon path goes through
+// resolveThrough so repeat text uploads hit the colbin cache).
 func resolve(req JobRequest) (*jobSpec, error) {
-	if (req.Study == "") == (len(req.Traces) == 0) {
-		return nil, fmt.Errorf("exactly one of \"study\" and \"traces\" must be set")
+	return resolveThrough(req, nil)
+}
+
+// resolveThrough is resolve with a convert-on-first-read trace cache:
+// each uploaded text trace is keyed by the SHA-256 of its raw bytes (plus
+// decode mode) and parsed from its cached binary columnar conversion when
+// one exists, so the text parse is paid exactly once per distinct upload.
+func resolveThrough(req JobRequest, tc *store.TraceCache) (*jobSpec, error) {
+	sources := 0
+	if req.Study != "" {
+		sources++
+	}
+	if len(req.Traces) > 0 {
+		sources++
+	}
+	if len(req.TracesBin) > 0 {
+		sources++
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of \"study\" and \"traces\" (or \"tracesBin\") must be set")
 	}
 	if req.Windows < 0 || req.Windows > 1024 {
 		return nil, fmt.Errorf("windows %d outside [0, 1024]", req.Windows)
@@ -169,7 +198,15 @@ func resolve(req JobRequest) (*jobSpec, error) {
 		}
 		opts := trace.DecodeOptions{Strict: !req.Lenient}
 		for i, text := range req.Traces {
-			t, diag, err := trace.ReadWith(strings.NewReader(text), opts)
+			t, diag, err := parseTextCached([]byte(text), opts, tc)
+			if err != nil {
+				return nil, fmt.Errorf("trace %d: %w", i, err)
+			}
+			spec.linesSkipped += diag.Skipped()
+			spec.traces = append(spec.traces, t)
+		}
+		for i, raw := range req.TracesBin {
+			t, diag, err := trace.DecodeColbinWith(raw, opts)
 			if err != nil {
 				return nil, fmt.Errorf("trace %d: %w", i, err)
 			}
@@ -217,6 +254,33 @@ func resolve(req JobRequest) (*jobSpec, error) {
 
 	spec.key = spec.fingerprint()
 	return spec, nil
+}
+
+// parseTextCached parses one uploaded text trace, going through the
+// binary conversion cache when one is available. Only clean parses are
+// cached (a quarantining parse has diagnostics the binary form does not
+// carry), and a cached entry that fails its CRC-checked binary decode is
+// deleted and re-derived from the text — the cache can accelerate but
+// never change an answer.
+func parseTextCached(raw []byte, opts trace.DecodeOptions, tc *store.TraceCache) (*trace.Trace, trace.DecodeDiagnostics, error) {
+	if tc == nil {
+		return trace.ReadWith(bytes.NewReader(raw), opts)
+	}
+	key := store.TraceKey(raw, !opts.Strict)
+	if bin, ok := tc.Get(key); ok {
+		if t, err := trace.DecodeColbin(bin); err == nil {
+			return t, trace.DecodeDiagnostics{}, nil
+		}
+		tc.Delete(key) // poisoned entry: rebuild from text below
+	}
+	t, diag, err := trace.ReadWith(bytes.NewReader(raw), opts)
+	if err != nil {
+		return nil, diag, err
+	}
+	if diag.Summary() == "" {
+		tc.Put(key, trace.EncodeColbin(t)) // best-effort: a failed Put just re-parses next time
+	}
+	return t, diag, nil
 }
 
 // validSeries keeps series names short and URL-path-safe, since they

@@ -101,7 +101,7 @@ func (s *Server) replayIntent(p store.PendingIntent) *Job {
 		s.journal.Resolve(p.Key, "replay: undecodable intent: "+err.Error(), false)
 		return nil
 	}
-	spec, err := resolve(req)
+	spec, err := resolveThrough(req, s.tcache)
 	if err != nil {
 		s.journal.Resolve(p.Key, "replay: "+err.Error(), false)
 		return nil

@@ -37,8 +37,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -80,6 +83,17 @@ type Config struct {
 	// every 8 appends).
 	StoreMaxSegmentBytes int64
 	StoreSyncEvery       int
+	// TraceCacheDir holds the convert-on-first-read trace cache: binary
+	// columnar conversions of uploaded text traces, keyed by content
+	// hash, so repeat submissions skip the text parse. Empty defaults to
+	// <StoreDir>/tracecache when StoreDir is set (and disables the cache
+	// otherwise); TraceCacheDisabled turns it off unconditionally.
+	// TraceCacheMaxBytes bounds the resident conversions (default
+	// 256 MiB; the cache is a pure accelerator, so eviction only costs a
+	// re-parse).
+	TraceCacheDir      string
+	TraceCacheMaxBytes int64
+	TraceCacheDisabled bool
 	// JournalDisabled turns off the job journal even when StoreDir is
 	// set: submissions are acknowledged from memory only, as before the
 	// fault-tolerance layer.
@@ -153,6 +167,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.TraceCacheDir == "" && c.StoreDir != "" {
+		c.TraceCacheDir = filepath.Join(c.StoreDir, "tracecache")
+	}
+	if c.TraceCacheMaxBytes <= 0 {
+		c.TraceCacheMaxBytes = 256 << 20
+	}
 	if c.StoreRetries <= 0 {
 		c.StoreRetries = 3
 	}
@@ -193,6 +213,9 @@ type Server struct {
 	cache   *Cache
 	store   *store.Store
 	journal *store.Journal
+	// tcache is the convert-on-first-read trace conversion cache (nil
+	// when disabled); resolveThrough reads and fills it.
+	tcache *store.TraceCache
 
 	// mesh and meshJournal come alive in cluster mode: the ring +
 	// membership node and the hand-off journal recording replication
@@ -278,6 +301,7 @@ type serverMetrics struct {
 	jobsCompleted  *Counter
 	jobsFailed     *Counter
 	jobsCanceled   *Counter
+	jobsBinary     *Counter
 	cacheHits      *Counter
 	cacheMisses    *Counter
 	cacheEvictions *Counter
@@ -320,6 +344,7 @@ func New(cfg Config) (*Server, error) {
 		jobsCompleted:  r.NewCounter("trackd_jobs_completed_total", "Jobs finished successfully (including instant cache hits)."),
 		jobsFailed:     r.NewCounter("trackd_jobs_failed_total", "Jobs that ended in error (including per-job timeouts)."),
 		jobsCanceled:   r.NewCounter("trackd_jobs_canceled_total", "Jobs canceled by daemon shutdown."),
+		jobsBinary:     r.NewCounter("trackd_jobs_binary_total", "Submissions whose body arrived in the binary columnar trace format."),
 		cacheHits:      r.NewCounter("trackd_cache_hits_total", "Submissions served from the content-addressed result cache."),
 		cacheMisses:    r.NewCounter("trackd_cache_misses_total", "Submissions whose key was absent from the result cache."),
 		cacheEvictions: r.NewCounter("trackd_cache_evictions_total", "Results evicted from the cache by the LRU bounds."),
@@ -357,6 +382,19 @@ func New(cfg Config) (*Server, error) {
 		}
 		return 0
 	})
+
+	if cfg.TraceCacheDir != "" && !cfg.TraceCacheDisabled {
+		tc, err := store.OpenTraceCache(cfg.TraceCacheDir, cfg.TraceCacheMaxBytes)
+		if err != nil {
+			s.cancel()
+			return nil, err
+		}
+		s.tcache = tc
+		r.NewGaugeFunc("trackd_trace_cache_hits_total", "Text uploads served from their cached binary conversion.", func() int64 { return tc.Stats().Hits })
+		r.NewGaugeFunc("trackd_trace_cache_misses_total", "Text uploads that paid the text parse.", func() int64 { return tc.Stats().Misses })
+		r.NewGaugeFunc("trackd_trace_cache_entries", "Cached trace conversions resident on disk.", func() int64 { return int64(tc.Stats().Entries) })
+		r.NewGaugeFunc("trackd_trace_cache_bytes", "Total bytes of cached trace conversions.", func() int64 { return tc.Stats().Bytes })
+	}
 
 	s.replayDone = make(chan struct{})
 	if cfg.StoreDir != "" {
@@ -441,7 +479,7 @@ func (s *Server) Submit(req JobRequest) (job *Job, coalesced bool, err error) {
 // request was forwarded by a peer, which pins execution here (no
 // re-forwarding, even if membership views disagree mid-transition).
 func (s *Server) submit(req JobRequest, via bool) (job *Job, coalesced bool, err error) {
-	spec, err := resolve(req)
+	spec, err := resolveThrough(req, s.tcache)
 	if err != nil {
 		return nil, false, err
 	}
@@ -981,8 +1019,22 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request: "+err.Error())
+		return
+	}
 	var req JobRequest
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	if trace.IsColbin(data) {
+		// Raw binary submission: the body is one or more concatenated
+		// colbin traces; job options ride in the query string.
+		req, err = binaryJobRequest(data, r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.m.jobsBinary.Inc()
+	} else if err := json.Unmarshal(data, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
 		return
 	}
@@ -1020,6 +1072,43 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cache", "miss")
 		writeJSON(w, http.StatusAccepted, v)
 	}
+}
+
+// binaryJobRequest unpacks a raw colbin POST body — one or more
+// concatenated binary columnar traces — into the JobRequest the rest of
+// the pipeline (journal intents, mesh forwarding, resolve) already
+// understands. Job options that normally live in the JSON body ride in
+// the query string: windows, metrics (comma-separated), lenient, series,
+// runLabel, and config (a JSON-encoded ConfigSpec).
+func binaryJobRequest(data []byte, r *http.Request) (JobRequest, error) {
+	var req JobRequest
+	parts, err := trace.SplitColbin(data)
+	if err != nil {
+		return req, fmt.Errorf("decoding binary traces: %w", err)
+	}
+	req.TracesBin = parts
+	q := r.URL.Query()
+	if v := q.Get("windows"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return req, fmt.Errorf("windows %q is not a number", v)
+		}
+		req.Windows = n
+	}
+	if v := q.Get("metrics"); v != "" {
+		req.Metrics = strings.Split(v, ",")
+	}
+	req.Lenient = q.Get("lenient") == "true" || q.Get("lenient") == "1"
+	req.Series = q.Get("series")
+	req.RunLabel = q.Get("runLabel")
+	if v := q.Get("config"); v != "" {
+		var cs ConfigSpec
+		if err := json.Unmarshal([]byte(v), &cs); err != nil {
+			return req, fmt.Errorf("config query parameter: %w", err)
+		}
+		req.Config = &cs
+	}
+	return req, nil
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {

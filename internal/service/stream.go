@@ -22,6 +22,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"path/filepath"
 	"sort"
@@ -645,7 +646,14 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	strict := r.URL.Query().Get("strict") == "true" || r.URL.Query().Get("strict") == "1"
-	tr, diag, err := trace.ReadWith(body, trace.DecodeOptions{Strict: strict})
+	data, err := io.ReadAll(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading chunk: "+err.Error())
+		return
+	}
+	// DecodeAny sniffs the colbin magic, so burst chunks may arrive in
+	// either the text or the binary columnar format.
+	tr, diag, err := trace.DecodeAny(data, trace.DecodeOptions{Strict: strict})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "decoding chunk: "+err.Error())
 		return

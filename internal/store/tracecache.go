@@ -1,0 +1,246 @@
+package store
+
+// The trace conversion cache: a content-addressed directory of binary
+// columnar trace files filed beside the perfdb segments. Each entry is
+// the colbin conversion of one uploaded text trace, keyed by the SHA-256
+// of the raw text plus the decode mode, so repeat submissions of the
+// same text pay the text parse exactly once and hit the fast binary
+// decode on every later read.
+//
+// The cache is a pure accelerator: every entry is reconstructible from
+// its source text, so eviction, corruption and crash recovery all reduce
+// to "delete the file and fall back to the text parse". That is what
+// makes it journal-safe — replayed intents re-derive the same keys and
+// either hit the surviving entries or rebuild them.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// TraceCacheStats is a point-in-time snapshot of cache effectiveness.
+type TraceCacheStats struct {
+	Hits, Misses int64
+	// Entries and Bytes describe the resident files.
+	Entries int
+	Bytes   int64
+	// Evictions counts entries removed by the byte budget; Rejected
+	// counts entries dropped because they were corrupt on read.
+	Evictions, Rejected int64
+}
+
+// TraceCache is a bounded, content-addressed file cache. Keys are hex
+// SHA-256 strings; values are opaque byte blobs (colbin encodings, from
+// the cache's point of view). Writes are atomic (temp file + rename), so
+// a crash mid-Put leaves either the full entry or no entry, never a torn
+// one — and torn temp files are swept on open.
+type TraceCache struct {
+	dir      string
+	maxBytes int64
+
+	hits, misses, evictions, rejected atomic.Int64
+
+	mu    sync.Mutex
+	bytes int64
+	size  map[string]int64 // key -> file size
+	seq   map[string]int64 // key -> last-use tick, for eviction order
+	tick  int64
+}
+
+// TraceKey derives the cache key for one raw uploaded trace: the decode
+// mode is part of the key because strict and lenient parses of the same
+// bytes can legitimately differ.
+func TraceKey(raw []byte, lenient bool) string {
+	h := sha256.New()
+	if lenient {
+		h.Write([]byte("perftrack-tracecache-lenient\n"))
+	} else {
+		h.Write([]byte("perftrack-tracecache-strict\n"))
+	}
+	h.Write(raw)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// OpenTraceCache opens (creating if needed) the cache directory and
+// indexes the surviving entries. maxBytes <= 0 means unbounded.
+func OpenTraceCache(dir string, maxBytes int64) (*TraceCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tracecache: %w", err)
+	}
+	c := &TraceCache{
+		dir: dir, maxBytes: maxBytes,
+		size: map[string]int64{}, seq: map[string]int64{},
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tracecache: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A crash between create and rename: the entry never
+			// existed; sweep the debris.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		key, ok := strings.CutSuffix(name, ".colbin")
+		if !ok || !validTraceKey(key) {
+			continue // not ours; leave it alone
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		c.tick++
+		c.size[key] = info.Size()
+		c.seq[key] = c.tick
+		c.bytes += info.Size()
+	}
+	c.evictLocked()
+	return c, nil
+}
+
+func validTraceKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		if (b < '0' || b > '9') && (b < 'a' || b > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *TraceCache) path(key string) string {
+	return filepath.Join(c.dir, key+".colbin")
+}
+
+// Get returns the cached blob for key, or nil/false on a miss. A file
+// that exists but cannot be read counts as a miss (the caller falls back
+// to the text parse; Delete the poisoned entry explicitly).
+func (c *TraceCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	_, known := c.size[key]
+	if known {
+		c.tick++
+		c.seq[key] = c.tick
+	}
+	c.mu.Unlock()
+	if !known {
+		c.misses.Add(1)
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		c.forget(key)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return data, true
+}
+
+// Put files a blob under key, atomically, and evicts least-recently-used
+// entries if the byte budget is now exceeded. Errors are returned but
+// safe to ignore: a failed Put just means the next read re-parses.
+func (c *TraceCache) Put(key string, data []byte) error {
+	if !validTraceKey(key) {
+		return fmt.Errorf("tracecache: malformed key %q", key)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("tracecache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tracecache: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tracecache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tracecache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("tracecache: %w", err)
+	}
+	c.mu.Lock()
+	if old, ok := c.size[key]; ok {
+		c.bytes -= old
+	}
+	c.tick++
+	c.size[key] = int64(len(data))
+	c.seq[key] = c.tick
+	c.bytes += int64(len(data))
+	c.evictLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+// Delete removes an entry (e.g. one that decoded as corrupt). Missing
+// entries are not an error.
+func (c *TraceCache) Delete(key string) {
+	c.rejected.Add(1)
+	os.Remove(c.path(key))
+	c.forget(key)
+}
+
+// forget drops the index entry without touching the counter.
+func (c *TraceCache) forget(key string) {
+	c.mu.Lock()
+	if sz, ok := c.size[key]; ok {
+		c.bytes -= sz
+		delete(c.size, key)
+		delete(c.seq, key)
+	}
+	c.mu.Unlock()
+}
+
+// evictLocked removes least-recently-used entries until the byte budget
+// holds. Caller holds c.mu.
+func (c *TraceCache) evictLocked() {
+	if c.maxBytes <= 0 || c.bytes <= c.maxBytes {
+		return
+	}
+	keys := make([]string, 0, len(c.seq))
+	for k := range c.seq {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return c.seq[keys[i]] < c.seq[keys[j]] })
+	for _, k := range keys {
+		if c.bytes <= c.maxBytes {
+			break
+		}
+		os.Remove(c.path(k))
+		c.bytes -= c.size[k]
+		delete(c.size, k)
+		delete(c.seq, k)
+		c.evictions.Add(1)
+	}
+}
+
+// Stats snapshots the counters.
+func (c *TraceCache) Stats() TraceCacheStats {
+	c.mu.Lock()
+	entries, bytes := len(c.size), c.bytes
+	c.mu.Unlock()
+	return TraceCacheStats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Entries: entries, Bytes: bytes,
+		Evictions: c.evictions.Load(), Rejected: c.rejected.Load(),
+	}
+}

@@ -1,0 +1,204 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceKeyModes(t *testing.T) {
+	raw := []byte("T label\nB 0 0 0 1 phase\n")
+	strict := TraceKey(raw, false)
+	lenient := TraceKey(raw, true)
+	if strict == lenient {
+		t.Fatal("strict and lenient keys must differ for the same bytes")
+	}
+	if !validTraceKey(strict) || !validTraceKey(lenient) {
+		t.Fatalf("keys are not 64-hex: %q %q", strict, lenient)
+	}
+	if TraceKey(raw, false) != strict {
+		t.Fatal("TraceKey is not deterministic")
+	}
+	if TraceKey(append(raw, 'x'), false) == strict {
+		t.Fatal("different bytes must yield different keys")
+	}
+}
+
+func TestTraceCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenTraceCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := TraceKey([]byte("alpha"), false)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	blob := []byte("colbin-bytes-stand-in")
+	if err := c.Put(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("Get after Put = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != int64(len(blob)) {
+		t.Fatalf("stats %+v, want 1 hit, 1 miss, 1 entry, %d bytes", st, len(blob))
+	}
+
+	// Overwriting a key replaces the bytes and the accounting.
+	blob2 := []byte("shorter")
+	if err := c.Put(key, blob2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Get(key); !bytes.Equal(got, blob2) {
+		t.Fatalf("Get after overwrite = %q", got)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != int64(len(blob2)) {
+		t.Fatalf("stats after overwrite %+v", st)
+	}
+}
+
+func TestTraceCacheRejectsMalformedKey(t *testing.T) {
+	c, err := OpenTraceCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", strings.Repeat("z", 64), "../../etc/passwd"} {
+		if err := c.Put(key, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted a malformed key", key)
+		}
+	}
+}
+
+func TestTraceCachePersistsAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenTraceCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := TraceKey([]byte("persist"), true)
+	if err := c.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-Put: a torn temp file and a foreign file are
+	// both in the directory when the cache reopens.
+	if err := os.WriteFile(filepath.Join(dir, key+".123.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	foreign := filepath.Join(dir, "README")
+	if err := os.WriteFile(foreign, []byte("not ours"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenTraceCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c2.Get(key); !ok || string(got) != "payload" {
+		t.Fatalf("entry did not survive reopen: %q, %v", got, ok)
+	}
+	if st := c2.Stats(); st.Entries != 1 {
+		t.Fatalf("reopened cache indexed %d entries, want 1", st.Entries)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".123.tmp")); !os.IsNotExist(err) {
+		t.Fatal("torn temp file was not swept on open")
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Fatal("foreign file must be left alone")
+	}
+}
+
+func TestTraceCacheEviction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenTraceCache(dir, 250) // room for two 100-byte entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte("x"), 100)
+	k1 := TraceKey([]byte("one"), false)
+	k2 := TraceKey([]byte("two"), false)
+	k3 := TraceKey([]byte("three"), false)
+	for _, k := range []string{k1, k2} {
+		if err := c.Put(k, blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k1 so k2 becomes least-recently-used, then overflow.
+	if _, ok := c.Get(k1); !ok {
+		t.Fatal("k1 missing before eviction")
+	}
+	if err := c.Put(k3, blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("LRU entry k2 survived eviction")
+	}
+	for _, k := range []string{k1, k3} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %s evicted out of LRU order", k[:8])
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", st.Evictions)
+	}
+	if st.Bytes > 250 {
+		t.Fatalf("cache over budget: %d bytes", st.Bytes)
+	}
+	if _, err := os.Stat(filepath.Join(dir, k2+".colbin")); !os.IsNotExist(err) {
+		t.Fatal("evicted entry left its file behind")
+	}
+}
+
+func TestTraceCacheDeletePoisoned(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenTraceCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := TraceKey([]byte("poison"), false)
+	if err := c.Put(key, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	c.Delete(key)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("deleted entry still readable")
+	}
+	st := c.Stats()
+	if st.Rejected != 1 || st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after delete %+v", st)
+	}
+	// Deleting a missing key is a no-op apart from the counter.
+	c.Delete(key)
+	if st := c.Stats(); st.Rejected != 2 {
+		t.Fatalf("rejected %d, want 2", st.Rejected)
+	}
+}
+
+func TestTraceCacheGetMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenTraceCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := TraceKey([]byte("vanish"), false)
+	if err := c.Put(key, []byte("here")); err != nil {
+		t.Fatal(err)
+	}
+	// The file disappears out from under the index (operator rm, disk
+	// cleanup): Get must degrade to a miss, not an error or a panic.
+	if err := os.Remove(filepath.Join(dir, key+".colbin")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on a removed file")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("index kept a vanished entry: %+v", st)
+	}
+}

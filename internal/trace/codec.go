@@ -27,7 +27,46 @@ import (
 const (
 	formatMagic   = "#PERFTRACK"
 	formatVersion = 1
+	// maxLineBytes caps one input line (4 MiB, the historical scanner
+	// buffer bound). Longer lines are quarantined in lenient mode and
+	// abort with a line number in strict mode; either way decoding no
+	// longer dies mid-file without saying where.
+	maxLineBytes = 1 << 22
 )
+
+// readLimitedLine reads one newline-terminated line of at most
+// maxLineBytes bytes from br. Oversized lines are consumed to their end
+// and reported tooLong with the content discarded, so the caller can
+// quarantine them and keep going. The returned error is io.EOF exactly
+// when the input is exhausted (possibly with a final unterminated line).
+func readLimitedLine(br *bufio.Reader) (line string, tooLong bool, err error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			buf = append(buf, frag...)
+			if len(buf) > maxLineBytes {
+				// Drain the remainder of the oversized line.
+				for {
+					_, derr := br.ReadSlice('\n')
+					if derr == bufio.ErrBufferFull {
+						continue
+					}
+					return "", true, derr
+				}
+			}
+			continue
+		}
+		if err != nil && err != io.EOF {
+			return "", false, err
+		}
+		buf = append(buf, frag...)
+		if len(buf) > maxLineBytes {
+			return "", true, err
+		}
+		return string(buf), false, err
+	}
+}
 
 // Write serialises the trace to w in the perftrack text format. Bursts are
 // written in (task, time) order to make output deterministic. Every write
@@ -121,12 +160,18 @@ type BadLine struct {
 	Reason string
 }
 
-// DecodeDiagnostics reports what lenient decoding had to skip.
+// DecodeDiagnostics reports what lenient decoding had to skip. For the
+// binary columnar format, BadLine entries carry section numbers instead
+// of line numbers.
 type DecodeDiagnostics struct {
-	// BadLines lists the quarantined lines in input order.
+	// BadLines lists the quarantined lines (text) or sections (colbin)
+	// in input order.
 	BadLines []BadLine
 	// MissingHeader is set when no #PERFTRACK magic line was seen.
 	MissingHeader bool
+	// Truncated is set when a colbin input ends without its end marker:
+	// the decoded bursts are a clean prefix of a torn file.
+	Truncated bool
 }
 
 // Skipped returns the number of quarantined lines.
@@ -134,13 +179,16 @@ func (d DecodeDiagnostics) Skipped() int { return len(d.BadLines) }
 
 // Summary renders a short human-readable account, or "" when clean.
 func (d DecodeDiagnostics) Summary() string {
-	if len(d.BadLines) == 0 && !d.MissingHeader {
+	if len(d.BadLines) == 0 && !d.MissingHeader && !d.Truncated {
 		return ""
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "skipped %d malformed line(s)", len(d.BadLines))
 	if d.MissingHeader {
 		sb.WriteString(", missing #PERFTRACK header")
+	}
+	if d.Truncated {
+		sb.WriteString(", input truncated")
 	}
 	for i, bl := range d.BadLines {
 		if i == 3 {
@@ -165,8 +213,7 @@ func Read(r io.Reader) (*Trace, error) {
 // whose bad-line count exceeds opts.MaxBadLines, and for every malformed
 // line in strict mode.
 func ReadWith(r io.Reader, opts DecodeOptions) (*Trace, DecodeDiagnostics, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	br := bufio.NewReaderSize(r, 1<<16)
 	t := &Trace{}
 	var diag DecodeDiagnostics
 	lineNo := 0
@@ -185,10 +232,33 @@ func ReadWith(r io.Reader, opts DecodeOptions) (*Trace, DecodeDiagnostics, error
 		}
 		return nil
 	}
-	for sc.Scan() {
+	for {
+		raw, tooLong, rerr := readLimitedLine(br)
+		if rerr != nil && rerr != io.EOF {
+			return nil, diag, rerr
+		}
+		atEOF := rerr == io.EOF
+		if atEOF && raw == "" && !tooLong {
+			break
+		}
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		if tooLong {
+			// An oversized line is one bad record, not a reason to drop
+			// the rest of the trace: quarantine it in lenient mode, keep
+			// the line-numbered abort in strict mode.
+			if qerr := quarantine(fmt.Errorf("line exceeds %d-byte cap", maxLineBytes)); qerr != nil {
+				return nil, diag, qerr
+			}
+			if atEOF {
+				break
+			}
+			continue
+		}
+		line := strings.TrimSpace(raw)
 		if line == "" {
+			if atEOF {
+				break
+			}
 			continue
 		}
 		var err error
@@ -241,9 +311,9 @@ func ReadWith(r io.Reader, opts DecodeOptions) (*Trace, DecodeDiagnostics, error
 				return nil, diag, qerr
 			}
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, diag, err
+		if atEOF {
+			break
+		}
 	}
 	if !sawMagic {
 		if opts.Strict {

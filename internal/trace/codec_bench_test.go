@@ -1,0 +1,111 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"perftrack/internal/metrics"
+	"perftrack/internal/oracle"
+	"perftrack/internal/trace"
+)
+
+// benchCodecTrace is the shared codec workload: a seeded oracle trace
+// big enough that per-burst costs dominate fixed overheads (32 ranks ×
+// 40 iterations × 2 phases ≈ 2560 bursts with full counter sets).
+func benchCodecTrace(b *testing.B) (*trace.Trace, []byte, []byte) {
+	b.Helper()
+	tr := oracle.GenTraces(42, "bench", 32, 40, 2)
+	var text bytes.Buffer
+	if err := trace.Write(&text, tr); err != nil {
+		b.Fatal(err)
+	}
+	return tr, text.Bytes(), trace.EncodeColbin(tr)
+}
+
+// BenchmarkCodecTextRead is the baseline the binary format is measured
+// against: the line-oriented text parse (strconv + field splitting per
+// burst). scripts/bench_codec.sh gates colbin read at >= 5x this.
+func BenchmarkCodecTextRead(b *testing.B) {
+	_, text, _ := benchCodecTrace(b)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Read(bytes.NewReader(text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecTextWrite(b *testing.B) {
+	tr, text, _ := benchCodecTrace(b)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		buf.Grow(len(text))
+		if err := trace.Write(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecColbinRead(b *testing.B) {
+	_, text, bin := benchCodecTrace(b)
+	b.SetBytes(int64(len(text))) // text-equivalent bytes, so MB/s compares across codecs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.DecodeColbin(bin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecColbinWrite(b *testing.B) {
+	tr, text, _ := benchCodecTrace(b)
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.EncodeColbin(tr)
+	}
+}
+
+// BenchmarkCodecColbinReadInto is the cached-re-read path: the service
+// decodes a cache hit into a reused Trace, so steady state does no
+// per-burst allocation. scripts/bench_codec.sh gates this at >= 10x the
+// text parse.
+func BenchmarkCodecColbinReadInto(b *testing.B) {
+	_, text, bin := benchCodecTrace(b)
+	var dst trace.Trace
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := trace.DecodeColbinInto(bin, &dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCodecColbinReadFlat decodes straight into the strided column
+// layout and projects the metric space from it, the zero-copy feed into
+// clustering.
+func BenchmarkCodecColbinReadFlat(b *testing.B) {
+	_, text, bin := benchCodecTrace(b)
+	ms := []metrics.Metric{metrics.IPC, metrics.Instructions}
+	var pts []float64
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := trace.DecodeColbinFlat(bin)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = f.PointsInto(pts[:0], ms)
+	}
+	_ = pts
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// oversizedInput builds a valid trace text with one absurdly long line
+// spliced between two good bursts.
+func oversizedInput(tb testing.TB) ([]byte, int) {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleTrace()); err != nil {
+		tb.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")
+	// Insert after the first burst line; the monster line is a burst
+	// record whose function field never ends.
+	monster := "B 0 0 0 1 " + strings.Repeat("x", maxLineBytes+100) + "\n"
+	var out bytes.Buffer
+	badAt := 0
+	inserted := false
+	for i, l := range lines {
+		if !inserted && strings.HasPrefix(l, "B ") {
+			out.WriteString(l)
+			out.WriteString(monster)
+			badAt = i + 2 // 1-based line number of the monster
+			inserted = true
+			continue
+		}
+		out.WriteString(l)
+	}
+	if !inserted {
+		tb.Fatal("no burst line in sample trace")
+	}
+	return out.Bytes(), badAt
+}
+
+// TestLenientOversizedLine is the regression test for the scanner-cap
+// bug: a single line beyond the buffer cap used to abort the whole
+// lenient decode; now it is quarantined with a diagnostic and every
+// other burst survives.
+func TestLenientOversizedLine(t *testing.T) {
+	input, badAt := oversizedInput(t)
+	tr, diag, err := ReadWith(bytes.NewReader(input), DecodeOptions{})
+	if err != nil {
+		t.Fatalf("lenient decode aborted on oversized line: %v", err)
+	}
+	if len(tr.Bursts) != len(sampleTrace().Bursts) {
+		t.Fatalf("lenient decode kept %d bursts, want all %d", len(tr.Bursts), len(sampleTrace().Bursts))
+	}
+	if diag.Skipped() != 1 {
+		t.Fatalf("quarantined %d lines, want 1: %s", diag.Skipped(), diag.Summary())
+	}
+	bl := diag.BadLines[0]
+	if bl.Line != badAt {
+		t.Errorf("quarantined line %d, want %d", bl.Line, badAt)
+	}
+	if !strings.Contains(bl.Reason, fmt.Sprintf("%d-byte cap", maxLineBytes)) {
+		t.Errorf("diagnostic %q does not name the line cap", bl.Reason)
+	}
+}
+
+func TestStrictOversizedLine(t *testing.T) {
+	input, badAt := oversizedInput(t)
+	_, _, err := ReadWith(bytes.NewReader(input), DecodeOptions{Strict: true})
+	if err == nil {
+		t.Fatal("strict decode accepted an oversized line")
+	}
+	if !strings.Contains(err.Error(), fmt.Sprintf("line %d", badAt)) {
+		t.Errorf("strict error %q does not carry the line number", err)
+	}
+}
+
+// TestOversizedFinalLine covers the tear case: the oversized line is the
+// last line and has no trailing newline.
+func TestOversizedFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	input := append(buf.Bytes(), []byte("B 1 0 9 9 "+strings.Repeat("y", maxLineBytes+1))...)
+	tr, diag, err := ReadWith(bytes.NewReader(input), DecodeOptions{})
+	if err != nil {
+		t.Fatalf("lenient decode: %v", err)
+	}
+	if diag.Skipped() != 1 {
+		t.Fatalf("quarantined %d lines, want 1", diag.Skipped())
+	}
+	if len(tr.Bursts) != len(sampleTrace().Bursts) {
+		t.Fatalf("kept %d bursts, want %d", len(tr.Bursts), len(sampleTrace().Bursts))
+	}
+}
