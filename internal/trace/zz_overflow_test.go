@@ -1,0 +1,59 @@
+package trace
+
+import "testing"
+
+func craft(metaTotalZero bool) []byte {
+	tr := &Trace{Meta: Metadata{App: "a"}}
+	for i := 0; i < 10; i++ {
+		tr.Bursts = append(tr.Bursts, Burst{Task: i, StartNS: int64(i)})
+	}
+	data := EncodeColbin(tr)
+	type fr struct {
+		kind byte
+		body []byte
+	}
+	var frames []fr
+	off := len(ColbinMagic)
+	for off < len(data) {
+		bl := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		frame := data[off+8 : off+8+bl]
+		frames = append(frames, fr{frame[0], frame[1:]})
+		off += 8 + bl
+	}
+	var out []byte
+	out = append(out, ColbinMagic...)
+	appendSec := func(kind byte, payload []byte) {
+		var start int
+		out, start = beginSection(out, kind)
+		out = append(out, payload...)
+		out = endSection(out, start)
+	}
+	for _, f := range frames {
+		if f.kind == sectionMeta && metaTotalZero {
+			// patch burst count (second-to-last uvarint) 10 -> 0
+			p := append([]byte{}, f.body...)
+			// last two bytes are burstCount=10 (0x0a), blockSize=4096 (0x80 0x20)
+			p[len(p)-3] = 0x00
+			appendSec(sectionMeta, p)
+			continue
+		}
+		if f.kind == sectionEnd {
+			crafted := []byte{0xf6, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01} // n = 2^64-10
+			appendSec(sectionBlock, crafted)
+			appendSec(sectionEnd, []byte{0x00})
+			continue
+		}
+		appendSec(f.kind, f.body)
+	}
+	return out
+}
+
+func TestOverflowLenient(t *testing.T) {
+	tt, diag, err := DecodeColbinWith(craft(false), DecodeOptions{Strict: false})
+	t.Logf("lenient: trace=%v diag=%+v err=%v", tt != nil, diag, err)
+}
+
+func TestOverflowStrictPatchedMeta(t *testing.T) {
+	tt, _, err := DecodeColbinWith(craft(true), DecodeOptions{Strict: true})
+	t.Logf("strict: trace=%v err=%v", tt != nil, err)
+}
